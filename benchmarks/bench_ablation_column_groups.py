@@ -1,0 +1,55 @@
+"""Ablation — number of column groups g (thesis §5.4, closing remark).
+
+The thesis: "increasing the number of column groups beyond two only
+delivered a slight performance improvement (no more than 20%): the
+total number of ancestors generated was smaller, but there was more
+overhead due to multiple stages of computation."
+
+Like Fig 5.6, grouping's payoff depends on LCA duplicate density, so
+the 1/1000-scale SUSY is skewed — moderately here (Zipf 1.0): at this
+density the g=1→2 step dominates, as in the thesis, while further
+groups trade ever-smaller emission savings against extra stages.
+"""
+
+from repro.bench import print_table, run_variant
+from bench_fig_5_6_fast_ancestor import skewed_susy
+
+GROUP_COUNTS = (None, 2, 3, 4)
+
+
+def run_group_sweep():
+    table = skewed_susy(num_rows=900, skew=1.0)
+    rows = []
+    for groups in GROUP_COUNTS:
+        result = run_variant(
+            table, "baseline", k=3, sample_size=16, seed=3,
+            num_column_groups=groups,
+        )
+        rows.append([
+            "none" if groups is None else str(groups),
+            result.rule_generation_seconds,
+            result.ancestors_emitted,
+            result.metrics["counters"]["stages"],
+        ])
+    return rows
+
+
+def test_ablation_column_groups(once):
+    rows = once(run_group_sweep)
+    print_table(
+        "Ablation — column group count (SUSY, d=18, skew 1.0)",
+        ["groups", "rule generation (s)", "ancestors emitted", "stages"],
+        rows,
+        note="two groups give the big win; more groups emit fewer "
+             "ancestors but add stage overhead (thesis: <=20% further)",
+    )
+    none, two, three, four = rows
+    # Grouping reduces emissions versus single-stage.
+    assert two[2] < none[2]
+    # Further groups keep reducing emissions...
+    assert four[2] <= three[2] <= two[2]
+    # ...but no later step beats the single-stage -> two-group step.
+    step_to_two = none[1] - two[1]
+    step_beyond = two[1] - min(three[1], four[1])
+    assert step_to_two > 0
+    assert step_beyond < step_to_two

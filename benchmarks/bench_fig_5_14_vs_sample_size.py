@@ -1,0 +1,51 @@
+"""Figure 5.14 — Rule-mining improvement vs |s| (Income, SUSY).
+
+Paper: Optimized SIRUM's end-to-end improvement over Baseline holds at
+roughly 80% (a factor of five) across |s| in {64, 128, 256} on both
+Income and SUSY.
+"""
+
+from repro.bench import dataset_by_name, print_table, run_variant
+
+
+def run_vs_sample_size(dataset, num_rows, sample_sizes, k):
+    table = dataset_by_name(dataset, num_rows=num_rows)
+    rows = []
+    for sample_size in sample_sizes:
+        base = run_variant(table, "baseline", k=k,
+                           sample_size=sample_size, seed=3)
+        optimized = run_variant(table, "optimized", k=k,
+                                sample_size=sample_size, seed=3)
+        improvement = 100.0 * (
+            1.0 - optimized.simulated_seconds / base.simulated_seconds
+        )
+        rows.append([dataset, sample_size, base.simulated_seconds,
+                     optimized.simulated_seconds, improvement])
+    return rows
+
+
+def test_fig_5_14(once):
+    def run_both():
+        rows = run_vs_sample_size("income", 1800, (64, 128, 256), 10)
+        rows += run_vs_sample_size("susy", 700, (4, 8, 16), 5)
+        return rows
+
+    rows = once(run_both)
+    print_table(
+        "Fig 5.14 — % improvement of Optimized over Baseline vs |s|",
+        ["dataset", "|s|", "baseline (s)", "optimized (s)",
+         "improvement %"],
+        rows,
+        note="thesis: ~80% (5x) across sample sizes on both datasets; "
+             "here income matches (~75-80%) while SUSY's improvement "
+             "shrinks with |s| (column grouping's between-stage dedup "
+             "is starved at laptop scale — see EXPERIMENTS.md)",
+    )
+    improvements = [row[4] for row in rows]
+    income = improvements[:3]
+    susy = improvements[3:]
+    # Income reproduces the thesis's flat ~80%.
+    assert all(imp > 60 for imp in income)
+    assert max(income) - min(income) < 25
+    # SUSY improves everywhere, but decays with |s| at this scale.
+    assert all(imp > 20 for imp in susy)

@@ -1,0 +1,54 @@
+"""Figure 5.16 — Strong scaling of Optimized SIRUM (TLC samples).
+
+Paper: with data fixed and executors grown 2 -> 16, the small TLC_2m
+improves only ~3x (overheads dominate), while the 10x larger sample
+improves ~6x over 8x more executors — including a super-linear step
+when the working set first fits in the grown cluster's memory.
+"""
+
+from repro.bench import dataset_by_name, make_cluster, print_table, run_variant
+
+EXECUTORS = (2, 4, 8, 16)
+
+# Per-executor memory chosen so the large dataset does not fit at 2
+# executors but does at 4+ (the thesis's super-linear step).
+EXECUTOR_MEMORY = 256 * 1024
+
+
+def run_strong_scaling():
+    rows = []
+    for label, num_rows in [("tlc_small", 2000), ("tlc_large", 20000)]:
+        table = dataset_by_name("tlc", num_rows=num_rows)
+        times = []
+        for executors in EXECUTORS:
+            cluster = make_cluster(
+                num_executors=executors,
+                executor_memory_bytes=EXECUTOR_MEMORY,
+            )
+            result = run_variant(
+                table, "optimized", cluster=cluster, k=5,
+                sample_size=16, seed=3,
+            )
+            times.append(result.simulated_seconds)
+        rows.append([label] + times + [times[0] / times[-1]])
+    return rows
+
+
+def test_fig_5_16(once):
+    rows = once(run_strong_scaling)
+    print_table(
+        "Fig 5.16 — Strong scaling (executors 2 -> 16)",
+        ["dataset"] + ["%d exec (s)" % e for e in EXECUTORS]
+        + ["2->16 speedup"],
+        rows,
+        note="small data scales sub-linearly (~3x); larger data scales "
+             "better, with a super-linear step once it fits in memory",
+    )
+    small, large = rows
+    # Times decrease monotonically with executors.
+    assert small[1] > small[2] > small[3] > small[4]
+    assert large[1] > large[2] > large[3] > large[4]
+    # The larger dataset scales better than the small one.
+    assert large[5] > small[5]
+    # Sub-linear for the small dataset (8x executors, < 8x speedup).
+    assert small[5] < 8

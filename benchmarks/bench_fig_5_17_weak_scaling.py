@@ -1,0 +1,49 @@
+"""Figure 5.17 — Weak scaling of Optimized SIRUM (TLC samples).
+
+Paper: doubling data and executors together (4/TLC_40m -> 16/TLC_160m)
+would ideally keep runtime flat; measured times rise slightly because
+stragglers stretch stage makespans as the cluster grows.
+"""
+
+from repro.bench import dataset_by_name, make_cluster, print_table, run_variant
+
+STEPS = [(4, 5000), (8, 10000), (16, 20000)]
+
+
+def run_weak_scaling():
+    rows = []
+    for executors, num_rows in STEPS:
+        table = dataset_by_name("tlc", num_rows=num_rows)
+        cluster = make_cluster(
+            num_executors=executors,
+            straggler_sigma=0.25,
+        )
+        result = run_variant(
+            table, "optimized", cluster=cluster, k=5, sample_size=16,
+            seed=3,
+        )
+        rows.append([
+            "%d exec / %d rows" % (executors, num_rows),
+            result.simulated_seconds,
+        ])
+    return rows
+
+
+def test_fig_5_17(once):
+    rows = once(run_weak_scaling)
+    ideal = rows[0][1]
+    table_rows = [row + [row[1] / ideal] for row in rows]
+    print_table(
+        "Fig 5.17 — Weak scaling (data grows with executors)",
+        ["configuration", "time (s)", "vs ideal flat line"],
+        table_rows,
+        note="thesis: slight increase over the ideal horizontal line, "
+             "caused by stragglers",
+    )
+    times = [row[1] for row in rows]
+    # Runtime stays near the ideal flat line.  The thesis measures a
+    # consistent small rise (its tasks stay pinned to straggler nodes);
+    # our LPT scheduler rebalances, so the deviation is smaller and not
+    # always upward — we assert flat-ness plus some straggler wobble.
+    assert max(times) < 1.5 * times[0]
+    assert max(times) > times[0]

@@ -1,0 +1,69 @@
+"""Figures 5.18/5.19 — SIRUM on sample data (TLC, SUSY).
+
+Paper: when the input exceeds cluster memory, mining a 10% sample is
+4x+ faster with only a small information-gain loss; 1% still helps;
+below that the gain degrades while runtime stops improving — ~1% is
+the lowest reasonable sampling rate.
+"""
+
+from repro.bench import dataset_by_name, make_cluster, print_table, run_variant
+
+RATES = (1.0, 0.1, 0.01, 0.001)
+
+
+def run_sampling(dataset, num_rows, sample_size, k, memory_bytes):
+    table = dataset_by_name(dataset, num_rows=num_rows)
+    rows = []
+    for rate in RATES:
+        cluster = make_cluster(
+            num_executors=2, executor_memory_bytes=memory_bytes
+        )
+        result = run_variant(
+            table, "optimized", cluster=cluster, k=k,
+            sample_size=sample_size, seed=3,
+            sample_data_fraction=None if rate == 1.0 else rate,
+        )
+        rows.append([
+            "%.1f%%" % (100 * rate),
+            result.simulated_seconds,
+            result.information_gain,
+        ])
+    return rows
+
+
+HEADERS = ["sampling rate", "execution time (s)", "information gain"]
+
+
+def _check(rows):
+    full_time, full_gain = rows[0][1], rows[0][2]
+    ten_time, ten_gain = rows[1][1], rows[1][2]
+    last_gain = rows[-1][2]
+    assert ten_time < full_time / 2          # big speedup at 10%
+    # The thesis reports a very small gain loss at 10%; at 1/1000 data
+    # scale a 10% sample is proportionally much smaller, so we assert
+    # "retains the bulk of the gain" rather than near-equality.
+    assert ten_gain > 0.4 * full_gain
+    assert last_gain < ten_gain              # quality degrades eventually
+
+
+def test_fig_5_18_tlc(once):
+    rows = once(lambda: run_sampling("tlc", 20000, 16, 5, 128 * 1024))
+    print_table(
+        "Fig 5.18 — SIRUM on sample data (TLC, memory-constrained)",
+        HEADERS, rows,
+        note="thesis: >=4x faster at 10% with little gain loss; gain "
+             "collapses at very low rates",
+    )
+    _check(rows)
+
+
+def test_fig_5_19_susy(once):
+    # 24k rows keep the 10% sample large enough (2400 rows, d=18) for
+    # sample-mined rules to retain most of the full-data gain.
+    rows = once(lambda: run_sampling("susy", 24000, 8, 3, 64 * 1024))
+    print_table(
+        "Fig 5.19 — SIRUM on sample data (SUSY, 8GB-analog memory)",
+        HEADERS, rows,
+        note="same trade-off as TLC; ~1% is the lowest useful rate",
+    )
+    _check(rows)

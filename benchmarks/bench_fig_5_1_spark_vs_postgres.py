@@ -1,0 +1,34 @@
+"""Figure 5.1 — Baseline SIRUM on Spark vs PostgreSQL (single node).
+
+Paper: on Income with one compute node, PostgreSQL is about six times
+slower — it runs a single process on one CPU and optimizes for
+disk-based access, while Spark parallelizes across the node's cores
+and caches the input in memory.
+"""
+
+from repro.bench import dataset_by_name, print_table
+from repro.platforms import run_baseline_sirum
+
+
+def run_platforms():
+    table = dataset_by_name("income", num_rows=3000)
+    rows = []
+    for platform in ("spark", "postgres"):
+        result, _cluster = run_baseline_sirum(
+            platform, table, k=6, sample_size=16, num_executors=1, seed=0
+        )
+        rows.append([platform, result.simulated_seconds])
+    return rows
+
+
+def test_fig_5_1(once):
+    rows = once(run_platforms)
+    ratio = rows[1][1] / rows[0][1]
+    print_table(
+        "Fig 5.1 — Baseline SIRUM: Spark vs PostgreSQL (1 node, Income)",
+        ["platform", "execution time (s)"],
+        rows + [["postgres/spark ratio", ratio]],
+        note="thesis: PostgreSQL ~6x slower (single process, one CPU, "
+             "disk-oriented)",
+    )
+    assert 2.0 < ratio < 40.0

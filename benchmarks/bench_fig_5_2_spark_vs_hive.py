@@ -1,0 +1,34 @@
+"""Figure 5.2 — Baseline SIRUM on Spark vs Hive (full cluster).
+
+Paper: on TLC_160m with the whole cluster, Hive-on-MapReduce is an
+order of magnitude slower: every stage is a MapReduce job with slow
+task launch/cleanup, and intermediate results are materialized to
+replicated HDFS and read back.
+"""
+
+from repro.bench import dataset_by_name, print_table
+from repro.platforms import run_baseline_sirum
+
+
+def run_platforms():
+    table = dataset_by_name("tlc", num_rows=8000)
+    rows = []
+    for platform in ("spark", "hive"):
+        result, _cluster = run_baseline_sirum(
+            platform, table, k=4, sample_size=16, num_executors=8, seed=0
+        )
+        rows.append([platform, result.simulated_seconds])
+    return rows
+
+
+def test_fig_5_2(once):
+    rows = once(run_platforms)
+    ratio = rows[1][1] / rows[0][1]
+    print_table(
+        "Fig 5.2 — Baseline SIRUM: Spark vs Hive (cluster, TLC sample)",
+        ["platform", "execution time (s)"],
+        rows + [["hive/spark ratio", ratio]],
+        note="thesis: Hive an order of magnitude slower (job launch + "
+             "HDFS materialization of intermediates)",
+    )
+    assert ratio > 3.0

@@ -1,0 +1,71 @@
+"""Figure 5.6 — Fast candidate rule processing vs |s| (SUSY, k=20).
+
+Paper: column-grouped (two-group) ancestor generation cuts SUSY rule-
+generation time by a factor of about 2.5 — senior ancestors are
+generated once from merged (deduplicated) intermediates instead of once
+per LCA instance.
+
+Scaling note: the optimization's payoff is proportional to how often
+LCA instances collide, which at the thesis's 5M-row scale is high.  At
+1/1000 scale a uniform bucket distribution leaves collisions too rare
+to matter, so this workload skews the 18 bucketed attributes (Zipf
+exponent 2.0) to restore the cluster-scale duplicate density; k is
+scaled to 2 to keep the d=18 candidate volume laptop-sized.
+"""
+
+from repro.bench import print_table, run_variant
+from repro.data.generators.synthetic import SyntheticSpec, generate
+
+SAMPLE_SIZES = (8, 16, 32)
+
+
+def skewed_susy(num_rows=1200, seed=303, skew=2.0):
+    spec = SyntheticSpec(
+        num_rows=num_rows,
+        cardinalities=[3] * 18,
+        skew=skew,
+        num_planted_rules=6,
+        planted_arity=3,
+        measure_kind="binary",
+        base_measure=0.45,
+        effect_scale=2.5,
+        measure_name="IsSignal",
+        dimension_prefix="Susy",
+    )
+    table, _ = generate(spec, seed=seed)
+    return table
+
+
+def run_fast_ancestor():
+    table = skewed_susy()
+    rows = []
+    for sample_size in SAMPLE_SIZES:
+        base = run_variant(table, "baseline", k=2,
+                           sample_size=sample_size, seed=3)
+        fast = run_variant(table, "fastancestor", k=2,
+                           sample_size=sample_size, seed=3)
+        rows.append([
+            sample_size,
+            base.rule_generation_seconds,
+            fast.rule_generation_seconds,
+            base.ancestors_emitted,
+            fast.ancestors_emitted,
+            base.rule_generation_seconds / fast.rule_generation_seconds,
+        ])
+    return rows
+
+
+def test_fig_5_6(once):
+    rows = once(run_fast_ancestor)
+    print_table(
+        "Fig 5.6 — Fast candidate rule processing (SUSY, skewed)",
+        ["|s|", "baseline rule gen (s)", "fastancestor rule gen (s)",
+         "baseline emitted", "fastancestor emitted", "speedup"],
+        rows,
+        note="thesis: ~2.5x on rule generation; emitted pairs drop",
+    )
+    for row in rows:
+        assert row[4] < row[3]        # fewer emitted pairs
+        assert row[5] > 1.3           # clearly faster rule generation
+    # The thesis-scale factor (~2.5x) is reached at the larger |s|.
+    assert max(row[5] for row in rows) > 2.0

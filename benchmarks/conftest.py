@@ -1,0 +1,24 @@
+"""Shared benchmark plumbing.
+
+Every ``bench_fig_*.py`` regenerates one thesis figure: it runs the
+figure's workload once (``benchmark.pedantic`` with a single round — the
+runs are long and deterministic), prints the figure's data series, and
+asserts the *shape* the thesis reports (who wins, roughly by how much).
+
+Workloads are scaled ~1000x down from the thesis datasets; the engine's
+cost model (see ``repro.engine.cost``) is calibrated so the reported
+simulated-cluster seconds keep the thesis's relative behaviour.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a workload exactly once under pytest-benchmark timing."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,82 @@
+"""Data-cleansing diagnosis: SIRUM vs Data Auditor vs Data X-Ray.
+
+The thesis's third application (§1, Tables 1.4/1.5) flags dimension
+values correlated with dirty records, and Chapter 6 situates SIRUM
+against Data Auditor's pattern tableaux [17] and Data X-Ray [35].  This
+example plants a systematic error in a GDELT-shaped feed, runs all
+three diagnosers and compares what each one reports.
+
+Run:  python examples/cleaning_comparison.py
+"""
+
+import numpy as np
+
+from repro.apps import diagnose_dirty_records
+from repro.baselines import diagnose, generate_tableau
+from repro.data.schema import Schema
+from repro.data.table import Table
+
+
+def make_dirty_feed(num_rows=600, seed=4):
+    """Events where one (source, format) combination drops Actor2Type."""
+    rng = np.random.default_rng(seed)
+    sources = ["reuters", "ap", "aggregator7", "afp"]
+    formats = ["cameo", "raw"]
+    regions = ["US", "EU", "ASIA", "AFRICA"]
+    rows = []
+    for _ in range(num_rows):
+        source = sources[rng.integers(len(sources))]
+        fmt = formats[rng.integers(len(formats))]
+        region = regions[rng.integers(len(regions))]
+        systematic = source == "aggregator7" and fmt == "raw"
+        noise = rng.random() < 0.03
+        dirty = 1.0 if (systematic or noise) else 0.0
+        rows.append((source, fmt, region, dirty))
+    schema = Schema(["source", "format", "region"], "is_actor2_missing")
+    return Table.from_rows(schema, rows)
+
+
+def main():
+    table = make_dirty_feed()
+    overall = table.measure_mean()
+    print(
+        "Feed: %d events, %.1f%% missing Actor2 type overall"
+        % (len(table), 100 * overall)
+    )
+
+    print("\n-- SIRUM informative rules (thesis Table 1.5 view) ------------")
+    _result, findings = diagnose_dirty_records(table, k=4, seed=2)
+    for finding in findings[:4]:
+        print(
+            "  (%s)  dirty rate %.2f  count %d"
+            % (", ".join(finding.decode(table)), finding.avg_measure,
+               finding.count)
+        )
+
+    print("\n-- Data Auditor pattern tableau [17] ---------------------------")
+    tableau = generate_tableau(table, min_confidence=0.7, seed=2)
+    for pattern in tableau:
+        print(
+            "  (%s)  support %d  confidence %.2f"
+            % (", ".join(pattern.decode(table)), pattern.support,
+               pattern.confidence)
+        )
+    print("  coverage of dirty tuples: %.0f%%" % (100 * tableau.coverage))
+
+    print("\n-- Data X-Ray cost-descent diagnosis [35] ----------------------")
+    xray = diagnose(table, alpha=3.0, seed=2)
+    for values in xray.decode(table):
+        print("  (%s)" % ", ".join(values))
+    print(
+        "  cost %.1f  false positives %d  false negatives %d"
+        % (xray.cost, xray.false_positives, xray.false_negatives)
+    )
+
+    print(
+        "\nAll three converge on the planted (aggregator7, raw, *) error; "
+        "SIRUM additionally quantifies each rule's information content."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Data-cleansing diagnosis on a GDELT-style event table.
+
+The thesis's third motivating application (Tables 1.4/1.5): the measure
+is a dirtiness flag (1 = the event record is missing its Actor2 type)
+and SIRUM surfaces the dimension-value combinations where dirty records
+concentrate.
+
+Run:  python examples/data_cleaning.py
+"""
+
+import numpy as np
+
+from repro.apps import diagnose_dirty_records
+from repro.data.generators import SyntheticSpec, generate
+
+
+def build_event_table():
+    """Events with a planted data-quality problem.
+
+    Two hidden conjunctions (think "US media events with material-
+    conflict class") have sharply elevated missing-field rates.
+    """
+    spec = SyntheticSpec(
+        num_rows=6000,
+        cardinalities=[40, 12, 2, 60, 4, 8, 8, 8],
+        skew=0.9,
+        num_planted_rules=3,
+        planted_arity=2,
+        measure_kind="binary",
+        base_measure=0.15,
+        effect_scale=4.0,
+        measure_name="IsActor2TypeMissing",
+        dimension_prefix="Ev",
+    )
+    table, planted = generate(spec, seed=33)
+    return table, planted
+
+
+def main():
+    table, planted = build_event_table()
+    overall = table.measure_mean()
+    print("Event table: %d rows, %d dimension attributes" % (
+        len(table), table.schema.arity,
+    ))
+    print("Overall dirty-record rate: %.3f" % overall)
+
+    result, findings = diagnose_dirty_records(
+        table, k=6, variant="optimized", sample_size=64, seed=2
+    )
+
+    print("\nRules highlighting unusual dirty-record rates "
+          "(thesis Table 1.5 style):")
+    header = list(table.schema.dimensions) + ["AVG(dirty)", "count"]
+    print("  " + " | ".join(header))
+    for finding in findings:
+        cells = list(finding.decode(table))
+        cells.append("%.3f" % finding.avg_measure)
+        cells.append(str(finding.count))
+        print("  " + " | ".join(cells))
+
+    print("\nPlanted problem spots (ground truth):")
+    for conjunction, effect in planted:
+        rendered = ["*"] * table.schema.arity
+        for attr, code in conjunction.items():
+            rendered[attr] = table.encoders()[attr].decode(code)
+        direction = "dirtier" if effect > 0 else "cleaner"
+        print("  (%s)  %s by %.1f log-odds" % (
+            ", ".join(rendered), direction, abs(effect),
+        ))
+
+    print("\nInformation gain: %.5f   simulated time: %.2fs" % (
+        result.information_gain, result.simulated_seconds,
+    ))
+
+
+if __name__ == "__main__":
+    main()

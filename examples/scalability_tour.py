@@ -1,0 +1,80 @@
+"""A tour of SIRUM's optimizations and scalability behaviour.
+
+Runs every Table 4.2 variant on a GDELT-shaped workload, then shows
+strong scaling (more executors, same data) and SIRUM-on-sample-data
+(thesis §4.5) on a TLC-shaped workload.  All times are the engine's
+simulated cluster seconds — deterministic and comparable across runs.
+
+Run:  python examples/scalability_tour.py
+"""
+
+from repro.bench import dataset_by_name, make_cluster, print_table, \
+    run_variant
+from repro.core import VARIANTS
+
+
+def variant_comparison():
+    table = dataset_by_name("gdelt", num_rows=3000)
+    rows = []
+    for variant in VARIANTS:
+        result = run_variant(table, variant, k=8, sample_size=32, seed=3)
+        rows.append([
+            variant,
+            result.simulated_seconds,
+            result.rule_generation_seconds,
+            result.iterative_scaling_seconds,
+            result.final_kl,
+        ])
+    print_table(
+        "SIRUM variants on GDELT-shaped data (k=8)",
+        ["variant", "total (s)", "rule gen (s)", "scaling (s)", "KL"],
+        rows,
+        note="optimized is fastest; every variant reaches the same KL",
+    )
+
+
+def strong_scaling():
+    table = dataset_by_name("tlc", num_rows=6000)
+    rows = []
+    for executors in (2, 4, 8, 16):
+        cluster = make_cluster(num_executors=executors)
+        result = run_variant(table, "optimized", cluster=cluster, k=5,
+                             sample_size=16, seed=3)
+        rows.append([executors, result.simulated_seconds])
+    print_table(
+        "Strong scaling on TLC-shaped data (fixed data, more executors)",
+        ["executors", "simulated time (s)"],
+        rows,
+        note="time decreases with executors, sub-linearly (thesis Fig 5.16)",
+    )
+
+
+def sampling_tradeoff():
+    table = dataset_by_name("tlc", num_rows=8000)
+    rows = []
+    for fraction in (1.0, 0.1, 0.01):
+        result = run_variant(
+            table, "optimized", k=5, sample_size=16, seed=3,
+            sample_data_fraction=fraction,
+        )
+        rows.append([
+            "%.0f%%" % (100 * fraction),
+            result.simulated_seconds,
+            result.information_gain,
+        ])
+    print_table(
+        "SIRUM on sample data (thesis §4.5 / Figs 5.18-5.19)",
+        ["sampling rate", "simulated time (s)", "information gain"],
+        rows,
+        note="large speedups at 10% with only a small information-gain loss",
+    )
+
+
+def main():
+    variant_comparison()
+    strong_scaling()
+    sampling_tradeoff()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Streaming SIRUM: maintain informative rules as data arrives.
+
+The thesis proposes a streaming SIRUM as future work (§7); this example
+runs the incremental miner over a stream whose driving pattern *changes
+half-way* — the drift monitor notices the old rules stop explaining the
+data and re-mines.
+
+Run:  python examples/streaming_rules.py
+"""
+
+from repro.core.config import SirumConfig
+from repro.data.generators import SyntheticSpec, generate
+from repro.streaming import IncrementalSirum, MicroBatchStream
+
+
+def phase_table(seed, hot_attribute, effect):
+    """A table whose measure is driven by one hot attribute value."""
+    spec = SyntheticSpec(
+        num_rows=1600,
+        cardinalities=[6, 6, 6],
+        skew=0.2,
+        num_planted_rules=0,
+        planted_arity=1,
+        noise_scale=0.5,
+        base_measure=10.0,
+    )
+    table, _ = generate(spec, seed=seed)
+    measure = table.measure.copy()
+    mask = table.dimension_columns()[hot_attribute] == 0
+    measure[mask] += effect
+    return table.with_measure(measure)
+
+
+def main():
+    # Phase 1: attribute A0 drives the measure; phase 2: A2 takes over.
+    phase1 = phase_table(seed=11, hot_attribute=0, effect=30.0)
+    phase2 = phase_table(seed=12, hot_attribute=2, effect=45.0)
+    batches = (
+        list(MicroBatchStream.from_table(phase1, 400))
+        + list(MicroBatchStream.from_table(phase2, 400))
+    )
+
+    miner = IncrementalSirum(
+        config=SirumConfig(k=3, sample_size=48, num_partitions=4),
+        drift_factor=1.25,
+        window_batches=2,
+        seed=5,
+    )
+
+    print("batch  rows_in_window  kl        remined  top rules")
+    for batch in batches:
+        snapshot = miner.process(batch)
+        top = ", ".join(str(rule) for rule in snapshot.rules[1:3])
+        print("%5d  %14d  %.5f  %-7s  %s" % (
+            snapshot.batch_index,
+            snapshot.total_rows,
+            snapshot.kl,
+            "yes" if snapshot.remined else "no",
+            top,
+        ))
+
+    print("\nFinal maintained rules:")
+    for rule in miner.rules:
+        print("  %s" % (rule,))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — a reproduction of SIRUM: Scalable Informative Rule Mining.
+
+Quickstart::
+
+    from repro import mine
+    from repro.data.generators import flight_table
+
+    result = mine(flight_table(), k=3, variant="optimized")
+    print(result.rule_set.to_markdown(flight_table()))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+per-figure reproduction results.
+"""
+
+from repro.core import (
+    Rule,
+    WILDCARD,
+    SirumConfig,
+    Sirum,
+    VARIANTS,
+    mine,
+    MiningResult,
+    RuleSet,
+    kl_divergence,
+    information_gain,
+)
+from repro.core.config import variant_config
+from repro.core.miner import make_default_cluster
+from repro.data import Schema, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Rule",
+    "WILDCARD",
+    "SirumConfig",
+    "Sirum",
+    "VARIANTS",
+    "mine",
+    "variant_config",
+    "make_default_cluster",
+    "MiningResult",
+    "RuleSet",
+    "kl_divergence",
+    "information_gain",
+    "Schema",
+    "Table",
+    "__version__",
+]

@@ -1,0 +1,75 @@
+"""Smart data-cube exploration (thesis §1, §5.6.2; prior work [29]).
+
+The analyst has already examined some group-by results; those cells are
+encoded as *prior rules* whose constraints the maximum-entropy estimate
+must satisfy, and SIRUM recommends the k rules carrying the most
+*additional* information (thesis Table 1.3).
+
+The §5.6.2 experiment assumes the user has seen the two single-
+attribute group-bys with the lowest cardinality and disables candidate
+pruning (prior work did not implement it).
+"""
+
+from repro.common.errors import ConfigError
+from repro.core.config import variant_config
+from repro.core.miner import Sirum
+from repro.core.rule import Rule, WILDCARD
+
+
+def lowest_cardinality_dimensions(table, count=2):
+    """Names of the ``count`` dimensions with the smallest domains."""
+    dims = sorted(table.schema.dimensions, key=table.domain_size)
+    if count > len(dims):
+        raise ConfigError(
+            "asked for %d dimensions but the table has %d" % (count, len(dims))
+        )
+    return dims[:count]
+
+
+def group_by_rules(table, dimension_name):
+    """One rule per group of a single-attribute group-by query.
+
+    The cells of ``GROUP BY dimension_name`` correspond to rules binding
+    that attribute to each active-domain value, wildcards elsewhere.
+    Only values that actually occur are returned (empty groups carry no
+    constraint).
+    """
+    j = table.schema.dimension_index(dimension_name)
+    arity = table.schema.arity
+    seen_codes = sorted(set(int(c) for c in table.dimension_column(dimension_name)))
+    rules = []
+    for code in seen_codes:
+        values = [WILDCARD] * arity
+        values[j] = code
+        rules.append(Rule(values))
+    return rules
+
+
+def explore_cube(
+    table,
+    k=10,
+    prior_dimensions=None,
+    variant="optimized",
+    cluster=None,
+    **overrides,
+):
+    """Recommend the k most informative unexplored cells.
+
+    Parameters
+    ----------
+    prior_dimensions:
+        Dimension names whose group-by results the analyst has already
+        seen; defaults to the two lowest-cardinality dimensions as in
+        the §5.6.2 experiment.
+
+    Candidate pruning is disabled (``exhaustive=True``) to match the
+    prior-work setting, unless overridden.
+    """
+    if prior_dimensions is None:
+        prior_dimensions = lowest_cardinality_dimensions(table, 2)
+    prior = []
+    for name in prior_dimensions:
+        prior.extend(group_by_rules(table, name))
+    overrides.setdefault("exhaustive", True)
+    config = variant_config(variant, k=k, **overrides)
+    return Sirum(config).mine(table, cluster=cluster, prior_rules=prior)

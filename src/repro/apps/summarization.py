@@ -1,0 +1,18 @@
+"""Data profiling and summarization (thesis §1, first application).
+
+Summarize the distribution of a numeric measure as a function of the
+dimension attributes — the flight-delay scenario of Tables 1.1/1.2.
+"""
+
+from repro.core.miner import mine
+
+
+def summarize(table, k=10, variant="optimized", cluster=None, **overrides):
+    """Produce a k-rule summary of ``table``'s measure distribution.
+
+    Thin wrapper over :func:`repro.core.miner.mine` that exists to give
+    the application its thesis name; returns the
+    :class:`~repro.core.result.MiningResult`, whose ``rule_set`` plays
+    the role of thesis Table 1.2.
+    """
+    return mine(table, k=k, variant=variant, cluster=cluster, **overrides)

@@ -1,0 +1,17 @@
+"""Benchmark harness helpers: dataset registry, runners, table output."""
+
+from repro.bench.harness import (
+    dataset_by_name,
+    make_cluster,
+    print_table,
+    run_variant,
+    speedup,
+)
+
+__all__ = [
+    "dataset_by_name",
+    "make_cluster",
+    "print_table",
+    "run_variant",
+    "speedup",
+]

@@ -1,0 +1,104 @@
+"""Shared plumbing for the per-figure benchmark scripts.
+
+Each ``benchmarks/bench_fig_*.py`` file regenerates one thesis figure:
+it builds the figure's workload, runs the SIRUM variants involved, and
+prints the series the figure plots (plus the expected shape from the
+thesis).  These helpers keep those scripts small and uniform.
+"""
+
+from repro.common.errors import ConfigError
+from repro.core.config import variant_config
+from repro.core.miner import Sirum
+from repro.data.generators import (
+    gdelt_table,
+    income_table,
+    susy_table,
+    tlc_table,
+)
+from repro.engine.cluster import ClusterContext
+from repro.engine.cost import ClusterSpec, CostModel
+
+_DATASETS = {
+    "income": income_table,
+    "gdelt": gdelt_table,
+    "susy": susy_table,
+    "tlc": tlc_table,
+}
+
+
+def dataset_by_name(name, num_rows=None, **kwargs):
+    """Build one of the evaluation datasets by thesis name."""
+    try:
+        factory = _DATASETS[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown dataset %r; choose from %s"
+            % (name, ", ".join(sorted(_DATASETS)))
+        ) from None
+    return factory(num_rows=num_rows, **kwargs)
+
+
+def make_cluster(
+    num_executors=8,
+    cores_per_executor=8,
+    executor_memory_bytes=256 * 1024**2,
+    storage_fraction=0.6,
+    straggler_sigma=0.0,
+    seed=7,
+):
+    """The benchmarks' default cluster (a scaled-down thesis cluster)."""
+    spec = ClusterSpec(
+        num_executors=num_executors,
+        cores_per_executor=cores_per_executor,
+        executor_memory_bytes=executor_memory_bytes,
+        storage_fraction=storage_fraction,
+        straggler_sigma=straggler_sigma,
+        seed=seed,
+    )
+    return ClusterContext(spec, CostModel())
+
+
+def run_variant(table, variant, cluster=None, prior_rules=None, **overrides):
+    """Mine ``table`` with a Table 4.2 variant on a fresh cluster.
+
+    Returns the :class:`~repro.core.result.MiningResult`; its
+    ``simulated_seconds`` / phase breakdowns are the benchmark metrics.
+    """
+    cluster = cluster or make_cluster()
+    config = variant_config(variant, **overrides)
+    return Sirum(config).mine(table, cluster=cluster, prior_rules=prior_rules)
+
+
+def speedup(baseline_seconds, optimized_seconds):
+    """Baseline / optimized ratio, guarded against zero."""
+    if optimized_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / optimized_seconds
+
+
+def print_table(title, headers, rows, note=None):
+    """Print one figure's data series as an aligned text table."""
+    rendered = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    print()
+    print("== %s ==" % title)
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rendered:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        print("shape: %s" % note)
+    print()
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return "%.3g" % value
+        return "%.3f" % value
+    return str(value)

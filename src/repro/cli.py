@@ -1,0 +1,147 @@
+"""Command-line interface: mine informative rules from CSV files.
+
+Usage::
+
+    python -m repro.cli mine data.csv --measure delay --k 10
+    python -m repro.cli explore data.csv --measure delay --prior day,origin
+    python -m repro.cli clean data.csv --measure is_dirty --k 5
+    python -m repro.cli sql data.csv --measure delay \
+        --query "SELECT day, AVG(delay) FROM data GROUP BY day"
+
+The mining subcommands read a CSV with a header row, treat every
+non-measure column as a dimension attribute (unless ``--dimensions``
+narrows them), and print the mined rule set as a markdown table plus
+quality metrics.  The ``sql`` subcommand registers the CSV as a table
+named ``data`` and runs one query against the bundled SQL engine.
+"""
+
+import argparse
+import sys
+
+from repro.apps import diagnose_dirty_records, explore_cube
+from repro.common.errors import ReproError
+from repro.core.config import VARIANT_FLAGS
+from repro.core.miner import mine
+from repro.data.csvio import read_csv
+from repro.sql import SqlEngine
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SIRUM: scalable informative rule mining",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in [
+        ("mine", "mine the most informative rules"),
+        ("explore", "recommend data-cube cells given prior group-bys"),
+        ("clean", "diagnose where dirty records concentrate"),
+    ]:
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("csv", help="input CSV file with a header row")
+        sub.add_argument("--measure", required=True,
+                         help="name of the numeric measure column")
+        sub.add_argument(
+            "--dimensions",
+            help="comma-separated dimension columns (default: all others)",
+        )
+        sub.add_argument("--k", type=int, default=10,
+                         help="rules to mine beyond the all-wildcards rule")
+        sub.add_argument(
+            "--variant", default="optimized",
+            choices=sorted(VARIANT_FLAGS),
+            help="optimization bundle (thesis Table 4.2)",
+        )
+        sub.add_argument("--sample-size", type=int, default=64,
+                         help="candidate-pruning sample size |s|")
+        sub.add_argument("--seed", type=int, default=0)
+        if name == "explore":
+            sub.add_argument(
+                "--prior",
+                help="comma-separated dimensions whose group-bys the "
+                     "analyst has already seen (default: the two with "
+                     "the lowest cardinality)",
+            )
+    sql = subparsers.add_parser(
+        "sql", help="run one SQL query against the CSV (table name: data)"
+    )
+    sql.add_argument("csv", help="input CSV file with a header row")
+    sql.add_argument("--measure", required=True,
+                     help="name of the numeric measure column")
+    sql.add_argument(
+        "--dimensions",
+        help="comma-separated dimension columns (default: all others)",
+    )
+    sql.add_argument("--query", required=True, help="SQL text to execute")
+    sql.add_argument("--max-rows", type=int, default=50,
+                     help="rows to print (default 50)")
+    sql.add_argument("--explain", action="store_true",
+                     help="print the optimized plan instead of executing")
+    return parser
+
+
+def _load(args):
+    dimensions = None
+    if args.dimensions:
+        dimensions = [d.strip() for d in args.dimensions.split(",")]
+    return read_csv(args.csv, measure=args.measure, dimensions=dimensions)
+
+
+def _print_result(table, result, out):
+    out.write(result.rule_set.to_markdown(table) + "\n\n")
+    out.write("rules: %d\n" % len(result.rule_set))
+    out.write("kl_divergence: %.6g\n" % result.final_kl)
+    out.write("information_gain: %.6g\n" % result.information_gain)
+    out.write("simulated_cluster_seconds: %.3f\n" % result.simulated_seconds)
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        table = _load(args)
+        if args.command == "sql":
+            engine = SqlEngine()
+            engine.register_table("data", table)
+            if args.explain:
+                out.write(engine.explain(args.query) + "\n")
+            else:
+                result = engine.query(args.query)
+                out.write(result.pretty(max_rows=args.max_rows) + "\n")
+                out.write("(%d rows)\n" % len(result))
+        elif args.command == "mine":
+            result = mine(
+                table, k=args.k, variant=args.variant,
+                sample_size=args.sample_size, seed=args.seed,
+            )
+            _print_result(table, result, out)
+        elif args.command == "explore":
+            prior = None
+            if args.prior:
+                prior = [d.strip() for d in args.prior.split(",")]
+            result = explore_cube(
+                table, k=args.k, prior_dimensions=prior,
+                variant=args.variant, seed=args.seed,
+            )
+            _print_result(table, result, out)
+        else:
+            result, findings = diagnose_dirty_records(
+                table, k=args.k, variant=args.variant,
+                sample_size=args.sample_size, seed=args.seed,
+            )
+            _print_result(table, result, out)
+            out.write("\ntop deviations from the overall dirty rate:\n")
+            for finding in findings[:10]:
+                out.write(
+                    "  %s  rate=%.3f  count=%d\n"
+                    % (" | ".join(finding.decode(table)),
+                       finding.avg_measure, finding.count)
+                )
+    except ReproError as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Shared utilities: errors, RNG, timing and validation helpers."""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    DataError,
+    EngineError,
+    ConvergenceError,
+)
+from repro.common.rng import make_rng
+from repro.common.timing import Stopwatch, StepTimer
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "DataError",
+    "EngineError",
+    "ConvergenceError",
+    "make_rng",
+    "Stopwatch",
+    "StepTimer",
+]

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at application boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DataError(ReproError):
+    """A dataset, schema or encoding is malformed."""
+
+
+class EngineError(ReproError):
+    """The dataflow engine was used incorrectly or hit an internal fault."""
+
+
+class ConvergenceError(ReproError):
+    """Iterative scaling failed to converge within its iteration budget."""

@@ -1,0 +1,79 @@
+"""Wall-clock timing helpers used by the profiler and benchmarks."""
+
+import time
+from collections import OrderedDict
+
+
+class Stopwatch:
+    """Measure elapsed wall-clock time, usable as a context manager.
+
+    >>> with Stopwatch() as sw:
+    ...     pass
+    >>> sw.elapsed >= 0
+    True
+    """
+
+    def __init__(self):
+        self._start = None
+        self.elapsed = 0.0
+
+    def start(self):
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self):
+        if self._start is None:
+            raise RuntimeError("Stopwatch was never started")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+
+class StepTimer:
+    """Accumulate named step durations, preserving insertion order.
+
+    SIRUM's profiler uses one StepTimer per mining run to attribute time
+    to candidate pruning, ancestor generation, gain computation and
+    iterative scaling (thesis Figures 3.1 and 3.2).
+    """
+
+    def __init__(self):
+        self._totals = OrderedDict()
+
+    def time(self, name):
+        """Return a context manager that adds its duration to ``name``."""
+        timer = self
+
+        class _Step:
+            def __enter__(self):
+                self._sw = Stopwatch().start()
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                timer.add(name, self._sw.stop())
+                return False
+
+        return _Step()
+
+    def add(self, name, seconds):
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    def total(self, name=None):
+        if name is not None:
+            return self._totals.get(name, 0.0)
+        return sum(self._totals.values())
+
+    def as_dict(self):
+        return dict(self._totals)
+
+    def merge(self, other):
+        for name, seconds in other.as_dict().items():
+            self.add(name, seconds)
+        return self

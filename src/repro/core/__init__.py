@@ -1,0 +1,34 @@
+"""SIRUM core: informative rule mining under maximum entropy.
+
+The public surface:
+
+- :class:`~repro.core.rule.Rule` — the pattern algebra of thesis §2.1
+  (matching, disjointness, LCA, ancestors);
+- :class:`~repro.core.config.SirumConfig` and
+  :class:`~repro.core.miner.Sirum` — the mining driver with every
+  optimization of Chapter 4 behind a flag, plus the named variant
+  presets of Table 4.2;
+- :class:`~repro.core.result.MiningResult` /
+  :class:`~repro.core.result.RuleSet` — rules with their aggregates and
+  the per-phase profile;
+- :mod:`~repro.core.divergence` — KL-divergence and information gain.
+"""
+
+from repro.core.rule import Rule, WILDCARD
+from repro.core.config import SirumConfig
+from repro.core.miner import Sirum, VARIANTS, mine
+from repro.core.result import MiningResult, RuleSet
+from repro.core.divergence import kl_divergence, information_gain
+
+__all__ = [
+    "Rule",
+    "WILDCARD",
+    "SirumConfig",
+    "Sirum",
+    "VARIANTS",
+    "mine",
+    "MiningResult",
+    "RuleSet",
+    "kl_divergence",
+    "information_gain",
+]

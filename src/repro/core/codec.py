@@ -1,0 +1,138 @@
+"""Packed-row codec: encode (value | wildcard) tuples into int64 keys.
+
+The candidate-generation hot paths group huge numbers of rule tuples
+(LCAs, cuboid cells).  Packing each tuple into a single int64 — one
+bit-field per attribute, with 0 reserved for the wildcard — turns
+row-wise grouping into 1-D ``np.unique`` + ``np.bincount``, which is
+orders of magnitude faster than lexicographic row sorting.
+
+A codec fits whenever the summed per-attribute bit widths stay within
+63 bits (true for every thesis dataset: 29–38 bits).  Callers fall back
+to row-matrix grouping otherwise (:func:`group_rows_fallback`).
+"""
+
+import numpy as np
+
+from repro.common.errors import DataError
+from repro.core.rule import WILDCARD
+
+_MAX_BITS = 63
+
+
+class RowCodec:
+    """Bit-field packing of encoded dimension tuples (wildcards allowed)."""
+
+    def __init__(self, cardinalities):
+        cardinalities = [int(c) for c in cardinalities]
+        if not cardinalities or any(c < 1 for c in cardinalities):
+            raise DataError("cardinalities must be positive")
+        self.cardinalities = cardinalities
+        # Attribute j stores value+1 in [0, card]; 0 encodes wildcard.
+        self.widths = [max(1, c.bit_length()) for c in cardinalities]
+        self.offsets = []
+        offset = 0
+        for width in self.widths:
+            self.offsets.append(offset)
+            offset += width
+        self.total_bits = offset
+
+    @classmethod
+    def from_table(cls, table):
+        return cls(
+            [table.domain_size(name) for name in table.schema.dimensions]
+        )
+
+    @property
+    def fits(self):
+        """True if packed keys fit a signed int64."""
+        return self.total_bits <= _MAX_BITS
+
+    @property
+    def arity(self):
+        return len(self.cardinalities)
+
+    # ------------------------------------------------------------------
+    # Packing
+    # ------------------------------------------------------------------
+
+    def pack_columns(self, columns):
+        """Pack aligned code columns (no wildcards) into int64 keys."""
+        self._require_fits()
+        packed = np.zeros(len(columns[0]), dtype=np.int64)
+        for j, col in enumerate(columns):
+            packed += (col.astype(np.int64) + 1) << self.offsets[j]
+        return packed
+
+    def pack_values(self, values):
+        """Pack one tuple (wildcards allowed) into an int key."""
+        self._require_fits()
+        key = 0
+        for j, v in enumerate(values):
+            if v != WILDCARD:
+                key += (int(v) + 1) << self.offsets[j]
+        return key
+
+    def masked_term(self, column, agree, attribute):
+        """Vectorized packing term: (value+1)<<offset where agreeing, 0 else.
+
+        Used by the LCA kernels: summing terms over attributes yields
+        the packed LCA keys directly.
+        """
+        self._require_fits()
+        shifted = (column.astype(np.int64) + 1) << self.offsets[attribute]
+        return np.where(agree, shifted, 0)
+
+    # ------------------------------------------------------------------
+    # Unpacking
+    # ------------------------------------------------------------------
+
+    def unpack(self, key):
+        """Decode one key back to a tuple with WILDCARD entries."""
+        return tuple(int(v) for v in self.unpack_batch(np.array([key]))[0])
+
+    def unpack_batch(self, keys):
+        """Decode an int64 key array to an (n, d) matrix of codes/-1."""
+        self._require_fits()
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.empty((keys.size, self.arity), dtype=np.int64)
+        for j in range(self.arity):
+            field = (keys >> self.offsets[j]) & ((1 << self.widths[j]) - 1)
+            out[:, j] = field - 1
+        return out
+
+    def _require_fits(self):
+        if not self.fits:
+            raise DataError(
+                "row codec needs %d bits (> %d); use the row-matrix "
+                "fallback" % (self.total_bits, _MAX_BITS)
+            )
+
+
+def group_packed(keys, weight_columns):
+    """Group packed keys, summing each weight column per distinct key.
+
+    Returns ``(unique_keys, sums)`` where ``sums`` has one row per
+    weight column aligned with ``unique_keys``.
+    """
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    inverse = inverse.ravel()
+    sums = [
+        np.bincount(inverse, weights=w, minlength=uniq.size)
+        for w in weight_columns
+    ]
+    return uniq, sums
+
+
+def group_rows_fallback(rows, weight_columns):
+    """Row-matrix grouping for codecs that do not fit 63 bits.
+
+    ``rows`` is an (n, d) int matrix; semantics match
+    :func:`group_packed` with tuple keys.
+    """
+    uniq, inverse = np.unique(rows, axis=0, return_inverse=True)
+    inverse = inverse.ravel()
+    sums = [
+        np.bincount(inverse, weights=w, minlength=uniq.shape[0])
+        for w in weight_columns
+    ]
+    return uniq, sums

@@ -1,0 +1,163 @@
+"""Mining configuration and the Table 4.2 variant presets."""
+
+from repro.common.errors import ConfigError
+
+
+class SirumConfig:
+    """All knobs of the SIRUM miner.
+
+    Parameters
+    ----------
+    k:
+        Number of rules to generate *in addition to* the all-wildcards
+        rule added first (thesis Algorithm 2).
+    sample_size:
+        |s|, the candidate-pruning sample size (default 64, §3.3).
+    epsilon:
+        Iterative-scaling convergence threshold (default 0.01, §5.1.1).
+    use_broadcast_join:
+        Broadcast the sample/rule list instead of shuffling D (§3.2).
+        Off only for Naive SIRUM.
+    use_rct:
+        Fast iterative scaling via the Rule Coverage Table (§4.1).
+    use_fast_pruning:
+        Inverted-index LCA computation (§4.2).
+    num_column_groups:
+        None for single-stage ancestor generation; an integer >= 2
+        enables the §4.3 column-grouped multi-stage pipeline.
+    rules_per_iteration:
+        Mutually-disjoint rules added per iteration (§4.4).
+    top_fraction / min_gain_ratio:
+        Multi-rule eligibility: extra rules must rank in the top
+        fraction of candidates and reach this fraction of the top gain.
+    exhaustive:
+        Disable sample-based pruning and enumerate the full data cube
+        (the §5.6.2 cube-exploration setting).
+    sample_data_fraction:
+        "SIRUM on sample data" (§4.5): mine over this fraction of D.
+    target_kl:
+        If set, keep adding rules past ``k`` until the KL-divergence
+        drops to this value (the *-variants of §5.5) or ``max_rules``
+        is reached.
+    max_rules:
+        Hard cap on generated rules (default 4 * k).
+    eliminate_redundant:
+        Drop candidate rules whose support set equals a more general
+        candidate's (thesis §7 future work); the surviving rules'
+        gains — and hence the mined rule set's quality — are unchanged.
+    reset_lambdas:
+        Re-start all multipliers at 1 whenever a rule is added — the
+        prior-work behaviour of [29] that §5.6.2 shows is expensive.
+    num_partitions:
+        Input partitions; defaults to executors x cores (the thesis
+        uses 384 on 16 x 24 cores).
+    seed:
+        Seed for sampling and column-group shuffling.
+    """
+
+    def __init__(
+        self,
+        k=10,
+        sample_size=64,
+        epsilon=0.01,
+        use_broadcast_join=True,
+        use_rct=False,
+        use_fast_pruning=False,
+        num_column_groups=None,
+        rules_per_iteration=1,
+        top_fraction=0.01,
+        min_gain_ratio=0.5,
+        exhaustive=False,
+        sample_data_fraction=None,
+        target_kl=None,
+        max_rules=None,
+        eliminate_redundant=False,
+        reset_lambdas=False,
+        num_partitions=None,
+        max_scaling_iterations=10_000,
+        seed=0,
+    ):
+        if k < 1:
+            raise ConfigError("k must be at least 1")
+        if sample_size < 1:
+            raise ConfigError("sample_size must be at least 1")
+        if epsilon <= 0:
+            raise ConfigError("epsilon must be positive")
+        if rules_per_iteration < 1:
+            raise ConfigError("rules_per_iteration must be at least 1")
+        if not 0.0 < top_fraction <= 1.0:
+            raise ConfigError("top_fraction must be in (0, 1]")
+        if not 0.0 <= min_gain_ratio <= 1.0:
+            raise ConfigError("min_gain_ratio must be in [0, 1]")
+        if num_column_groups is not None and num_column_groups < 2:
+            raise ConfigError("num_column_groups must be None or >= 2")
+        if sample_data_fraction is not None and not 0.0 < sample_data_fraction <= 1.0:
+            raise ConfigError("sample_data_fraction must be in (0, 1]")
+        if target_kl is not None and target_kl < 0:
+            raise ConfigError("target_kl must be non-negative")
+        if max_rules is not None and max_rules < k:
+            raise ConfigError("max_rules must be at least k")
+        if num_partitions is not None and num_partitions < 1:
+            raise ConfigError("num_partitions must be at least 1")
+        if max_scaling_iterations < 1:
+            raise ConfigError("max_scaling_iterations must be at least 1")
+        self.k = k
+        self.sample_size = sample_size
+        self.epsilon = epsilon
+        self.use_broadcast_join = use_broadcast_join
+        self.use_rct = use_rct
+        self.use_fast_pruning = use_fast_pruning
+        self.num_column_groups = num_column_groups
+        self.rules_per_iteration = rules_per_iteration
+        self.top_fraction = top_fraction
+        self.min_gain_ratio = min_gain_ratio
+        self.exhaustive = exhaustive
+        self.sample_data_fraction = sample_data_fraction
+        self.target_kl = target_kl
+        self.max_rules = max_rules if max_rules is not None else 4 * k
+        self.eliminate_redundant = eliminate_redundant
+        self.reset_lambdas = reset_lambdas
+        self.num_partitions = num_partitions
+        self.max_scaling_iterations = max_scaling_iterations
+        self.seed = seed
+
+    def replace(self, **overrides):
+        """Return a copy with the given fields replaced."""
+        fields = dict(self.__dict__)
+        if fields["max_rules"] == 4 * fields["k"] and "max_rules" not in overrides:
+            # Keep the default max_rules tracking k when only k changes.
+            fields.pop("max_rules")
+        fields.update(overrides)
+        return SirumConfig(**fields)
+
+
+#: Optimization bundles of thesis Table 4.2, applied over a base config.
+VARIANT_FLAGS = {
+    "naive": {"use_broadcast_join": False},
+    "baseline": {},
+    "rct": {"use_rct": True},
+    "fastpruning": {"use_fast_pruning": True},
+    "fastancestor": {"num_column_groups": 2},
+    "multirule": {"rules_per_iteration": 2},
+    "optimized": {
+        "use_rct": True,
+        "use_fast_pruning": True,
+        "num_column_groups": 2,
+        "rules_per_iteration": 2,
+    },
+}
+
+
+def variant_config(name, base=None, **overrides):
+    """Build the config for a named Table 4.2 variant."""
+    try:
+        flags = VARIANT_FLAGS[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown variant %r; choose from %s"
+            % (name, ", ".join(sorted(VARIANT_FLAGS)))
+        ) from None
+    base = base or SirumConfig()
+    merged = dict(flags)
+    merged.update(overrides)
+    return base.replace(**merged)

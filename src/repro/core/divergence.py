@@ -1,0 +1,77 @@
+"""KL-divergence, entropy and the information-gain estimate.
+
+Thesis §2.3 measures rule-set quality as the KL-divergence between the
+(normalized) true measure distribution t[m] and the maximum-entropy
+estimate t[m-hat]; §2.4 (Eq. 2.2) scores a candidate rule by the gain
+estimate  gain(r) = S_m * log(S_m / S_mhat)  over its covered tuples,
+which avoids running iterative scaling per candidate.
+"""
+
+import numpy as np
+
+from repro.common.errors import DataError
+
+
+def kl_divergence(m, mhat):
+    """KL-divergence between normalized ``m`` and ``mhat`` (natural log).
+
+    Both arrays are normalized to probability vectors first, matching
+    the thesis's "after normalization" usage.  Entries where m is 0
+    contribute 0 (0 log 0 = 0); a positive m opposite a zero mhat is
+    undefined and raises :class:`DataError` (absolute continuity).
+    """
+    m = np.asarray(m, dtype=np.float64)
+    mhat = np.asarray(mhat, dtype=np.float64)
+    if m.shape != mhat.shape:
+        raise DataError("kl_divergence requires equal-length arrays")
+    if np.any(m < 0) or np.any(mhat < 0):
+        raise DataError("kl_divergence requires non-negative inputs")
+    m_total = m.sum()
+    mhat_total = mhat.sum()
+    if m_total <= 0 or mhat_total <= 0:
+        raise DataError("kl_divergence requires positive totals")
+    p = m / m_total
+    q = mhat / mhat_total
+    support = p > 0
+    if np.any(q[support] <= 0):
+        raise DataError("mhat must be positive wherever m is positive")
+    return float(np.sum(p[support] * np.log(p[support] / q[support])))
+
+
+def entropy(values):
+    """Shannon entropy (natural log) of a normalized value vector."""
+    values = np.asarray(values, dtype=np.float64)
+    if np.any(values < 0):
+        raise DataError("entropy requires non-negative inputs")
+    total = values.sum()
+    if total <= 0:
+        raise DataError("entropy requires a positive total")
+    p = values / total
+    p = p[p > 0]
+    return float(-np.sum(p * np.log(p)))
+
+
+def information_gain(sum_m, sum_mhat):
+    """Candidate-rule gain estimate, thesis Eq. 2.2.
+
+    ``sum_m`` and ``sum_mhat`` are the covered tuples' measure and
+    estimate totals.  A rule whose support is underestimated
+    (sum_m > sum_mhat) gets positive gain; a rule already in the rule
+    set satisfies sum_m == sum_mhat and gets gain 0.
+    """
+    if sum_m <= 0:
+        # 0 * log(0/x) = 0; negative sums cannot occur on transformed
+        # measures but are clamped defensively.
+        return 0.0
+    if sum_mhat <= 0:
+        raise DataError("sum_mhat must be positive when sum_m is positive")
+    return float(sum_m * np.log(sum_m / sum_mhat))
+
+
+def rule_set_information_gain(m, mhat_root_only, mhat_full):
+    """Information gain of a rule set (thesis §5.1).
+
+    Defined as the KL-divergence using just the all-wildcards rule minus
+    the KL-divergence using the full rule set.
+    """
+    return kl_divergence(m, mhat_root_only) - kl_divergence(m, mhat_full)

@@ -1,0 +1,67 @@
+"""Inverted index over the candidate-pruning sample — thesis §4.2.
+
+Fast candidate pruning initializes every LCA to all-wildcards and uses
+a per-attribute inverted index over the sample to locate only the
+positions where a data tuple *agrees* with a sample tuple, replacing
+those wildcards with constants.  The expected number of operations
+drops from |s| * d comparisons per data tuple to d index lookups plus
+one write per agreement (§4.2's analysis).
+"""
+
+import numpy as np
+
+from repro.common.errors import DataError
+
+
+class SampleInvertedIndex:
+    """Per-attribute map from attribute code to matching sample rows."""
+
+    def __init__(self, sample_rows, arity):
+        """Build the index from encoded sample tuples.
+
+        Parameters
+        ----------
+        sample_rows:
+            Sequence of encoded dimension tuples (the sample ``s``).
+        arity:
+            Number of dimension attributes ``d``.
+        """
+        if not sample_rows:
+            raise DataError("cannot index an empty sample")
+        for row in sample_rows:
+            if len(row) != arity:
+                raise DataError("sample tuple arity mismatch")
+        self.arity = arity
+        self.num_sample_rows = len(sample_rows)
+        self._postings = [dict() for _ in range(arity)]
+        for sid, row in enumerate(sample_rows):
+            for j, code in enumerate(row):
+                self._postings[j].setdefault(int(code), []).append(sid)
+        # Freeze postings as arrays for vectorized use.
+        for j in range(arity):
+            self._postings[j] = {
+                code: np.asarray(ids, dtype=np.int64)
+                for code, ids in self._postings[j].items()
+            }
+
+    def lookup(self, attribute, code):
+        """Sample row ids whose ``attribute`` equals ``code``."""
+        if not 0 <= attribute < self.arity:
+            raise DataError("attribute index out of range")
+        return self._postings[attribute].get(
+            int(code), np.empty(0, dtype=np.int64)
+        )
+
+    def postings_sizes(self, attribute):
+        """Map of code -> posting-list length for one attribute."""
+        return {
+            code: ids.size for code, ids in self._postings[attribute].items()
+        }
+
+    def estimated_bytes(self):
+        """Broadcast size of the index (it ships with the sample)."""
+        total = 0
+        for postings in self._postings:
+            for ids in postings.values():
+                total += ids.nbytes + 16
+        return total

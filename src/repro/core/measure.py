@@ -1,0 +1,57 @@
+"""Measure preconditioning for the maximum-entropy formulation.
+
+Thesis §2.2: the max-ent optimization assumes t[m] >= 0 and a non-zero
+total (with the all-wildcards rule selected first, any positive total C
+works; normalization to 1 is unnecessary).  This module implements the
+reduction transformations of §2.2 — shift negative measures, lift an
+all-zero total — and their inverses, so mined estimates can be reported
+in the measure's original units.
+"""
+
+import numpy as np
+
+from repro.common.errors import DataError
+
+
+class MeasureTransform:
+    """Invertible preconditioning of a raw measure column.
+
+    ``forward`` was already applied to produce :attr:`transformed`;
+    :meth:`inverse` maps estimate arrays back to original units.
+    """
+
+    def __init__(self, shift, transformed):
+        self.shift = shift
+        self.transformed = transformed
+
+    @classmethod
+    def fit(cls, measure):
+        """Precondition ``measure`` per the rules of thesis §2.2.
+
+        1. If any value is negative, subtract the minimum M (M <= t[m]
+           for all t), making all values non-negative.
+        2. If the total is then zero (all zeros), add 1/|D| per tuple so
+           the total is 1.
+        """
+        measure = np.asarray(measure, dtype=np.float64)
+        if measure.size == 0:
+            raise DataError("cannot transform an empty measure column")
+        if not np.all(np.isfinite(measure)):
+            raise DataError("measure column contains non-finite values")
+        shift = 0.0
+        minimum = float(measure.min())
+        if minimum < 0:
+            shift = -minimum
+        transformed = measure + shift
+        if transformed.sum() == 0:
+            shift += 1.0 / measure.size
+            transformed = transformed + 1.0 / measure.size
+        return cls(shift, transformed)
+
+    def inverse(self, estimates):
+        """Map transformed-space estimates back to original units."""
+        return np.asarray(estimates, dtype=np.float64) - self.shift
+
+    @property
+    def is_identity(self):
+        return self.shift == 0.0

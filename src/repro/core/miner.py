@@ -1,0 +1,751 @@
+"""The SIRUM mining driver — thesis Algorithms 2 and 3 with every
+Chapter 4 optimization behind a configuration flag.
+
+Structure of one mining run (:meth:`Sirum.mine`):
+
+1. *load* — first pass over the partitioned input (charged as HDFS
+   reads; subsequent passes hit the storage cache unless evicted).
+2. Add the all-wildcards rule and scale it (§2.2 requires it first).
+3. Repeat until k rules (or the KL target of a *-variant) are reached:
+   candidate pruning -> ancestor generation -> gain scoring -> select
+   one or more disjoint rules (§4.4) -> iterative scaling (Algorithm 1
+   against D, or Algorithm 3 against the RCT).
+
+Use :func:`mine` for the one-call API, or construct a
+:class:`Sirum` with a :class:`~repro.core.config.SirumConfig` /
+:func:`~repro.core.config.variant_config` preset.
+"""
+
+import numpy as np
+
+from repro.common.errors import ConfigError, DataError
+from repro.common.rng import make_rng
+from repro.common.timing import Stopwatch
+from repro.core import candidates as cand
+from repro.core import lattice
+from repro.core.config import SirumConfig, VARIANT_FLAGS, variant_config
+from repro.core.divergence import kl_divergence
+from repro.core.index import SampleInvertedIndex
+from repro.core.rct import iterative_scale_rct
+from repro.core.result import MinedRule, MiningResult, RuleSet
+from repro.core.rule import Rule
+from repro.core.codec import RowCodec, group_packed
+from repro.core.lattice_packed import (
+    generate_ancestors_packed,
+    match_counts_packed,
+)
+from repro.core.sampling import (
+    draw_sample_rows,
+    lca_aggregates_baseline,
+    lca_aggregates_fast,
+    lca_aggregates_packed,
+    sample_match_counts,
+)
+from repro.core.scaling import iterative_scale
+from repro.core.session import MiningSession
+from repro.engine.cluster import ClusterContext
+from repro.engine.cost import ClusterSpec, CostModel
+
+#: Serialized size estimate of one combiner-output (rule, aggregates)
+#: pair — a packed rule key plus aggregate deltas.
+PAIR_BYTES = 8
+
+#: Cost units (in comparisons) of emitting one ancestor instance into
+#: the combiner: hash probe plus aggregate add.
+EMIT_UNITS = 1
+
+#: Named optimization bundles (thesis Table 4.2).
+VARIANTS = dict(VARIANT_FLAGS)
+
+
+def make_default_cluster(
+    num_executors=4,
+    cores_per_executor=4,
+    executor_memory_bytes=512 * 1024**2,
+    straggler_sigma=0.0,
+    seed=7,
+    cost_model=None,
+):
+    """A small local cluster suitable for tests and examples."""
+    spec = ClusterSpec(
+        num_executors=num_executors,
+        cores_per_executor=cores_per_executor,
+        executor_memory_bytes=executor_memory_bytes,
+        straggler_sigma=straggler_sigma,
+        seed=seed,
+    )
+    return ClusterContext(spec, cost_model or CostModel())
+
+
+def mine(table, k=10, variant="optimized", cluster=None, prior_rules=None,
+         **config_overrides):
+    """One-call mining API.
+
+    >>> result = mine(flight_table(), k=3, variant="optimized")
+
+    ``variant`` is a Table 4.2 preset name; extra keyword arguments
+    override any :class:`SirumConfig` field.
+    """
+    config = variant_config(variant, k=k, **config_overrides)
+    return Sirum(config).mine(table, cluster=cluster, prior_rules=prior_rules)
+
+
+class Sirum:
+    """Configured miner; see the module docstring for the pipeline."""
+
+    def __init__(self, config=None):
+        self.config = config or SirumConfig()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def mine(self, table, cluster=None, prior_rules=None,
+             sample_rows=None):
+        """Mine informative rules from ``table``.
+
+        Parameters
+        ----------
+        table:
+            The input :class:`~repro.data.table.Table`.
+        cluster:
+            A :class:`ClusterContext`; a small default is created if
+            omitted.  Metrics accumulate in the cluster across calls —
+            pass a fresh one (or call ``reset_metrics``) per experiment.
+        prior_rules:
+            Rules representing knowledge the user already has (data
+            cube exploration, thesis Table 1.3); they are scaled in
+            before mining and do not count toward ``k``.
+        sample_rows:
+            Encoded dimension tuples to use as the candidate-pruning
+            sample s instead of drawing one from the table (streaming
+            SIRUM supplies its reservoir here).
+        """
+        wall = Stopwatch().start()
+        cfg = self.config
+        cluster = cluster or make_default_cluster()
+        rng = make_rng(cfg.seed)
+
+        mined_table = table
+        if cfg.sample_data_fraction is not None and cfg.sample_data_fraction < 1.0:
+            mined_table = table.sample_fraction(cfg.sample_data_fraction, rng)
+
+        session = MiningSession(cluster, mined_table, cfg.num_partitions)
+        self._load(session)
+
+        arity = mined_table.schema.arity
+        sample_index = None
+        if cfg.exhaustive:
+            sample_rows = None
+        else:
+            if sample_rows is None:
+                sample_rows = draw_sample_rows(
+                    mined_table, cfg.sample_size, rng
+                )
+            else:
+                sample_rows = [tuple(int(v) for v in row)
+                               for row in sample_rows]
+            if cfg.use_fast_pruning:
+                sample_index = SampleInvertedIndex(sample_rows, arity)
+        column_groups = None
+        if cfg.num_column_groups is not None:
+            column_groups = lattice.make_column_groups(
+                arity, min(cfg.num_column_groups, arity), seed=cfg.seed
+            )
+
+        rules = [Rule.all_wildcards(arity)]
+        gains = [0.0]
+        iteration_added = [0]
+        charge_phase = "iterative_scaling" if cfg.use_rct else None
+        session.add_rule_coverage(rules[0], charge_phase=charge_phase)
+        lambdas = np.ones(1)
+        lambdas, iters = self._scale(session, lambdas)
+        scaling_iterations = iters
+
+        num_prior = 0
+        if prior_rules:
+            for rule in prior_rules:
+                rule = rule if isinstance(rule, Rule) else Rule(rule)
+                if rule.arity != arity:
+                    raise ConfigError("prior rule arity mismatch")
+                if rule in rules:
+                    continue
+                rules.append(rule)
+                gains.append(0.0)
+                iteration_added.append(0)
+                session.add_rule_coverage(rule, charge_phase=charge_phase)
+            num_prior = len(rules) - 1
+            lambdas = np.concatenate(
+                [lambdas, np.ones(len(rules) - lambdas.size)]
+            )
+            lambdas, iters = self._scale(session, lambdas)
+            scaling_iterations += iters
+
+        kl_trace = [kl_divergence(session.measure, session.estimates)]
+        ancestors_emitted = 0
+        candidates_scored = 0
+        iteration = 0
+        while self._should_continue(len(rules) - 1 - num_prior, kl_trace[-1]):
+            iteration += 1
+            candidate_set = self._generate_candidates(
+                session, sample_rows, sample_index, column_groups
+            )
+            ancestors_emitted += candidate_set.emitted_pairs
+            candidates_scored += len(candidate_set)
+            picked = cand.select_rules(
+                candidate_set,
+                rules,
+                rules_per_iteration=cfg.rules_per_iteration,
+                top_fraction=cfg.top_fraction,
+                min_gain_ratio=cfg.min_gain_ratio,
+            )
+            if not picked:
+                break
+            for rule, gain in picked:
+                rules.append(rule)
+                gains.append(gain)
+                iteration_added.append(iteration)
+                session.add_rule_coverage(rule, charge_phase=charge_phase)
+            lambdas = np.concatenate([lambdas, np.ones(len(picked))])
+            lambdas, iters = self._scale(session, lambdas)
+            scaling_iterations += iters
+            kl_trace.append(kl_divergence(session.measure, session.estimates))
+
+        return self._build_result(
+            table,
+            mined_table,
+            session,
+            rules,
+            gains,
+            iteration_added,
+            lambdas,
+            kl_trace,
+            cluster,
+            wall,
+            scaling_iterations,
+            ancestors_emitted,
+            candidates_scored,
+        )
+
+    # ------------------------------------------------------------------
+    # Pipeline pieces
+    # ------------------------------------------------------------------
+
+    def _should_continue(self, num_generated, kl):
+        cfg = self.config
+        if num_generated >= cfg.max_rules:
+            return False
+        if num_generated < cfg.k:
+            return True
+        if cfg.target_kl is not None and kl > cfg.target_kl:
+            return True
+        return False
+
+    def _load(self, session):
+        """Initial scan: every partition is read from (simulated) HDFS."""
+
+        def kernel(tc, part):
+            tc.add_records(part.num_rows)
+            return None
+
+        session.run_over_data(kernel, phase="load")
+
+    def _generate_candidates(self, session, sample_rows, sample_index,
+                             column_groups):
+        if self.config.exhaustive:
+            candidates = self._generate_exhaustive(session)
+        else:
+            candidates = self._generate_pruned(
+                session, sample_rows, sample_index, column_groups
+            )
+        if self.config.eliminate_redundant:
+            from repro.core.redundancy import filter_candidate_set
+
+            with session.cluster.phase("gain"):
+                before = len(candidates)
+                candidates = filter_candidate_set(candidates)
+                session.cluster.metrics.charge(
+                    before * (session.table.schema.arity + 1)
+                    * session.cluster.cost.light_op_seconds
+                )
+                session.cluster.metrics.increment(
+                    "redundant_candidates", before - len(candidates)
+                )
+        return candidates
+
+    def _generate_pruned(self, session, sample_rows, sample_index,
+                         column_groups):
+        """Sample-pruned generation: LCAs -> ancestors -> gains.
+
+        Runs on packed int64 rule keys whenever the table's codec fits
+        63 bits (every thesis dataset does); otherwise falls back to
+        tuple-keyed dicts.  Both paths produce identical candidates.
+        """
+        cfg = self.config
+        cluster = session.cluster
+        arity = session.table.schema.arity
+        codec = session.codec
+        packed = codec is not None and codec.fits
+
+        with cluster.phase("candidate_pruning"):
+            if cfg.use_broadcast_join:
+                payload = len(sample_rows) * arity * 8
+                if sample_index is not None:
+                    payload += sample_index.estimated_bytes()
+                cluster.broadcast(None, payload)
+
+            def prune_kernel(tc, part):
+                measure = session.partition_slice(part, session.measure)
+                estimates = session.partition_slice(part, session.estimates)
+                if packed:
+                    return lca_aggregates_packed(
+                        part.columns, measure, estimates, sample_rows,
+                        codec, index=sample_index, tc=tc,
+                    )
+                if sample_index is not None:
+                    return lca_aggregates_fast(
+                        part.columns, measure, estimates, sample_index,
+                        sample_rows, tc,
+                    )
+                return lca_aggregates_baseline(
+                    part.columns, measure, estimates, sample_rows, tc
+                )
+                # The LCA table is consumed by the ancestor mappers in
+                # place (a narrow dependency) -- no shuffle here.
+
+            stage = session.run_over_data(
+                prune_kernel,
+                shuffle_data=not cfg.use_broadcast_join,
+            )
+            partition_lcas = stage.outputs
+
+        with cluster.phase("ancestor_generation"):
+            if packed:
+                keys, aggs, emitted = self._ancestor_stages_packed(
+                    cluster, session, partition_lcas, column_groups, codec
+                )
+            else:
+                aggregates, emitted = self._run_ancestor_stages(
+                    cluster, session, partition_lcas, column_groups
+                )
+
+        with cluster.phase("gain"):
+            if packed:
+                return self._score_candidates_packed(
+                    cluster, session, keys, aggs, emitted, sample_rows,
+                    codec,
+                )
+            return self._score_candidates(
+                cluster, session, aggregates, emitted, sample_rows
+            )
+
+    def _ancestor_stages_packed(self, cluster, session, partition_lcas,
+                                column_groups, codec):
+        """Vectorized ancestor generation over packed keys (see
+        :mod:`repro.core.lattice_packed`); staging and metering mirror
+        :meth:`_run_ancestor_stages` exactly."""
+        rounds = [None] if column_groups is None else list(column_groups)
+        emitted_total = 0
+        keys = aggs = None
+        for round_index, group in enumerate(rounds):
+            if round_index == 0:
+                chunks = list(partition_lcas)
+            else:
+                chunks = _chunk_arrays(keys, aggs, session.num_partitions)
+            weighted = round_index == 0
+
+            def kernel(tc, chunk, group=group, weighted=weighted):
+                in_keys, in_aggs = chunk
+                out_keys, out_aggs, emitted = generate_ancestors_packed(
+                    in_keys, in_aggs, codec, group=group,
+                    instance_weighted=weighted,
+                )
+                tc.add_ops(emitted * EMIT_UNITS)
+                # Combiner output is candidate-scale: its shuffle is
+                # negligible at real data sizes, so only the mapper CPU
+                # (ops above) is charged.
+                tc.add_light_ops(in_keys.size + out_keys.size)
+                return out_keys, out_aggs, emitted
+
+            stage = cluster.run_stage(
+                kernel, chunks, name="ancestor_generation",
+            )
+            emitted_total += sum(e for _, _, e in stage.outputs)
+            all_keys = np.concatenate([k for k, _, _ in stage.outputs])
+            all_aggs = np.concatenate([a for _, a, _ in stage.outputs])
+            keys, sums = group_packed(
+                all_keys, [all_aggs[:, 0], all_aggs[:, 1], all_aggs[:, 2]]
+            )
+            aggs = np.stack(sums, axis=1)
+        return keys, aggs, emitted_total
+
+    def _score_candidates_packed(self, cluster, session, keys, aggs,
+                                 emitted, sample_rows, codec):
+        """Packed-key multiplicity correction + gains (see
+        :meth:`_score_candidates`)."""
+        chunk_bounds = _chunk_bounds(keys.size, session.num_partitions)
+
+        def kernel(tc, bounds):
+            start, stop = bounds
+            counts = match_counts_packed(
+                keys[start:stop], sample_rows, codec
+            )
+            tc.add_light_ops((stop - start) * (len(sample_rows) + 1))
+            return counts
+
+        stage = cluster.run_stage(kernel, chunk_bounds, name="gain")
+        multiplicities = np.concatenate(stage.outputs)
+        if np.any(multiplicities == 0):
+            raise DataError(
+                "candidate failed the sample-multiplicity invariant"
+            )
+        corrected = aggs / multiplicities[:, None]
+        gains = cand._gains(corrected[:, 0], corrected[:, 1])
+        return cand.CandidateSet(
+            None,
+            corrected[:, 0],
+            corrected[:, 1],
+            corrected[:, 2],
+            gains,
+            emitted,
+            keys=keys,
+            codec=codec,
+        )
+
+    def _run_ancestor_stages(self, cluster, session, partition_lcas,
+                             column_groups):
+        """Dict-path ancestor generation (codec does not fit 63 bits).
+
+        The first round runs over each data partition's own LCA table --
+        the same mappers that produced the LCAs walk their |s| x n_p
+        pair instances -- so emission work is spread the way the real
+        pipeline spreads it.  Later rounds (column grouping) run over
+        chunks of the previous round's reduced output.
+        """
+        emitted_total = 0
+        if column_groups is None:
+            rounds = [None]
+        else:
+            rounds = column_groups
+        current = None
+        for round_index, group in enumerate(rounds):
+            if round_index == 0:
+                chunks = [
+                    {Rule(key): tuple(agg) for key, agg in acc.items()}
+                    for acc in partition_lcas
+                ]
+            else:
+                chunks = _chunk_dict(current, session.num_partitions)
+            weighted = round_index == 0
+
+            def kernel(tc, chunk, group=group, weighted=weighted):
+                # First round: mappers emit once per LCA *instance* of
+                # the |s| x |D| join (agg[2] pairs per distinct LCA);
+                # later rounds walk the previous round's reduced output.
+                partial = {}
+                emitted = 0
+                for rule, agg in chunk.items():
+                    weight = int(agg[2]) if weighted else 1
+                    count = 0
+                    if group is None:
+                        ancestors = rule.ancestors()
+                    else:
+                        ancestors = lattice.ancestors_within_group(rule, group)
+                    for ancestor in ancestors:
+                        count += 1
+                        existing = partial.get(ancestor)
+                        if existing is None:
+                            partial[ancestor] = agg
+                        else:
+                            partial[ancestor] = tuple(
+                                a + b for a, b in zip(existing, agg)
+                            )
+                    emitted += weight * count
+                tc.add_ops(emitted * EMIT_UNITS)
+                tc.add_light_ops(len(chunk) + len(partial))
+                return partial, emitted
+
+            stage = cluster.run_stage(
+                kernel, chunks, name="ancestor_generation"
+            )
+            merged = {}
+            for partial, emitted in stage.outputs:
+                emitted_total += emitted
+                for rule, agg in partial.items():
+                    existing = merged.get(rule)
+                    if existing is None:
+                        merged[rule] = agg
+                    else:
+                        merged[rule] = tuple(
+                            a + b for a, b in zip(existing, agg)
+                        )
+            current = merged
+        return current, emitted_total
+
+    def _score_candidates(self, cluster, session, aggregates, emitted,
+                          sample_rows):
+        """Multiplicity correction (S3.1.1) + Eq. 2.2 gains, chunked."""
+        rules = list(aggregates.keys())
+        raw = np.asarray([aggregates[r] for r in rules], dtype=np.float64)
+        if raw.size == 0:
+            raise DataError("candidate generation produced no rules")
+        chunk_bounds = _chunk_bounds(len(rules), session.num_partitions)
+
+        def kernel(tc, bounds):
+            start, stop = bounds
+            rows = [r.values for r in rules[start:stop]]
+            counts = sample_match_counts(rows, sample_rows)
+            # Per distinct candidate: |s| sample matches + one gain.
+            tc.add_light_ops((stop - start) * (len(sample_rows) + 1))
+            return counts
+
+        stage = cluster.run_stage(kernel, chunk_bounds, name="gain")
+        multiplicities = np.concatenate(stage.outputs)
+        if np.any(multiplicities == 0):
+            raise DataError(
+                "candidate failed the sample-multiplicity invariant"
+            )
+        corrected = raw / multiplicities[:, None]
+        gains = cand._gains(corrected[:, 0], corrected[:, 1])
+        return cand.CandidateSet(
+            rules,
+            corrected[:, 0],
+            corrected[:, 1],
+            corrected[:, 2],
+            gains,
+            emitted,
+        )
+
+    def _generate_exhaustive(self, session):
+        """Full-cube candidate generation (cube-exploration mode)."""
+        cluster = session.cluster
+
+        with cluster.phase("ancestor_generation"):
+
+            def kernel(tc, part):
+                measure = session.partition_slice(part, session.measure)
+                estimates = session.partition_slice(part, session.estimates)
+                acc, emitted = cand.generate_exhaustive(
+                    part.columns, measure, estimates, tc
+                )
+                tc.add_light_ops(len(acc))
+                return acc, emitted
+
+            stage = session.run_over_data(kernel)
+            merged = cand.merge_exhaustive([acc for acc, _ in stage.outputs])
+            emitted = sum(e for _, e in stage.outputs)
+
+        with cluster.phase("gain"):
+            candidate_set = cand.candidate_set_from_cube(merged, emitted)
+            cluster.metrics.charge(
+                len(candidate_set) * cluster.cost.light_op_seconds
+            )
+        return candidate_set
+
+    # ------------------------------------------------------------------
+    # Iterative scaling (Algorithm 1 vs Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def _scale(self, session, lambdas):
+        cfg = self.config
+        if cfg.reset_lambdas:
+            # Prior-work behaviour ([29], §5.6.2): forget all multipliers
+            # and re-scale the full rule set from scratch.
+            lambdas = np.ones(len(session.masks))
+            session.estimates[:] = 1.0
+        if cfg.use_rct:
+            return self._scale_rct(session, lambdas)
+        return self._scale_baseline(session, lambdas)
+
+    def _scale_rct(self, session, lambdas):
+        """Algorithm 3: two passes over D, loop over the RCT."""
+        cluster = session.cluster
+        with cluster.phase("iterative_scaling"):
+            # Pass 1: build the RCT (local group-by + tiny shuffle).
+            def build_kernel(tc, part):
+                tc.add_records(part.num_rows)
+                tc.add_ops(part.num_rows)
+                words = session.bit_matrix._words[part.start:part.stop]
+                local_groups = np.unique(words, axis=0).shape[0]
+                tc.add_output_bytes(local_groups * PAIR_BYTES)
+                return None
+
+            session.run_over_data(build_kernel, shuffle_output=True)
+
+            result = iterative_scale_rct(
+                session.bit_matrix,
+                session.measure,
+                session.estimates,
+                lambdas,
+                epsilon=self.config.epsilon,
+                max_iterations=self.config.max_scaling_iterations,
+            )
+            # Driver-side loop over the broadcast RCT (candidate-scale).
+            cluster.metrics.charge(
+                result.iterations
+                * result.rct.num_groups
+                * max(len(lambdas), 1)
+                * cluster.cost.light_op_seconds
+            )
+            cluster.metrics.increment("rct_groups", result.rct.num_groups)
+
+            # Pass 2: write the converged estimates back.
+            def write_kernel(tc, part):
+                tc.add_records(part.num_rows)
+                return None
+
+            session.run_over_data(write_kernel)
+            session.estimates[:] = result.estimates
+        return result.lambdas, result.iterations
+
+    def _scale_baseline(self, session, lambdas):
+        """Algorithm 1 against D: two metered passes per loop iteration."""
+        cfg = self.config
+        cluster = session.cluster
+        result = iterative_scale(
+            session.masks,
+            session.measure,
+            lambdas=lambdas,
+            estimates=session.estimates,
+            epsilon=cfg.epsilon,
+            max_iterations=cfg.max_scaling_iterations,
+        )
+        num_rules = len(session.masks)
+        arity = session.table.schema.arity
+        with cluster.phase("iterative_scaling"):
+            if cfg.use_broadcast_join:
+                cluster.broadcast(None, num_rules * (arity + 1) * 8)
+            for _ in range(result.iterations):
+                # Pass A: compute every m-hat(r) — evaluates t matches r
+                # attribute by attribute for all rules (§4.1 notes this
+                # re-testing is what the bit arrays remove).
+                def sums_kernel(tc, part):
+                    tc.add_records(part.num_rows)
+                    tc.add_ops(part.num_rows * num_rules * arity)
+                    tc.add_output_bytes(num_rules * PAIR_BYTES)
+                    return None
+
+                session.run_over_data(
+                    sums_kernel,
+                    shuffle_data=not cfg.use_broadcast_join,
+                    shuffle_output=True,
+                )
+
+                # Pass B: update t[m-hat] for tuples matching the scaled
+                # rule (charged as a full pass, as the baseline scans D).
+                def update_kernel(tc, part):
+                    tc.add_records(part.num_rows)
+                    tc.add_ops(part.num_rows)
+                    return None
+
+                session.run_over_data(update_kernel)
+        session.estimates[:] = result.estimates
+        return result.lambdas, result.iterations
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+
+    def _build_result(
+        self,
+        full_table,
+        mined_table,
+        session,
+        rules,
+        gains,
+        iteration_added,
+        lambdas,
+        kl_trace,
+        cluster,
+        wall,
+        scaling_iterations,
+        ancestors_emitted,
+        candidates_scored,
+    ):
+        # Evaluate on the full table: identical to the mining table
+        # except in SIRUM-on-sample-data mode, where rules mined from
+        # the sample are re-fit against all of D (uncharged, §5.7.3).
+        if mined_table is full_table:
+            estimates = session.estimates.copy()
+            measure = session.measure
+            transform = session.transform
+            kl_final = kl_trace[-1]
+        else:
+            measure, estimates, transform = _fit_rules(
+                full_table, rules, self.config
+            )
+            kl_final = kl_divergence(measure, estimates)
+        kl_root = kl_divergence(measure, np.ones_like(measure))
+        info_gain = kl_root - kl_final
+
+        mined_rules = []
+        original_measure = full_table.measure
+        for rule, gain, iteration in zip(rules, gains, iteration_added):
+            mask = rule.match_mask(full_table)
+            count = int(mask.sum())
+            avg = float(original_measure[mask].mean()) if count else float("nan")
+            mined_rules.append(MinedRule(rule, avg, count, gain, iteration))
+
+        wall.stop()
+        return MiningResult(
+            rule_set=RuleSet(mined_rules),
+            lambdas=lambdas,
+            estimates=transform.inverse(estimates),
+            kl_trace=kl_trace,
+            information_gain=info_gain,
+            metrics=cluster.metrics.snapshot(),
+            wall_seconds=wall.elapsed,
+            scaling_iterations=scaling_iterations,
+            ancestors_emitted=ancestors_emitted,
+            candidates_scored=candidates_scored,
+            config=self.config,
+        )
+
+
+def _fit_rules(table, rules, config):
+    """Scale a fixed rule list against ``table`` (no mining, no charges)."""
+    from repro.core.measure import MeasureTransform
+
+    transform = MeasureTransform.fit(table.measure)
+    masks = [rule.match_mask(table) for rule in rules]
+    kept_masks = []
+    for mask in masks:
+        if not mask.any():
+            raise DataError("a mined rule covers no tuples of the full table")
+        kept_masks.append(mask)
+    result = iterative_scale(
+        kept_masks,
+        transform.transformed,
+        epsilon=config.epsilon,
+        max_iterations=config.max_scaling_iterations,
+    )
+    return transform.transformed, result.estimates, transform
+
+
+def _chunk_dict(mapping, num_chunks):
+    """Split a dict into at most ``num_chunks`` sub-dicts."""
+    items = list(mapping.items())
+    num_chunks = max(1, min(num_chunks, len(items))) if items else 1
+    bounds = [len(items) * i // num_chunks for i in range(num_chunks + 1)]
+    return [
+        dict(items[bounds[i]:bounds[i + 1]]) for i in range(num_chunks)
+        if bounds[i] < bounds[i + 1]
+    ] or [dict()]
+
+
+def _chunk_arrays(keys, aggs, num_chunks):
+    """Split aligned (keys, aggs) arrays into chunk pairs."""
+    return [
+        (keys[start:stop], aggs[start:stop])
+        for start, stop in _chunk_bounds(keys.size, num_chunks)
+    ]
+
+
+def _chunk_bounds(n, num_chunks):
+    num_chunks = max(1, min(num_chunks, n))
+    bounds = [n * i // num_chunks for i in range(num_chunks + 1)]
+    return [
+        (bounds[i], bounds[i + 1])
+        for i in range(num_chunks)
+        if bounds[i] < bounds[i + 1]
+    ]

@@ -1,0 +1,166 @@
+"""Mining results: rule sets with aggregates, traces and profiles."""
+
+import numpy as np
+
+from repro.core.rule import Rule
+
+
+class MinedRule:
+    """One selected rule with its dataset aggregates.
+
+    ``avg_measure`` and ``count`` are in the *original* measure units —
+    the AVG(measure) / COUNT(*) columns the thesis's example tables
+    attach to rules (Table 1.2).
+    """
+
+    def __init__(self, rule, avg_measure, count, gain, iteration):
+        self.rule = rule
+        self.avg_measure = avg_measure
+        self.count = count
+        self.gain = gain
+        self.iteration = iteration
+
+    def decode(self, table):
+        return self.rule.decode(table)
+
+    def __repr__(self):
+        return "MinedRule(%r, avg=%.4g, count=%d)" % (
+            self.rule,
+            self.avg_measure,
+            self.count,
+        )
+
+
+class RuleSet:
+    """Ordered list of mined rules (selection order)."""
+
+    def __init__(self, mined_rules):
+        self._rules = list(mined_rules)
+
+    def __len__(self):
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def __getitem__(self, i):
+        return self._rules[i]
+
+    def rules(self):
+        """The bare :class:`Rule` objects, in selection order."""
+        return [mr.rule for mr in self._rules]
+
+    def to_rows(self, table):
+        """Decoded display rows: (values..., avg_measure, count)."""
+        return [
+            mr.decode(table) + (mr.avg_measure, mr.count) for mr in self._rules
+        ]
+
+    def to_markdown(self, table):
+        """Render the rule set like thesis Table 1.2."""
+        header = list(table.schema.dimensions) + [
+            "AVG(%s)" % table.schema.measure,
+            "count",
+        ]
+        lines = ["| " + " | ".join(header) + " |"]
+        lines.append("|" + "---|" * len(header))
+        for row in self.to_rows(table):
+            cells = [str(v) for v in row[:-2]]
+            cells.append("%.4g" % row[-2])
+            cells.append(str(int(row[-1])))
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+
+class MiningResult:
+    """Everything a SIRUM run produces.
+
+    Attributes
+    ----------
+    rule_set:
+        The :class:`RuleSet`, root rule first.
+    lambdas:
+        Converged multipliers, aligned with ``rule_set``.
+    estimates:
+        Per-tuple maximum-entropy estimates of the measure, in original
+        units (the m-hat columns of thesis Table 1.1).
+    kl_trace:
+        KL-divergence after each mining iteration (transformed space).
+    information_gain:
+        KL(root only) - KL(full rule set) — the §5.1 quality metric.
+    metrics:
+        The engine's :class:`MetricsRegistry` snapshot: simulated
+        seconds total and per phase, plus counters.
+    wall_seconds:
+        Host wall-clock duration of the mine() call.
+    scaling_iterations / ancestors_emitted / candidates_scored:
+        Work counters used by the profiling benchmarks.
+    """
+
+    def __init__(
+        self,
+        rule_set,
+        lambdas,
+        estimates,
+        kl_trace,
+        information_gain,
+        metrics,
+        wall_seconds,
+        scaling_iterations,
+        ancestors_emitted,
+        candidates_scored,
+        config,
+    ):
+        self.rule_set = rule_set
+        self.lambdas = np.asarray(lambdas, dtype=np.float64)
+        self.estimates = estimates
+        self.kl_trace = list(kl_trace)
+        self.information_gain = information_gain
+        self.metrics = metrics
+        self.wall_seconds = wall_seconds
+        self.scaling_iterations = scaling_iterations
+        self.ancestors_emitted = ancestors_emitted
+        self.candidates_scored = candidates_scored
+        self.config = config
+
+    @property
+    def final_kl(self):
+        return self.kl_trace[-1] if self.kl_trace else float("nan")
+
+    @property
+    def simulated_seconds(self):
+        return self.metrics["simulated_seconds"]
+
+    def phase_seconds(self, phase):
+        return self.metrics["phase_seconds"].get(phase, 0.0)
+
+    @property
+    def rule_generation_seconds(self):
+        """Simulated time in candidate pruning + ancestors + gain."""
+        phases = ("candidate_pruning", "ancestor_generation", "gain")
+        return sum(self.phase_seconds(p) for p in phases)
+
+    @property
+    def iterative_scaling_seconds(self):
+        return self.phase_seconds("iterative_scaling")
+
+    def summary(self):
+        return (
+            "MiningResult(rules=%d, kl=%.4g, info_gain=%.4g, "
+            "simulated=%.3fs, wall=%.3fs)"
+            % (
+                len(self.rule_set),
+                self.final_kl,
+                self.information_gain,
+                self.simulated_seconds,
+                self.wall_seconds,
+            )
+        )
+
+    def find_rule(self, values):
+        """Locate a mined rule by its (possibly wildcarded) values."""
+        target = Rule(values)
+        for mined in self.rule_set:
+            if mined.rule == target:
+                return mined
+        return None

@@ -1,0 +1,148 @@
+"""Mining session: partitioned dataset state shared across stages.
+
+Holds the partitioned view of the input table plus the evolving mining
+state — the transformed measure, the per-tuple estimates and the rule
+coverage bit matrix — and funnels every pass over D through the
+cluster's stage API so cache behaviour, shuffles and task costs are
+metered consistently.
+"""
+
+import numpy as np
+
+from repro.common.errors import EngineError
+from repro.core.codec import RowCodec
+from repro.core.measure import MeasureTransform
+from repro.core.rct import BitMatrix
+
+
+class DataPartition:
+    """One partition's view of the session state (a task's input)."""
+
+    def __init__(self, index, columns, measure, start, stop, size_bytes):
+        self.index = index
+        self.columns = columns
+        self.measure = measure
+        self.start = start
+        self.stop = stop
+        self.size_bytes = size_bytes
+
+    @property
+    def num_rows(self):
+        return self.stop - self.start
+
+
+class MiningSession:
+    """Partitioned dataset + mining state bound to a cluster."""
+
+    def __init__(self, cluster, table, num_partitions=None):
+        if len(table) == 0:
+            raise EngineError("cannot mine an empty table")
+        self.cluster = cluster
+        self.table = table
+        if num_partitions is None:
+            num_partitions = (
+                cluster.spec.num_executors * cluster.spec.cores_per_executor
+            )
+        num_partitions = max(1, min(num_partitions, len(table)))
+        self.num_partitions = num_partitions
+        n = len(table)
+        bounds = [n * i // num_partitions for i in range(num_partitions + 1)]
+        columns = table.dimension_columns()
+        bytes_per_row = max(1, table.estimated_bytes() // n)
+        self.partitions = []
+        for i in range(num_partitions):
+            start, stop = bounds[i], bounds[i + 1]
+            self.partitions.append(
+                DataPartition(
+                    index=i,
+                    columns=[col[start:stop] for col in columns],
+                    measure=table.measure[start:stop],
+                    start=start,
+                    stop=stop,
+                    size_bytes=(stop - start) * bytes_per_row,
+                )
+            )
+        #: Packed-row codec for the table's dimension domains; the
+        #: candidate pipeline runs on packed int64 keys when it fits.
+        self.codec = RowCodec.from_table(table)
+        self.transform = MeasureTransform.fit(table.measure)
+        #: Transformed measure (max-ent preconditioned).
+        self.measure = self.transform.transformed
+        #: Current per-tuple estimates in transformed space.
+        self.estimates = np.ones(n, dtype=np.float64)
+        #: Per-tuple rule coverage bits (RCT input).
+        self.bit_matrix = BitMatrix(n)
+        #: Boolean coverage masks per selected rule.
+        self.masks = []
+
+    @property
+    def num_rows(self):
+        return len(self.table)
+
+    def partition_slice(self, partition, array):
+        """Slice a session-wide array to one partition's rows."""
+        return array[partition.start:partition.stop]
+
+    def run_over_data(self, kernel, phase=None, shuffle_data=False,
+                      shuffle_output=False, touch_cache=True):
+        """Run ``kernel(task_ctx, partition)`` over every data partition.
+
+        Parameters
+        ----------
+        kernel:
+            The per-task function.
+        phase:
+            Optional phase label for simulated-time attribution.
+        shuffle_data:
+            Charge each partition's bytes as shuffle output — the cost
+            profile of a repartition join over D (Naive SIRUM, §3.2).
+        shuffle_output:
+            Charge the kernel's declared output bytes at the shuffle
+            rate (a reduce follows); implied by ``shuffle_data``.
+        touch_cache:
+            Account a storage-memory access per partition: free when
+            cached, a disk read when evicted (§4.5).
+        """
+        cluster = self.cluster
+
+        def wrapped(tc, part):
+            if touch_cache:
+                cluster.cached_access(tc, ("data", part.index), part.size_bytes)
+            if shuffle_data:
+                tc.add_output_bytes(part.size_bytes)
+            return kernel(tc, part)
+
+        def execute():
+            return cluster.run_stage(
+                wrapped,
+                self.partitions,
+                name=phase or "data_stage",
+                shuffle_output=shuffle_data or shuffle_output,
+            )
+
+        if phase is not None:
+            with cluster.phase(phase):
+                return execute()
+        return execute()
+
+    def add_rule_coverage(self, rule, charge_phase=None):
+        """Register a new rule: compute its mask and extend bit arrays.
+
+        The mask is computed per partition via a metered stage (d
+        comparisons per tuple — Algorithm 3 lines 1-5) when
+        ``charge_phase`` is given, or silently for algorithms whose
+        cost model charges matching elsewhere (Baseline SIRUM
+        re-evaluates t matches r on every scaling pass instead).
+        """
+        mask = rule.match_mask(self.table)
+        if charge_phase is not None:
+
+            def kernel(tc, part):
+                tc.add_records(part.num_rows)
+                tc.add_ops(part.num_rows * self.table.schema.arity)
+                return None
+
+            self.run_over_data(kernel, phase=charge_phase)
+        self.masks.append(mask)
+        self.bit_matrix.add_rule(mask)
+        return mask

@@ -1,0 +1,282 @@
+"""Four cube-computation algorithms producing identical results.
+
+All take a :class:`~repro.data.table.Table` and return a
+:class:`~repro.cube.materialized.MaterializedCube` over the requested
+cuboids.  They differ — as in the literature the thesis cites — in how
+much work is shared between cuboids:
+
+``naive_cube``
+    One full pass over the rows per cuboid (the 2^d independent
+    group-bys a SQL engine without CUBE support would run).
+``hash_cube``
+    Smallest-parent computation (Agarwal et al. [3]): compute the base
+    cuboid from the data, then every other cuboid by hashing the rows
+    of its *smallest* already-computed parent.
+``sort_cube``
+    Pipe-sort style (Lee et al. [22]): cover the lattice with root-to-
+    apex paths; each path needs one sort of the base cuboid after which
+    every cuboid on the path falls out of a single streaming pass.
+``buc_cube``
+    Bottom-Up Cube with iceberg pruning: recursively partitions the
+    data, skipping any partition below ``min_support`` — the downward-
+    closure pruning that SIRUM's gain function notably *lacks* (§3.1.1).
+
+Each returns per-cuboid ``{key: GroupAggregate}`` maps; an optional
+``stats`` dict records work counters so benchmarks can compare the
+algorithms' economics.
+"""
+
+from repro.common.errors import DataError
+from repro.cube.cuboid import CuboidLattice, popcount, positions_of
+from repro.cube.materialized import GroupAggregate, MaterializedCube
+
+
+def _encoded_rows(table):
+    """Rows as (dimension-code tuple, measure float) pairs."""
+    columns = table.dimension_columns()
+    measure = table.measure
+    n = len(table)
+    return [
+        (tuple(int(col[i]) for col in columns), float(measure[i]))
+        for i in range(n)
+    ]
+
+
+def _aggregate(pairs, positions):
+    """Hash-aggregate (key, measure) pairs onto the kept positions."""
+    groups = {}
+    for codes, value in pairs:
+        key = tuple(codes[j] for j in positions)
+        agg = groups.get(key)
+        if agg is None:
+            groups[key] = agg = GroupAggregate()
+        agg.add(value)
+    return groups
+
+
+# ----------------------------------------------------------------------
+# Naive: one pass per cuboid
+# ----------------------------------------------------------------------
+
+
+def naive_cube(table, masks=None, stats=None):
+    """Compute each requested cuboid with an independent scan."""
+    lattice = CuboidLattice(table.schema.arity)
+    masks = lattice.all_masks() if masks is None else list(masks)
+    rows = _encoded_rows(table)
+    cuboids = {}
+    tuples_read = 0
+    for mask in masks:
+        cuboids[mask] = _aggregate(rows, positions_of(mask))
+        tuples_read += len(rows)
+    if stats is not None:
+        stats["tuples_read"] = tuples_read
+        stats["passes"] = len(masks)
+    return MaterializedCube(table.schema.arity, cuboids)
+
+
+# ----------------------------------------------------------------------
+# Hash-based: smallest parent
+# ----------------------------------------------------------------------
+
+
+def hash_cube(table, masks=None, stats=None):
+    """Compute cuboids from their smallest materialized parent.
+
+    The base cuboid is always materialized (it is every cuboid's
+    ancestor source); requested coarser cuboids are computed finest-
+    first so each can pick the smallest parent already available.
+    """
+    arity = table.schema.arity
+    lattice = CuboidLattice(arity)
+    requested = set(lattice.all_masks() if masks is None else masks)
+    rows = _encoded_rows(table)
+    base_mask = lattice.base_mask
+    cuboids = {base_mask: _aggregate(rows, positions_of(base_mask))}
+    tuples_read = len(rows)
+
+    order = sorted(requested - {base_mask}, key=popcount, reverse=True)
+    for mask in order:
+        parent = _smallest_parent(mask, cuboids, lattice)
+        source = cuboids[parent]
+        groups = {}
+        for key, agg in source.items():
+            coarse_key = lattice.project_key(key, parent, mask)
+            if coarse_key in groups:
+                groups[coarse_key].merge(agg.copy())
+            else:
+                groups[coarse_key] = agg.copy()
+        cuboids[mask] = groups
+        tuples_read += len(source)
+    if stats is not None:
+        stats["tuples_read"] = tuples_read
+        stats["passes"] = 1 + len(order)
+    if masks is not None and base_mask not in requested:
+        del cuboids[base_mask]
+    return MaterializedCube(arity, cuboids)
+
+
+def _smallest_parent(mask, cuboids, lattice):
+    """Pick the materialized strict descendant with the fewest groups."""
+    best = None
+    best_size = None
+    for candidate, groups in cuboids.items():
+        if candidate != mask and lattice.is_ancestor(mask, candidate):
+            if best_size is None or len(groups) < best_size:
+                best = candidate
+                best_size = len(groups)
+    if best is None:
+        raise DataError("no materialized parent for cuboid %r" % (mask,))
+    return best
+
+
+# ----------------------------------------------------------------------
+# Sort-based: shared sorts along lattice paths
+# ----------------------------------------------------------------------
+
+
+def sort_cube(table, stats=None):
+    """Pipe-sort style full cube via shared sorted orders.
+
+    The lattice is covered by prefix chains: for every subset S of
+    attributes (as a sorted position list), the chain of its prefixes
+    S[:len], S[:len-1], ..., [] is computable from one pass over data
+    sorted by S.  We pick chains greedily so each sort covers as many
+    not-yet-computed cuboids as possible, then stream each sorted run
+    once, emitting aggregates at every prefix boundary.
+    """
+    arity = table.schema.arity
+    lattice = CuboidLattice(arity)
+    rows = _encoded_rows(table)
+    base = _aggregate(rows, positions_of(lattice.base_mask))
+    base_items = list(base.items())
+
+    remaining = set(lattice.all_masks())
+    chains = []
+    # Longest-first: each base-level ordering covers its whole prefix chain.
+    for mask in sorted(remaining, key=popcount, reverse=True):
+        if mask not in remaining:
+            continue
+        order = positions_of(mask)
+        chain = []
+        for prefix_length in range(len(order), -1, -1):
+            prefix_mask = 0
+            for position in order[:prefix_length]:
+                prefix_mask |= 1 << position
+            if prefix_mask in remaining:
+                chain.append((prefix_length, prefix_mask))
+                remaining.discard(prefix_mask)
+        chains.append((order, chain))
+
+    cuboids = {}
+    sorts = 0
+    tuples_read = 0
+    for order, chain in chains:
+        index_of = {pos: i for i, pos in enumerate(positions_of(lattice.base_mask))}
+        sort_key = lambda item: tuple(item[0][index_of[p]] for p in order)
+        run = sorted(base_items, key=sort_key)
+        sorts += 1
+        tuples_read += len(run)
+        for prefix_length, prefix_mask in chain:
+            groups = {}
+            current_key = None
+            current = None
+            for key, agg in run:
+                prefix = tuple(key[index_of[p]] for p in order[:prefix_length])
+                if prefix != current_key:
+                    current_key = prefix
+                    current = groups.get(prefix)
+                    if current is None:
+                        groups[prefix] = current = GroupAggregate()
+                current.merge(agg.copy())
+            # Keys must follow attribute-position order, not sort order.
+            cuboids[prefix_mask] = _reorder_keys(
+                groups, order[:prefix_length]
+            )
+    if stats is not None:
+        stats["sorts"] = sorts
+        stats["tuples_read"] = tuples_read
+        stats["passes"] = sorts
+    return MaterializedCube(arity, cuboids)
+
+
+def _reorder_keys(groups, order):
+    """Convert sort-order keys into attribute-position-order keys."""
+    target = sorted(range(len(order)), key=lambda i: order[i])
+    if target == list(range(len(order))):
+        return groups
+    out = {}
+    for key, agg in groups.items():
+        reordered = tuple(key[i] for i in target)
+        if reordered in out:
+            out[reordered].merge(agg)
+        else:
+            out[reordered] = agg
+    return out
+
+
+# ----------------------------------------------------------------------
+# BUC: bottom-up with iceberg pruning
+# ----------------------------------------------------------------------
+
+
+def buc_cube(table, min_support=1, stats=None):
+    """Bottom-Up Cube computation with minimum-support pruning.
+
+    Produces every group whose count is at least ``min_support``, in
+    every cuboid.  With ``min_support=1`` the result equals the full
+    cube; larger values give an iceberg cube, pruning entire sub-
+    lattices the moment a partition falls below support (valid because
+    COUNT is anti-monotone — unlike SIRUM's gain, §3.1.1).
+    """
+    if min_support < 1:
+        raise DataError("min_support must be at least 1")
+    arity = table.schema.arity
+    CuboidLattice(arity)  # validates arity bounds
+    rows = _encoded_rows(table)
+    cuboids = {mask: {} for mask in range(1 << arity)}
+    counters = {"partitions": 0, "tuples_read": 0}
+
+    if len(rows) >= min_support:
+        total = GroupAggregate()
+        for _codes, value in rows:
+            total.add(value)
+        cuboids[0][()] = total
+        _buc_recurse(rows, 0, 0, (), arity, min_support, cuboids, counters)
+
+    if stats is not None:
+        stats.update(counters)
+    empty = [mask for mask, groups in cuboids.items() if not groups]
+    for mask in empty:
+        if mask != 0:
+            del cuboids[mask]
+    return MaterializedCube(arity, cuboids)
+
+
+def _buc_recurse(rows, first_dim, mask, key_prefix, arity, min_support,
+                 cuboids, counters):
+    """Expand partitions on dimensions >= first_dim (BUC's recursion).
+
+    ``rows`` all share the group values in ``key_prefix`` for the
+    attributes in ``mask``.  For each later attribute, partition on its
+    values; qualified partitions are emitted and recursed into.
+    """
+    for dim in range(first_dim, arity):
+        partitions = {}
+        for codes, value in rows:
+            partitions.setdefault(codes[dim], []).append((codes, value))
+        counters["tuples_read"] += len(rows)
+        child_mask = mask | (1 << dim)
+        for code, part in sorted(partitions.items()):
+            if len(part) < min_support:
+                continue  # prune: no descendant can reach support either
+            counters["partitions"] += 1
+            key = key_prefix + (code,)
+            agg = GroupAggregate()
+            for _codes, value in part:
+                agg.add(value)
+            cuboids[child_mask][key] = agg
+            _buc_recurse(
+                part, dim + 1, child_mask, key, arity, min_support,
+                cuboids, counters,
+            )

@@ -1,0 +1,120 @@
+"""The cuboid (group-by) lattice.
+
+A *cuboid* is identified by the set of dimension attributes it groups
+by, encoded as a bitmask over attribute positions: bit ``j`` set means
+attribute ``A_j`` is grouped (kept); clear means it is aggregated away
+(the wildcard column of thesis §2.5).  The full cube over ``d``
+attributes has ``2^d`` cuboids; mask ``(1 << d) - 1`` is the base
+cuboid (finest) and mask ``0`` is the apex (grand total).
+"""
+
+from repro.common.errors import DataError
+
+
+def popcount(mask):
+    """Number of set bits (grouped attributes) in a cuboid mask."""
+    return bin(mask).count("1")
+
+
+def mask_of(positions, arity):
+    """Bitmask for an iterable of attribute positions."""
+    mask = 0
+    for pos in positions:
+        if not 0 <= pos < arity:
+            raise DataError("attribute position %r out of range" % (pos,))
+        mask |= 1 << pos
+    return mask
+
+
+def positions_of(mask):
+    """Sorted attribute positions grouped by ``mask``."""
+    out = []
+    j = 0
+    while mask:
+        if mask & 1:
+            out.append(j)
+        mask >>= 1
+        j += 1
+    return out
+
+
+class CuboidLattice:
+    """Navigation over the ``2^d`` cuboids of a ``d``-attribute cube."""
+
+    def __init__(self, arity):
+        if arity < 1:
+            raise DataError("a cube needs at least one dimension")
+        if arity > 20:
+            raise DataError(
+                "refusing a %d-attribute cube (2^%d cuboids)" % (arity, arity)
+            )
+        self.arity = arity
+        self.base_mask = (1 << arity) - 1
+
+    def all_masks(self):
+        """Every cuboid mask, coarsest (0) to finest."""
+        return list(range(self.base_mask + 1))
+
+    def masks_by_level(self):
+        """Cuboid masks grouped by number of grouped attributes.
+
+        Returns a list of ``arity + 1`` lists; entry ``l`` holds all
+        masks with exactly ``l`` attributes grouped.
+        """
+        levels = [[] for _ in range(self.arity + 1)]
+        for mask in self.all_masks():
+            levels[popcount(mask)].append(mask)
+        return levels
+
+    def parents(self, mask):
+        """Immediate finer cuboids (one more grouped attribute).
+
+        A parent can produce this cuboid by aggregating away exactly one
+        attribute — the "compute from smallest parent" candidates.
+        """
+        out = []
+        for j in range(self.arity):
+            bit = 1 << j
+            if not mask & bit:
+                out.append(mask | bit)
+        return out
+
+    def children(self, mask):
+        """Immediate coarser cuboids (one fewer grouped attribute)."""
+        out = []
+        for j in range(self.arity):
+            bit = 1 << j
+            if mask & bit:
+                out.append(mask & ~bit)
+        return out
+
+    def is_ancestor(self, coarse, fine):
+        """True iff ``coarse`` can be computed from ``fine`` by aggregation.
+
+        Holds exactly when coarse's grouped attributes are a subset of
+        fine's.
+        """
+        return coarse & fine == coarse
+
+    def project_key(self, key, from_mask, to_mask):
+        """Re-express a group key of ``from_mask`` in cuboid ``to_mask``.
+
+        ``key`` is a tuple holding values for ``from_mask``'s grouped
+        attributes in position order.  ``to_mask`` must be an ancestor
+        (subset) of ``from_mask``.
+        """
+        if not self.is_ancestor(to_mask, from_mask):
+            raise DataError("project_key target is not an ancestor cuboid")
+        from_positions = positions_of(from_mask)
+        keep = set(positions_of(to_mask))
+        return tuple(
+            value
+            for position, value in zip(from_positions, key)
+            if position in keep
+        )
+
+    def __len__(self):
+        return self.base_mask + 1
+
+    def __repr__(self):
+        return "CuboidLattice(arity=%d, cuboids=%d)" % (self.arity, len(self))

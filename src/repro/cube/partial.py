@@ -1,0 +1,145 @@
+"""Partial cubes: materialize a cuboid subset, answer the rest by roll-up.
+
+Thesis related work points at partial data cubes for parallel
+warehousing (Dehne et al. [15]).  The classic formulation
+(Harinarayan / Rajaraman / Ullman's greedy view selection) picks, under
+a storage budget, the cuboids whose materialization most reduces the
+cost of answering every cuboid query, where an unmaterialized cuboid is
+answered by rolling up its cheapest materialized descendant.
+"""
+
+from repro.common.errors import DataError
+from repro.cube.compute import hash_cube, naive_cube
+from repro.cube.cuboid import CuboidLattice
+
+
+def choose_cuboids(cube, budget_groups):
+    """Greedy benefit-per-cost selection of cuboids to materialize.
+
+    Parameters
+    ----------
+    cube:
+        A fully materialized cube (used to read exact per-cuboid group
+        counts, playing the role of HRU's size estimates).
+    budget_groups:
+        Storage budget in total stored groups.  The base cuboid is
+        always selected (queries are unanswerable without it) and
+        counts against the budget.
+
+    Returns the sorted list of selected cuboid masks.
+    """
+    lattice = cube.lattice
+    base = lattice.base_mask
+    sizes = {mask: len(groups) for mask, groups in cube.cuboids.items()}
+    if base not in sizes:
+        raise DataError("choose_cuboids needs the base cuboid materialized")
+    if budget_groups < sizes[base]:
+        raise DataError(
+            "budget %d cannot hold the base cuboid (%d groups)"
+            % (budget_groups, sizes[base])
+        )
+    selected = {base}
+    used = sizes[base]
+
+    def answer_cost(mask, chosen):
+        """Rows scanned to answer ``mask`` from the best chosen cuboid."""
+        return min(
+            sizes[candidate]
+            for candidate in chosen
+            if lattice.is_ancestor(mask, candidate)
+        )
+
+    while True:
+        best = None
+        best_ratio = 0.0
+        for candidate in sizes:
+            if candidate in selected or used + sizes[candidate] > budget_groups:
+                continue
+            benefit = 0
+            for mask in sizes:
+                before = answer_cost(mask, selected)
+                after = min(before, answer_cost(mask, selected | {candidate}))
+                benefit += before - after
+            if sizes[candidate] == 0:
+                continue
+            ratio = benefit / sizes[candidate]
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best = candidate
+        if best is None:
+            return sorted(selected)
+        selected.add(best)
+        used += sizes[best]
+
+
+class PartialCube:
+    """Query layer over a materialized cuboid subset.
+
+    Unmaterialized cuboids are answered by rolling up the smallest
+    materialized descendant; ``last_answer_cost`` exposes the number of
+    source groups read, which the ablation benchmark reports.
+    """
+
+    def __init__(self, cube, selected_masks):
+        for mask in selected_masks:
+            if not cube.has_cuboid(mask):
+                raise DataError("selected cuboid %r is not in the cube" % mask)
+        if cube.lattice.base_mask not in set(selected_masks):
+            raise DataError("the base cuboid must always be selected")
+        self._full = cube
+        self.lattice = cube.lattice
+        self.selected = sorted(selected_masks)
+        self._materialized = {
+            mask: cube.cuboids[mask] for mask in selected_masks
+        }
+        self.last_answer_cost = 0
+
+    @classmethod
+    def build(cls, table, budget_groups, algorithm=hash_cube):
+        """Compute the full cube, select under budget, keep the subset."""
+        cube = algorithm(table)
+        selected = choose_cuboids(cube, budget_groups)
+        return cls(cube, selected)
+
+    def stored_groups(self):
+        return sum(len(groups) for groups in self._materialized.values())
+
+    def cuboid(self, mask):
+        """Groups of cuboid ``mask``, rolling up if unmaterialized."""
+        if mask in self._materialized:
+            self.last_answer_cost = 0  # direct hit, no roll-up scan
+            return self._materialized[mask]
+        source = self._best_source(mask)
+        self.last_answer_cost = len(self._materialized[source])
+        rolled = {}
+        for key, agg in self._materialized[source].items():
+            coarse = self.lattice.project_key(key, source, mask)
+            if coarse in rolled:
+                rolled[coarse].merge(agg.copy())
+            else:
+                rolled[coarse] = agg.copy()
+        return rolled
+
+    def point(self, rule_values):
+        """Point query mirroring :meth:`MaterializedCube.point`."""
+        from repro.core.rule import WILDCARD
+
+        mask = 0
+        key = []
+        for j, value in enumerate(rule_values):
+            if value != WILDCARD:
+                mask |= 1 << j
+                key.append(value)
+        return self.cuboid(mask).get(tuple(key))
+
+    def _best_source(self, mask):
+        best = None
+        best_size = None
+        for candidate, groups in self._materialized.items():
+            if self.lattice.is_ancestor(mask, candidate):
+                if best_size is None or len(groups) < best_size:
+                    best = candidate
+                    best_size = len(groups)
+        if best is None:
+            raise DataError("no materialized descendant answers %r" % mask)
+        return best

@@ -1,0 +1,23 @@
+"""Data layer: schemas, columnar tables, encoding, CSV I/O and generators.
+
+SIRUM's input is a relational dataset with categorical *dimension*
+attributes and one numeric *measure* attribute (thesis §2.1).  The data
+layer provides:
+
+- :class:`~repro.data.schema.Schema` — named dimension attributes plus a
+  measure attribute;
+- :class:`~repro.data.table.Table` — an immutable columnar table whose
+  dimension columns are dictionary-encoded to dense integer codes;
+- :mod:`repro.data.csvio` — CSV reading/writing compatible with the
+  thesis's HDFS-resident CSV inputs;
+- :mod:`repro.data.hdfs` — a simulated block store used by the platform
+  simulators to account for disk I/O;
+- :mod:`repro.data.generators` — the worked flight example and synthetic
+  counterparts of the Income, GDELT, SUSY and TLC datasets.
+"""
+
+from repro.data.schema import Schema
+from repro.data.encoding import DictionaryEncoder
+from repro.data.table import Table
+
+__all__ = ["Schema", "DictionaryEncoder", "Table"]

@@ -1,0 +1,72 @@
+"""CSV reading and writing for SIRUM input tables.
+
+The thesis stores all datasets as CSV files in HDFS (§5.1.2).  This
+module gives the library the same external interchange format: a header
+row naming the columns, dimension values kept as strings, and the
+measure column parsed as a float.
+"""
+
+import csv
+
+from repro.common.errors import DataError
+from repro.data.schema import Schema
+from repro.data.table import Table
+
+
+def read_csv(path, measure, dimensions=None):
+    """Load a CSV file into a :class:`~repro.data.table.Table`.
+
+    Parameters
+    ----------
+    path:
+        File path of a CSV with a header row.
+    measure:
+        Name of the measure column (parsed as float).
+    dimensions:
+        Names of the dimension columns, in order.  Defaults to every
+        non-measure column in header order.
+    """
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError("CSV file %s is empty" % path) from None
+        if measure not in header:
+            raise DataError("measure column %r not found in %s" % (measure, path))
+        if dimensions is None:
+            dimensions = [name for name in header if name != measure]
+        for name in dimensions:
+            if name not in header:
+                raise DataError("dimension column %r not found in %s" % (name, path))
+        dim_pos = [header.index(name) for name in dimensions]
+        m_pos = header.index(measure)
+        schema = Schema(dimensions, measure)
+
+        def rows():
+            for lineno, record in enumerate(reader, start=2):
+                if len(record) != len(header):
+                    raise DataError(
+                        "%s line %d has %d fields, expected %d"
+                        % (path, lineno, len(record), len(header))
+                    )
+                try:
+                    m = float(record[m_pos])
+                except ValueError:
+                    raise DataError(
+                        "%s line %d: measure %r is not numeric"
+                        % (path, lineno, record[m_pos])
+                    ) from None
+                yield tuple(record[i] for i in dim_pos) + (m,)
+
+        return Table.from_rows(schema, rows())
+
+
+def write_csv(table, path):
+    """Write ``table`` to ``path`` as CSV with a header row."""
+    header = list(table.schema.dimensions) + [table.schema.measure]
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        for i in range(len(table)):
+            writer.writerow(table.decoded_row(i))

@@ -1,0 +1,29 @@
+"""Dataset generators.
+
+``flights`` reproduces the worked example of thesis Tables 1.1–1.3
+exactly.  The remaining generators synthesize datasets with the *shape*
+of the thesis's evaluation datasets (§5.1.2) — same number of dimension
+attributes, comparable domain cardinalities and skew, same measure
+semantics — at row counts scaled to a single machine.  See DESIGN.md for
+the substitution rationale.
+"""
+
+from repro.data.generators.flights import flight_table, FLIGHT_ROWS
+from repro.data.generators.synthetic import SyntheticSpec, generate
+from repro.data.generators.datasets import (
+    income_table,
+    gdelt_table,
+    susy_table,
+    tlc_table,
+)
+
+__all__ = [
+    "flight_table",
+    "FLIGHT_ROWS",
+    "SyntheticSpec",
+    "generate",
+    "income_table",
+    "gdelt_table",
+    "susy_table",
+    "tlc_table",
+]

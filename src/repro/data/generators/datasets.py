@@ -1,0 +1,113 @@
+"""Synthetic counterparts of the thesis's evaluation datasets (§5.1.2).
+
+Each builder fixes the dataset *shape* — dimension count, domain
+cardinalities, skew and measure semantics — to match the real dataset,
+and exposes ``num_rows`` so benchmarks can scale row counts to the
+machine at hand.  Paper-scale row counts (1.5M–1.08B) are impractical in
+pure Python; the default sizes keep the same *relative* sizes
+(Income < GDELT < SUSY << TLC).
+
+Cardinalities mirror the real attributes (GDELT country/event-code
+domains in the hundreds, census demographics in the tens, SUSY bucketed
+to 3 values), which controls the per-attribute agreement probability —
+the quantity that drives LCA density, ancestor fan-out and the §4.2
+pruning speedup.
+
+| Dataset | Paper shape                          | Here                      |
+|---------|--------------------------------------|---------------------------|
+| Income  | 1.5M rows, 9 dims, binary measure    | 9 dims, binary            |
+| GDELT   | 3.8M rows, 9 dims, numeric measure   | 9 dims, numeric (counts)  |
+| SUSY    | 5M rows, 18 dims (3 buckets), binary | 18 dims x 3 codes, binary |
+| TLC     | 160M-row sample, 9 dims, numeric     | 9 dims, numeric (fares)   |
+"""
+
+from repro.data.generators.synthetic import SyntheticSpec, generate
+
+DEFAULT_ROWS = {
+    "income": 6000,
+    "gdelt": 8000,
+    "susy": 10000,
+    "tlc": 40000,
+}
+
+
+def income_table(num_rows=None, seed=101):
+    """US-census-style table: 9 demographic dims, binary income flag."""
+    spec = SyntheticSpec(
+        num_rows=num_rows or DEFAULT_ROWS["income"],
+        cardinalities=[30, 12, 25, 9, 16, 40, 8, 15, 50],
+        skew=0.8,
+        num_planted_rules=6,
+        planted_arity=2,
+        measure_kind="binary",
+        base_measure=0.18,
+        effect_scale=2.0,
+        measure_name="HighIncome",
+        dimension_prefix="Inc",
+    )
+    table, _ = generate(spec, seed=seed)
+    return table
+
+
+def gdelt_table(num_rows=None, seed=202):
+    """GDELT-event-style table: 9 dims, numeric mention-count measure."""
+    spec = SyntheticSpec(
+        num_rows=num_rows or DEFAULT_ROWS["gdelt"],
+        cardinalities=[200, 40, 4, 300, 6, 9, 9, 9, 60],
+        skew=0.9,
+        num_planted_rules=8,
+        planted_arity=2,
+        measure_kind="numeric",
+        base_measure=25.0,
+        effect_scale=18.0,
+        noise_scale=4.0,
+        measure_name="NumMentions",
+        dimension_prefix="Ev",
+    )
+    table, _ = generate(spec, seed=seed)
+    return table
+
+
+def susy_table(num_rows=None, num_dimensions=18, seed=303):
+    """SUSY-style table: up to 18 bucketed dims (3 codes each), binary.
+
+    ``num_dimensions`` supports the thesis's projections onto the first
+    10/14/18 attributes (Figures 3.2, 5.7, 5.8).  Three buckets per
+    attribute give ~1/3 agreement probability per attribute, which is
+    what makes ancestor generation the bottleneck at d = 18 (§3.3).
+    """
+    if not 1 <= num_dimensions <= 18:
+        raise ValueError("SUSY projections use between 1 and 18 dimensions")
+    spec = SyntheticSpec(
+        num_rows=num_rows or DEFAULT_ROWS["susy"],
+        cardinalities=[3] * num_dimensions,
+        skew=0.3,
+        num_planted_rules=6,
+        planted_arity=min(3, num_dimensions),
+        measure_kind="binary",
+        base_measure=0.45,
+        effect_scale=2.5,
+        measure_name="IsSignal",
+        dimension_prefix="Susy",
+    )
+    table, _ = generate(spec, seed=seed)
+    return table
+
+
+def tlc_table(num_rows=None, seed=404):
+    """NYC-taxi-style table: 9 trip dims, numeric total-payment measure."""
+    spec = SyntheticSpec(
+        num_rows=num_rows or DEFAULT_ROWS["tlc"],
+        cardinalities=[12, 8, 5, 120, 120, 120, 120, 7, 24],
+        skew=0.8,
+        num_planted_rules=10,
+        planted_arity=2,
+        measure_kind="numeric",
+        base_measure=14.0,
+        effect_scale=9.0,
+        noise_scale=3.0,
+        measure_name="TotalPayment",
+        dimension_prefix="Trip",
+    )
+    table, _ = generate(spec, seed=seed)
+    return table

@@ -1,0 +1,69 @@
+"""Dataset schema: dimension attributes and a numeric measure attribute."""
+
+from repro.common.errors import DataError
+
+
+class Schema:
+    """Describes a SIRUM input relation.
+
+    Parameters
+    ----------
+    dimensions:
+        Ordered names of the categorical dimension attributes
+        ``A_1 .. A_d`` (thesis §2.1).
+    measure:
+        Name of the numeric measure attribute ``m``.
+    """
+
+    def __init__(self, dimensions, measure):
+        dimensions = list(dimensions)
+        if not dimensions:
+            raise DataError("a schema needs at least one dimension attribute")
+        if len(set(dimensions)) != len(dimensions):
+            raise DataError("dimension attribute names must be unique")
+        if measure in dimensions:
+            raise DataError(
+                "measure attribute %r clashes with a dimension attribute" % measure
+            )
+        if not isinstance(measure, str) or not measure:
+            raise DataError("measure attribute name must be a non-empty string")
+        for name in dimensions:
+            if not isinstance(name, str) or not name:
+                raise DataError("dimension names must be non-empty strings")
+        self.dimensions = tuple(dimensions)
+        self.measure = measure
+
+    @property
+    def arity(self):
+        """Number of dimension attributes, ``d`` in the thesis."""
+        return len(self.dimensions)
+
+    def dimension_index(self, name):
+        """Position of dimension ``name``; raises DataError if unknown."""
+        try:
+            return self.dimensions.index(name)
+        except ValueError:
+            raise DataError("unknown dimension attribute %r" % name) from None
+
+    def project(self, names):
+        """Return a new schema keeping only the listed dimensions."""
+        names = list(names)
+        for name in names:
+            self.dimension_index(name)
+        return Schema(names, self.measure)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Schema)
+            and self.dimensions == other.dimensions
+            and self.measure == other.measure
+        )
+
+    def __hash__(self):
+        return hash((self.dimensions, self.measure))
+
+    def __repr__(self):
+        return "Schema(dimensions=%r, measure=%r)" % (
+            list(self.dimensions),
+            self.measure,
+        )

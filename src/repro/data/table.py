@@ -1,0 +1,192 @@
+"""Immutable columnar table with dictionary-encoded dimension columns.
+
+A :class:`Table` stores each dimension attribute as a dense
+``numpy.int64`` column of dictionary codes and the measure attribute as a
+``numpy.float64`` column.  This is the in-memory representation all of
+SIRUM operates on; the engine partitions row ranges of it.
+"""
+
+import numpy as np
+
+from repro.common.errors import DataError
+from repro.data.encoding import DictionaryEncoder
+from repro.data.schema import Schema
+
+
+class Table:
+    """Columnar relation matching a :class:`~repro.data.schema.Schema`.
+
+    Construct via :meth:`from_rows`, :meth:`from_columns` or the dataset
+    generators.  Tables are immutable: transformation methods return new
+    tables sharing column arrays where possible.
+    """
+
+    def __init__(self, schema, dim_columns, measure_column, encoders):
+        if len(dim_columns) != schema.arity:
+            raise DataError(
+                "expected %d dimension columns, got %d"
+                % (schema.arity, len(dim_columns))
+            )
+        n = len(measure_column)
+        for name, col in zip(schema.dimensions, dim_columns):
+            if len(col) != n:
+                raise DataError("column %r length mismatch" % name)
+        if len(encoders) != schema.arity:
+            raise DataError("one encoder per dimension attribute is required")
+        self.schema = schema
+        self._dims = [np.asarray(col, dtype=np.int64) for col in dim_columns]
+        self._measure = np.asarray(measure_column, dtype=np.float64)
+        self._encoders = list(encoders)
+        for col in self._dims:
+            col.setflags(write=False)
+        self._measure.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema, rows):
+        """Build a table from an iterable of (dim values..., measure) rows.
+
+        Each row must have ``schema.arity + 1`` entries with the measure
+        value last.  Dimension values may be any hashable objects; they
+        are dictionary-encoded in first-seen order.
+        """
+        encoders = [DictionaryEncoder() for _ in schema.dimensions]
+        dim_lists = [[] for _ in schema.dimensions]
+        measure = []
+        width = schema.arity + 1
+        for row in rows:
+            if len(row) != width:
+                raise DataError(
+                    "row %r has %d fields, expected %d" % (row, len(row), width)
+                )
+            for j in range(schema.arity):
+                dim_lists[j].append(encoders[j].encode(row[j]))
+            measure.append(float(row[-1]))
+        return cls(schema, dim_lists, measure, encoders)
+
+    @classmethod
+    def from_columns(cls, schema, dim_columns, measure_column, encoders):
+        """Build a table directly from encoded columns (no copying)."""
+        return cls(schema, dim_columns, measure_column, encoders)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._measure)
+
+    @property
+    def num_rows(self):
+        return len(self._measure)
+
+    @property
+    def measure(self):
+        """Measure column as a read-only float64 array."""
+        return self._measure
+
+    def dimension_column(self, name):
+        """Encoded codes of dimension ``name`` as a read-only array."""
+        return self._dims[self.schema.dimension_index(name)]
+
+    def dimension_columns(self):
+        """All encoded dimension columns, in schema order."""
+        return list(self._dims)
+
+    def encoder(self, name):
+        """Dictionary encoder for dimension ``name``."""
+        return self._encoders[self.schema.dimension_index(name)]
+
+    def encoders(self):
+        return list(self._encoders)
+
+    def domain_size(self, name):
+        """Active-domain cardinality of dimension ``name``."""
+        return len(self.encoder(name))
+
+    def encoded_row(self, i):
+        """Row ``i``'s dimension codes as a tuple (no measure)."""
+        return tuple(int(col[i]) for col in self._dims)
+
+    def decoded_row(self, i):
+        """Row ``i`` with original dimension values plus the measure."""
+        values = tuple(
+            enc.decode(int(col[i])) for enc, col in zip(self._encoders, self._dims)
+        )
+        return values + (float(self._measure[i]),)
+
+    def iter_encoded(self):
+        """Yield (dimension-code tuple, measure value) per row."""
+        for i in range(len(self)):
+            yield self.encoded_row(i), float(self._measure[i])
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def take(self, indices):
+        """Return a new table with the rows at ``indices`` (in order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        dims = [col[indices] for col in self._dims]
+        return Table(self.schema, dims, self._measure[indices], self._encoders)
+
+    def slice(self, start, stop):
+        """Return the contiguous row range [start, stop)."""
+        dims = [col[start:stop] for col in self._dims]
+        return Table(self.schema, dims, self._measure[start:stop], self._encoders)
+
+    def sample(self, size, rng):
+        """Uniform random sample of ``size`` rows without replacement."""
+        if size > len(self):
+            raise DataError(
+                "sample size %d exceeds table size %d" % (size, len(self))
+            )
+        indices = rng.choice(len(self), size=size, replace=False)
+        return self.take(np.sort(indices))
+
+    def sample_fraction(self, fraction, rng):
+        """Uniform random sample keeping ``fraction`` of the rows."""
+        if not 0.0 < fraction <= 1.0:
+            raise DataError("sampling fraction must be in (0, 1], got %r" % fraction)
+        size = max(1, int(round(fraction * len(self))))
+        return self.sample(size, rng)
+
+    def project(self, dimension_names):
+        """Keep only the listed dimension attributes (measure retained)."""
+        schema = self.schema.project(dimension_names)
+        indices = [self.schema.dimension_index(n) for n in dimension_names]
+        dims = [self._dims[i] for i in indices]
+        encs = [self._encoders[i] for i in indices]
+        return Table(schema, dims, self._measure, encs)
+
+    def with_measure(self, measure_column):
+        """Return a table with the same dimensions and a new measure."""
+        if len(measure_column) != len(self):
+            raise DataError("replacement measure column length mismatch")
+        return Table(self.schema, self._dims, measure_column, self._encoders)
+
+    # ------------------------------------------------------------------
+    # Aggregates used across the library
+    # ------------------------------------------------------------------
+
+    def measure_sum(self):
+        return float(self._measure.sum())
+
+    def measure_mean(self):
+        if len(self) == 0:
+            raise DataError("mean of an empty table is undefined")
+        return float(self._measure.mean())
+
+    def estimated_bytes(self):
+        """In-memory footprint estimate used by the memory simulator."""
+        return sum(col.nbytes for col in self._dims) + self._measure.nbytes
+
+    def __repr__(self):
+        return "Table(%d rows, %d dims, measure=%r)" % (
+            len(self),
+            self.schema.arity,
+            self.schema.measure,
+        )

@@ -1,0 +1,43 @@
+"""sparklet — a partitioned dataflow engine with a simulated cost model.
+
+The thesis runs SIRUM on a 16-node Spark/YARN/HDFS cluster.  This
+package substitutes that substrate: computation is executed *exactly*
+(partitioned, shuffled and broadcast like the Spark implementation), in
+process, while a deterministic cost model meters what the same work
+would cost a cluster — per-task CPU, task-launch overhead, shuffle and
+broadcast bytes, disk I/O on cache misses, and per-node straggler
+factors.  Benchmarks report this simulated cluster time, which is what
+makes the thesis's scalability figures reproducible on one machine.
+
+Main entry points:
+
+- :class:`~repro.engine.cluster.ClusterContext` — executors, memory,
+  stages, broadcast variables;
+- :class:`~repro.engine.rdd.RDD` — eager map / filter / flatMap /
+  mapPartitions / reduceByKey / join / collect, one metered stage per
+  transformation;
+- :class:`~repro.engine.lazy.LazyRDD` — lineage DAG with pipelined
+  narrow stages, persistence and lineage-based fault recovery (how
+  Spark actually executes, §2.6.3);
+- :class:`~repro.engine.cost.CostModel` and
+  :class:`~repro.engine.cost.ClusterSpec` — tunable rates and topology,
+  including straggler factors and speculative execution (§5.7.2).
+"""
+
+from repro.engine.cost import CostModel, ClusterSpec
+from repro.engine.cluster import ClusterContext
+from repro.engine.lazy import DAGScheduler, LazyRDD
+from repro.engine.rdd import RDD
+from repro.engine.task import TaskContext
+from repro.engine.metrics import MetricsRegistry
+
+__all__ = [
+    "CostModel",
+    "ClusterSpec",
+    "ClusterContext",
+    "DAGScheduler",
+    "LazyRDD",
+    "RDD",
+    "TaskContext",
+    "MetricsRegistry",
+]

@@ -1,0 +1,211 @@
+"""Cluster context: stages, scheduling, broadcast, caching.
+
+A *stage* runs one kernel over a list of partitions, exactly like a
+Spark stage runs one task per partition.  Kernels execute for real (in
+process) and report their work through a
+:class:`~repro.engine.task.TaskContext`; the scheduler then computes the
+stage's simulated duration by placing tasks on executor cores (longest
+processing time first), applying per-executor straggler factors, and
+adding task-launch, shuffle and stage overheads.
+"""
+
+from contextlib import contextmanager
+import heapq
+
+from repro.common.errors import EngineError
+from repro.data.hdfs import SimulatedHdfs
+from repro.engine.cost import ClusterSpec, CostModel
+from repro.engine.memory import CacheManager
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.task import TaskContext
+
+
+class Broadcast:
+    """Handle for a read-only value replicated to every executor."""
+
+    def __init__(self, value, size_bytes):
+        self.value = value
+        self.size_bytes = size_bytes
+
+
+class StageResult:
+    """Outputs plus accounting for one executed stage."""
+
+    def __init__(self, outputs, simulated_seconds, tasks):
+        self.outputs = outputs
+        self.simulated_seconds = simulated_seconds
+        self.tasks = tasks
+
+
+class ClusterContext:
+    """A simulated cluster: run stages, broadcast values, cache data."""
+
+    def __init__(self, spec=None, cost_model=None, hdfs=None):
+        self.spec = spec or ClusterSpec()
+        self.cost = cost_model or CostModel()
+        self.hdfs = hdfs or SimulatedHdfs()
+        self.metrics = MetricsRegistry()
+        self.cache = CacheManager(self.spec.total_storage_bytes, self.metrics)
+
+    # ------------------------------------------------------------------
+    # Phase attribution
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name):
+        """Attribute simulated time of enclosed stages to phase ``name``."""
+        self.metrics.push_phase(name)
+        try:
+            yield
+        finally:
+            self.metrics.pop_phase()
+
+    # ------------------------------------------------------------------
+    # Broadcast variables
+    # ------------------------------------------------------------------
+
+    def broadcast(self, value, size_bytes):
+        """Replicate ``value`` to all executors, charging network time.
+
+        The charge models Spark's torrent broadcast: the payload crosses
+        the network once per receiving executor.
+        """
+        if size_bytes < 0:
+            raise EngineError("broadcast size must be non-negative")
+        receivers = max(self.spec.num_executors - 1, 0)
+        self.metrics.charge(
+            size_bytes * receivers * self.cost.broadcast_byte_seconds
+        )
+        self.metrics.increment("broadcast_bytes", size_bytes * receivers)
+        return Broadcast(value, size_bytes)
+
+    # ------------------------------------------------------------------
+    # Stage execution
+    # ------------------------------------------------------------------
+
+    def run_stage(self, kernel, partitions, name="stage", shuffle_output=False):
+        """Execute ``kernel(task_ctx, partition)`` once per partition.
+
+        Parameters
+        ----------
+        kernel:
+            Callable receiving a :class:`TaskContext` and one partition
+            object; its return value becomes the task output.
+        partitions:
+            Sequence of partition objects (one task each).
+        shuffle_output:
+            If true, each task's declared ``output_bytes`` are charged
+            at the shuffle byte rate (a wide dependency follows).
+
+        Returns a :class:`StageResult` whose ``outputs`` are in
+        partition order.
+        """
+        partitions = list(partitions)
+        if not partitions:
+            return StageResult([], 0.0, [])
+        outputs = []
+        tasks = []
+        for i, part in enumerate(partitions):
+            tc = TaskContext(task_id=i, partition_id=i)
+            outputs.append(kernel(tc, part))
+            tasks.append(tc)
+        durations = [
+            self.cost.task_seconds(
+                tc.ops, tc.records, tc.disk_bytes, tc.light_ops
+            )
+            for tc in tasks
+        ]
+        makespan = self._schedule(durations)
+        shuffle_seconds = 0.0
+        if shuffle_output:
+            shuffle_bytes = sum(tc.output_bytes for tc in tasks)
+            shuffle_seconds = shuffle_bytes * self.cost.shuffle_byte_seconds
+            self.metrics.increment("shuffle_bytes", shuffle_bytes)
+        total = (
+            makespan
+            + shuffle_seconds
+            + self.cost.stage_overhead_seconds
+            + self.cost.job_launch_seconds
+        )
+        self.metrics.charge(total)
+        self.metrics.increment("stages")
+        self.metrics.increment("tasks", len(tasks))
+        self.metrics.increment(
+            "disk_read_bytes", sum(tc.disk_bytes for tc in tasks)
+        )
+        self.cache.record_timeline()
+        return StageResult(outputs, total, tasks)
+
+    def _schedule(self, durations):
+        """LPT placement of task durations onto executor cores.
+
+        Each executor contributes ``cores_per_executor`` slots running at
+        the executor's straggler-adjusted speed; every task also pays the
+        task-launch overhead on its slot.  Returns the stage makespan.
+
+        When the spec enables ``speculative_execution``, tasks still
+        running past ``speculation_multiplier`` times the stage's median
+        task time are re-launched on the next free slot and finish at
+        whichever attempt completes first — the straggler mitigation of
+        Ananthanarayanan et al. [5] that thesis §5.7.2 points to.
+        """
+        slots = []  # heap of (available_at, slowdown_factor)
+        for e in range(self.spec.num_executors):
+            factor = float(self.spec.straggler_factors[e])
+            for _ in range(self.spec.cores_per_executor):
+                slots.append((0.0, factor))
+        heapq.heapify(slots)
+        launch = self.cost.task_launch_seconds
+        placements = []  # (start, finish, duration)
+        for duration in sorted(durations, reverse=True):
+            available_at, factor = heapq.heappop(slots)
+            finish = available_at + launch + duration * factor
+            placements.append((available_at, finish, duration))
+            heapq.heappush(slots, (finish, factor))
+        if not placements:
+            return 0.0
+        makespan = max(finish for _s, finish, _d in placements)
+        if not getattr(self.spec, "speculative_execution", False):
+            return makespan
+
+        # Speculation pass: clone attempts of tasks whose run time
+        # exceeds the threshold; the clone starts once the straggling is
+        # detectable (median run time after the task started).
+        run_times = sorted(finish - start for start, finish, _d in placements)
+        median = run_times[len(run_times) // 2]
+        threshold = self.spec.speculation_multiplier * median
+        makespan = 0.0
+        clones = 0
+        for start, finish, duration in placements:
+            effective = finish
+            if finish - start > threshold:
+                available_at, factor = heapq.heappop(slots)
+                clone_start = max(available_at, start + median)
+                clone_finish = clone_start + launch + duration * factor
+                effective = min(finish, clone_finish)
+                clones += 1
+                heapq.heappush(slots, (clone_finish, factor))
+            makespan = max(makespan, effective)
+        if clones:
+            self.metrics.increment("speculative_clones", clones)
+        return makespan
+
+    # ------------------------------------------------------------------
+    # Cache access helper
+    # ------------------------------------------------------------------
+
+    def cached_access(self, tc, key, size_bytes):
+        """Access a cached partition inside a task.
+
+        On a cache hit this is free; on a miss the task is charged a
+        disk read of the partition's size (HDFS re-read / recompute, as
+        in thesis §4.5).
+        """
+        tc.add_disk_bytes(self.cache.access(key, size_bytes))
+
+    def reset_metrics(self):
+        """Start a fresh metrics registry (cache contents are kept)."""
+        old = self.metrics
+        self.metrics = MetricsRegistry()
+        self.cache._metrics = self.metrics
+        return old

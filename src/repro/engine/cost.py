@@ -1,0 +1,152 @@
+"""Cluster topology and cost-model parameters.
+
+All rates are simulated seconds per unit.  Defaults are calibrated so
+that the relative results of the thesis's platform comparison (§5.2)
+and scalability study (§5.7) reproduce; absolute values are arbitrary.
+"""
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+
+
+class ClusterSpec:
+    """Topology of a simulated cluster.
+
+    Parameters
+    ----------
+    num_executors:
+        Number of executor processes (the thesis uses one per node).
+    cores_per_executor:
+        Task slots per executor; tasks on one executor run in parallel
+        across its cores (the thesis nodes have 24 cores).
+    executor_memory_bytes:
+        Memory per executor; ``storage_fraction`` of it caches data
+        partitions (Spark's default unified-memory split, §4.5).
+    storage_fraction:
+        Fraction of executor memory available to cached partitions.
+    straggler_sigma:
+        Log-normal sigma of per-executor slowdown factors; 0 disables
+        straggler simulation (§5.7.2 attributes weak-scaling loss to
+        stragglers).
+    seed:
+        Seed for the straggler draw, so topologies are reproducible.
+    """
+
+    def __init__(
+        self,
+        num_executors=16,
+        cores_per_executor=24,
+        executor_memory_bytes=45 * 1024**3,
+        storage_fraction=0.6,
+        straggler_sigma=0.0,
+        seed=7,
+        speculative_execution=False,
+        speculation_multiplier=1.5,
+    ):
+        if num_executors < 1:
+            raise ConfigError("num_executors must be at least 1")
+        if cores_per_executor < 1:
+            raise ConfigError("cores_per_executor must be at least 1")
+        if executor_memory_bytes <= 0:
+            raise ConfigError("executor_memory_bytes must be positive")
+        if not 0.0 < storage_fraction <= 1.0:
+            raise ConfigError("storage_fraction must be in (0, 1]")
+        if straggler_sigma < 0:
+            raise ConfigError("straggler_sigma must be non-negative")
+        if speculation_multiplier <= 1.0:
+            raise ConfigError("speculation_multiplier must exceed 1")
+        self.num_executors = num_executors
+        self.cores_per_executor = cores_per_executor
+        self.executor_memory_bytes = executor_memory_bytes
+        self.storage_fraction = storage_fraction
+        self.straggler_sigma = straggler_sigma
+        self.seed = seed
+        self.speculative_execution = speculative_execution
+        self.speculation_multiplier = speculation_multiplier
+        rng = make_rng(seed)
+        if straggler_sigma > 0:
+            self.straggler_factors = np.exp(
+                rng.normal(0.0, straggler_sigma, size=num_executors)
+            )
+            # Normalize so the median executor runs at speed 1.
+            self.straggler_factors /= np.median(self.straggler_factors)
+        else:
+            self.straggler_factors = np.ones(num_executors)
+
+    @property
+    def total_storage_bytes(self):
+        """Aggregate cluster memory available for cached partitions."""
+        return int(
+            self.num_executors * self.executor_memory_bytes * self.storage_fraction
+        )
+
+
+#: The benchmark datasets are scaled down ~1000x from the thesis's row
+#: counts, so one simulated row stands in for ~1000 cluster rows.  The
+#: default rates for dataset-proportional quantities (``op_seconds``,
+#: ``record_seconds`` and the byte rates) bake that factor in: e.g.
+#: ``record_seconds`` of 1e-2 corresponds to ~10us of real per-record
+#: work (JVM deserialization + iterator machinery on the thesis's Spark
+#: cluster), and ``op_seconds`` of 1e-4 to ~100ns per attribute
+#: comparison.  Candidate-scale work — proportional to the number of
+#: *distinct* rules, which does not grow with |D| — is charged at the
+#: unscaled ``light_op_seconds``.
+ROW_SCALE = 1000.0
+
+
+class CostModel:
+    """Simulated-seconds rates for the work a stage performs.
+
+    ``op_seconds`` charges dataset-proportional operations (attribute
+    comparisons, per-pair LCA materialization, per-instance ancestor
+    emissions); ``light_op_seconds`` charges candidate-scale operations
+    (per distinct rule, per RCT row); ``record_seconds`` charges each
+    record a task touches (iteration, deserialization); the byte rates
+    charge data movement.  Defaults embed :data:`ROW_SCALE` (see above).
+    """
+
+    def __init__(
+        self,
+        op_seconds=1e-4,
+        light_op_seconds=5e-7,
+        record_seconds=1e-2,
+        shuffle_byte_seconds=1e-5,
+        broadcast_byte_seconds=2e-6,
+        disk_byte_seconds=5e-6,
+        task_launch_seconds=0.004,
+        stage_overhead_seconds=0.02,
+        job_launch_seconds=0.0,
+    ):
+        for name, value in [
+            ("op_seconds", op_seconds),
+            ("light_op_seconds", light_op_seconds),
+            ("record_seconds", record_seconds),
+            ("shuffle_byte_seconds", shuffle_byte_seconds),
+            ("broadcast_byte_seconds", broadcast_byte_seconds),
+            ("disk_byte_seconds", disk_byte_seconds),
+            ("task_launch_seconds", task_launch_seconds),
+            ("stage_overhead_seconds", stage_overhead_seconds),
+            ("job_launch_seconds", job_launch_seconds),
+        ]:
+            if value < 0:
+                raise ConfigError("%s must be non-negative" % name)
+        self.op_seconds = op_seconds
+        self.light_op_seconds = light_op_seconds
+        self.record_seconds = record_seconds
+        self.shuffle_byte_seconds = shuffle_byte_seconds
+        self.broadcast_byte_seconds = broadcast_byte_seconds
+        self.disk_byte_seconds = disk_byte_seconds
+        self.task_launch_seconds = task_launch_seconds
+        self.stage_overhead_seconds = stage_overhead_seconds
+        self.job_launch_seconds = job_launch_seconds
+
+    def task_seconds(self, ops, records, disk_bytes, light_ops=0):
+        """Compute one task's simulated compute + disk time."""
+        return (
+            ops * self.op_seconds
+            + light_ops * self.light_op_seconds
+            + records * self.record_seconds
+            + disk_bytes * self.disk_byte_seconds
+        )

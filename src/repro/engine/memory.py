@@ -1,0 +1,62 @@
+"""Cluster storage-memory simulation: partition cache with LRU eviction.
+
+Thesis §4.5 shows SIRUM's behaviour when the input does not fit in the
+executors' storage memory: evicted RDD partitions must be re-read from
+HDFS on the next pass, which dominates runtime.  :class:`CacheManager`
+models the aggregate storage pool (executors x memory x storage
+fraction): ``access`` either hits (free) or misses (the caller is
+charged a disk read of the partition's bytes), and a timeline of cached
+bytes is recorded for the Figure 4.3/4.4 memory plots.
+"""
+
+from collections import OrderedDict
+
+
+class CacheManager:
+    """LRU cache over named partitions with byte-level accounting."""
+
+    def __init__(self, capacity_bytes, metrics):
+        self.capacity_bytes = int(capacity_bytes)
+        self._metrics = metrics
+        self._entries = OrderedDict()  # key -> size_bytes, LRU order
+        self.cached_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, key, size_bytes):
+        """Access partition ``key``; return disk bytes to charge (0 on hit)."""
+        size_bytes = int(size_bytes)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._metrics.increment("cache_hits")
+            return 0
+        self.misses += 1
+        self._metrics.increment("cache_misses")
+        self._insert(key, size_bytes)
+        return size_bytes
+
+    def _insert(self, key, size_bytes):
+        if size_bytes > self.capacity_bytes:
+            # Partition larger than the whole pool: never cached.
+            return
+        while self.cached_bytes + size_bytes > self.capacity_bytes and self._entries:
+            _, evicted_size = self._entries.popitem(last=False)
+            self.cached_bytes -= evicted_size
+            self.evictions += 1
+            self._metrics.increment("cache_evictions")
+        self._entries[key] = size_bytes
+        self.cached_bytes += size_bytes
+
+    def contains(self, key):
+        return key in self._entries
+
+    def invalidate(self, key):
+        size = self._entries.pop(key, None)
+        if size is not None:
+            self.cached_bytes -= size
+
+    def record_timeline(self):
+        """Append the current cached-bytes level to the metrics timeline."""
+        self._metrics.record_memory(self.cached_bytes)

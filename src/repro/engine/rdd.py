@@ -1,0 +1,223 @@
+"""Eager RDD layer over the cluster context.
+
+Provides the familiar coarse-grained transformation API (thesis §2.6.3)
+over arbitrary Python elements.  Transformations execute immediately —
+the simulator has no need for lazy DAG re-execution — but costs are
+metered stage by stage exactly as the cluster context prescribes.
+
+SIRUM's hot paths use vectorized kernels through
+:meth:`ClusterContext.run_stage` directly; this layer exists for the
+engine's own tests, examples and the naive/baseline implementations
+where per-element processing matches what the thesis profiles.
+"""
+
+from repro.common.errors import EngineError
+from repro.common.rng import make_rng
+
+# Rough per-element serialized size used for shuffle-byte estimates.
+ELEMENT_BYTES = 64
+
+
+class RDD:
+    """An eagerly materialized, partitioned collection."""
+
+    def __init__(self, ctx, partitions, cache_key=None):
+        self.ctx = ctx
+        self._partitions = [list(p) for p in partitions]
+        self._cache_key = cache_key
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parallelize(cls, ctx, data, num_partitions):
+        """Split ``data`` into ``num_partitions`` roughly equal chunks."""
+        data = list(data)
+        if num_partitions < 1:
+            raise EngineError("num_partitions must be at least 1")
+        n = len(data)
+        bounds = [n * i // num_partitions for i in range(num_partitions + 1)]
+        partitions = [data[bounds[i]:bounds[i + 1]] for i in range(num_partitions)]
+        return cls(ctx, partitions)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def num_partitions(self):
+        return len(self._partitions)
+
+    def cache(self):
+        """Register partitions with the cluster's storage memory."""
+        self._cache_key = "rdd-%d" % id(self)
+        for i, part in enumerate(self._partitions):
+            self.ctx.cache.access(
+                (self._cache_key, i), len(part) * ELEMENT_BYTES
+            )
+        return self
+
+    def _access_partition(self, tc, index):
+        if self._cache_key is not None:
+            self.ctx.cached_access(
+                tc,
+                (self._cache_key, index),
+                len(self._partitions[index]) * ELEMENT_BYTES,
+            )
+
+    # ------------------------------------------------------------------
+    # Narrow transformations
+    # ------------------------------------------------------------------
+
+    def map(self, fn):
+        return self.map_partitions(lambda part: [fn(x) for x in part])
+
+    def filter(self, fn):
+        return self.map_partitions(lambda part: [x for x in part if fn(x)])
+
+    def flat_map(self, fn):
+        def kernel(part):
+            out = []
+            for x in part:
+                out.extend(fn(x))
+            return out
+
+        return self.map_partitions(kernel)
+
+    def map_partitions(self, fn):
+        """Apply ``fn(list) -> list`` per partition as one stage."""
+        indexed = list(enumerate(self._partitions))
+
+        def kernel(tc, item):
+            index, part = item
+            self._access_partition(tc, index)
+            tc.add_records(len(part))
+            result = list(fn(part))
+            tc.add_ops(len(result))
+            return result
+
+        stage = self.ctx.run_stage(kernel, indexed, name="map_partitions")
+        return RDD(self.ctx, stage.outputs)
+
+    # ------------------------------------------------------------------
+    # Wide transformations
+    # ------------------------------------------------------------------
+
+    def reduce_by_key(self, combine, num_partitions=None):
+        """Group (k, v) pairs by key and fold values with ``combine``.
+
+        Performs a map-side combine per partition (as Spark does), then
+        a metered shuffle, then a reduce stage.
+        """
+        num_partitions = num_partitions or self.num_partitions
+        indexed = list(enumerate(self._partitions))
+
+        def combine_kernel(tc, item):
+            index, part = item
+            self._access_partition(tc, index)
+            tc.add_records(len(part))
+            acc = {}
+            for key, value in part:
+                if key in acc:
+                    acc[key] = combine(acc[key], value)
+                else:
+                    acc[key] = value
+                tc.add_ops(1)
+            tc.add_output_bytes(len(acc) * ELEMENT_BYTES)
+            return acc
+
+        combined = self.ctx.run_stage(
+            combine_kernel, indexed, name="map_side_combine", shuffle_output=True
+        )
+
+        buckets = [dict() for _ in range(num_partitions)]
+        for acc in combined.outputs:
+            for key, value in acc.items():
+                bucket = buckets[hash(key) % num_partitions]
+                if key in bucket:
+                    bucket[key] = combine(bucket[key], value)
+                else:
+                    bucket[key] = value
+
+        def reduce_kernel(tc, bucket):
+            tc.add_records(len(bucket))
+            return list(bucket.items())
+
+        reduced = self.ctx.run_stage(reduce_kernel, buckets, name="reduce")
+        return RDD(self.ctx, reduced.outputs)
+
+    def group_by_key(self, num_partitions=None):
+        as_lists = self.map(lambda kv: (kv[0], [kv[1]]))
+        return as_lists.reduce_by_key(lambda a, b: a + b, num_partitions)
+
+    def join(self, other, num_partitions=None):
+        """Inner shuffle join of two (k, v) RDDs -> (k, (v1, v2))."""
+        left = self.map(lambda kv: (kv[0], ("L", kv[1])))
+        right = other.map(lambda kv: (kv[0], ("R", kv[1])))
+        both = RDD(self.ctx, left._partitions + right._partitions)
+        grouped = both.group_by_key(num_partitions or self.num_partitions)
+
+        def emit(kv):
+            key, tagged = kv
+            lefts = [v for tag, v in tagged if tag == "L"]
+            rights = [v for tag, v in tagged if tag == "R"]
+            return [(key, (lv, rv)) for lv in lefts for rv in rights]
+
+        return grouped.flat_map(emit)
+
+    def broadcast_join(self, small_pairs):
+        """Map-side join against a broadcast dict of (k -> v)."""
+        small = dict(small_pairs)
+        handle = self.ctx.broadcast(small, len(small) * ELEMENT_BYTES)
+
+        def join_partition(part):
+            table = handle.value
+            return [
+                (key, (value, table[key])) for key, value in part if key in table
+            ]
+
+        return self.map_partitions(join_partition)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def collect(self):
+        def kernel(tc, item):
+            index, part = item
+            self._access_partition(tc, index)
+            tc.add_records(len(part))
+            return list(part)
+
+        stage = self.ctx.run_stage(
+            kernel, list(enumerate(self._partitions)), name="collect"
+        )
+        out = []
+        for part in stage.outputs:
+            out.extend(part)
+        return out
+
+    def count(self):
+        def kernel(tc, item):
+            index, part = item
+            self._access_partition(tc, index)
+            tc.add_records(len(part))
+            return len(part)
+
+        stage = self.ctx.run_stage(
+            kernel, list(enumerate(self._partitions)), name="count"
+        )
+        return sum(stage.outputs)
+
+    def sample(self, fraction, seed=0):
+        """Bernoulli sample of elements, one decision per element."""
+        if not 0.0 < fraction <= 1.0:
+            raise EngineError("sample fraction must be in (0, 1]")
+        rng = make_rng(seed)
+        return self.filter(lambda _x: bool(rng.random() < fraction))
+
+    def union(self, other):
+        if other.ctx is not self.ctx:
+            raise EngineError("cannot union RDDs from different clusters")
+        return RDD(self.ctx, self._partitions + other._partitions)

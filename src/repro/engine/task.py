@@ -1,0 +1,51 @@
+"""Per-task accounting context handed to stage kernels.
+
+A kernel receives a :class:`TaskContext` and reports the work it did:
+elementary operations (comparisons, lookups, emitted pairs), records
+touched and bytes read from disk.  The scheduler turns these into the
+task's simulated duration via the cost model.
+"""
+
+
+class TaskContext:
+    """Mutable counters for a single simulated task."""
+
+    def __init__(self, task_id, partition_id):
+        self.task_id = task_id
+        self.partition_id = partition_id
+        self.ops = 0
+        self.light_ops = 0
+        self.records = 0
+        self.disk_bytes = 0
+        self.output_bytes = 0
+
+    def add_ops(self, n):
+        """Charge ``n`` dataset-proportional operations.
+
+        These are the operations whose count scales with |D| (attribute
+        comparisons over data tuples, per-pair LCA materialization,
+        per-instance ancestor emissions) and therefore carry the
+        row-scale factor in their rate.
+        """
+        self.ops += int(n)
+
+    def add_light_ops(self, n):
+        """Charge ``n`` candidate-scale operations.
+
+        Work proportional to the number of *distinct* candidate rules
+        or RCT rows — quantities that do not grow with |D| — charged at
+        an unscaled per-operation rate.
+        """
+        self.light_ops += int(n)
+
+    def add_records(self, n):
+        """Charge ``n`` records touched (iteration/deserialization)."""
+        self.records += int(n)
+
+    def add_disk_bytes(self, n):
+        """Charge ``n`` bytes read from disk (cache miss, HDFS scan)."""
+        self.disk_bytes += int(n)
+
+    def add_output_bytes(self, n):
+        """Declare ``n`` bytes of task output (shuffled or collected)."""
+        self.output_bytes += int(n)

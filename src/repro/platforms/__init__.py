@@ -1,0 +1,22 @@
+"""Data-processing platform simulators (thesis §2.6, §5.2).
+
+The thesis justifies Spark by running Baseline SIRUM on PostgreSQL,
+Hive (MapReduce) and SparkSQL.  Each platform here is a cost *regime*
+— a cluster spec plus cost model capturing the architecture:
+
+- ``spark`` — parallel executors, in-memory partition caching;
+- ``postgres`` — one process, one core, disk-oriented scans, no
+  intra-query parallelism (§2.6.1);
+- ``hive`` — parallel, but every stage is a MapReduce job: job-launch
+  latency and intermediate results materialized to replicated HDFS
+  (§5.2 attributes the slowdown to exactly this);
+- ``sparksql`` — Spark with a plan-translation inefficiency factor
+  (the thesis found generated plans slower than hand-written operators).
+
+Computation is identical across platforms (results match exactly);
+only the metered costs differ.
+"""
+
+from repro.platforms.base import PLATFORMS, make_platform_cluster, run_baseline_sirum
+
+__all__ = ["PLATFORMS", "make_platform_cluster", "run_baseline_sirum"]

@@ -1,0 +1,69 @@
+"""Platform registry and the shared SIRUM-on-a-platform runner."""
+
+from repro.common.errors import ConfigError
+from repro.core.config import variant_config
+from repro.core.miner import Sirum
+from repro.engine.cluster import ClusterContext
+from repro.engine.cost import ClusterSpec, CostModel
+
+from repro.platforms.spark_platform import spark_cluster
+from repro.platforms.postgres_sim import postgres_cluster
+from repro.platforms.hive_sim import hive_cluster
+from repro.platforms.sparksql_sim import sparksql_cluster
+
+#: Registered platform builders: name -> cluster factory.
+PLATFORMS = {
+    "spark": spark_cluster,
+    "postgres": postgres_cluster,
+    "hive": hive_cluster,
+    "sparksql": sparksql_cluster,
+}
+
+
+def make_platform_cluster(name, num_executors=16, **kwargs):
+    """Build a :class:`ClusterContext` configured as platform ``name``."""
+    try:
+        factory = PLATFORMS[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown platform %r; choose from %s"
+            % (name, ", ".join(sorted(PLATFORMS)))
+        ) from None
+    return factory(num_executors=num_executors, **kwargs)
+
+
+def run_baseline_sirum(platform, table, k=10, sample_size=16,
+                       num_executors=16, seed=0, **cluster_kwargs):
+    """Run Baseline (BJ) SIRUM on a named platform (the §5.2 setup).
+
+    Returns ``(mining_result, cluster)``; the platform's simulated
+    seconds are ``mining_result.simulated_seconds``.
+    """
+    cluster = make_platform_cluster(
+        platform, num_executors=num_executors, **cluster_kwargs
+    )
+    config = variant_config(
+        "baseline", k=k, sample_size=sample_size, seed=seed
+    )
+    result = Sirum(config).mine(table, cluster=cluster)
+    return result, cluster
+
+
+def _base_spec(num_executors, cores_per_executor, executor_memory_bytes,
+               storage_fraction=0.6, straggler_sigma=0.0, seed=7):
+    return ClusterSpec(
+        num_executors=num_executors,
+        cores_per_executor=cores_per_executor,
+        executor_memory_bytes=executor_memory_bytes,
+        storage_fraction=storage_fraction,
+        straggler_sigma=straggler_sigma,
+        seed=seed,
+    )
+
+
+def _base_cost(**overrides):
+    return CostModel(**overrides)
+
+
+def build_cluster(spec, cost):
+    return ClusterContext(spec, cost)

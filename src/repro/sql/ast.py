@@ -1,0 +1,293 @@
+"""Abstract syntax tree for the SQL dialect.
+
+Nodes are plain immutable-by-convention classes with ``__eq__`` and
+``__repr__`` so tests can assert on parsed structure directly.  The
+planner (:mod:`repro.sql.planner`) walks these trees; nothing here
+knows about tables or execution.
+"""
+
+
+class Node:
+    """Base class providing structural equality over ``__slots__``."""
+
+    __slots__ = ()
+
+    def _fields(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self._fields() == other._fields()
+
+    def __hash__(self):
+        return hash((type(self).__name__,) + self._fields())
+
+    def __repr__(self):
+        parts = ", ".join(
+            "%s=%r" % (name, getattr(self, name)) for name in self.__slots__
+        )
+        return "%s(%s)" % (type(self).__name__, parts)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Literal(Node):
+    """A constant: number, string, boolean or NULL (value is None)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class ColumnRef(Node):
+    """A possibly qualified column reference, e.g. ``d.origin``."""
+
+    __slots__ = ("table", "name")
+
+    def __init__(self, name, table=None):
+        self.name = name
+        self.table = table
+
+
+class Star(Node):
+    """``*`` in a select list or inside ``COUNT(*)``."""
+
+    __slots__ = ("table",)
+
+    def __init__(self, table=None):
+        self.table = table
+
+
+class BinaryOp(Node):
+    """Infix operator application: arithmetic, comparison, AND/OR, ``||``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnaryOp(Node):
+    """Prefix operator: ``-expr`` or ``NOT expr``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        self.op = op
+        self.operand = operand
+
+
+class FunctionCall(Node):
+    """Scalar or aggregate function call.
+
+    ``distinct`` is only meaningful for aggregates (``COUNT(DISTINCT x)``).
+    """
+
+    __slots__ = ("name", "args", "distinct")
+
+    def __init__(self, name, args, distinct=False):
+        self.name = name.upper()
+        self.args = tuple(args)
+        self.distinct = distinct
+
+
+class IsNull(Node):
+    """``expr IS [NOT] NULL``."""
+
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand, negated=False):
+        self.operand = operand
+        self.negated = negated
+
+
+class InList(Node):
+    """``expr [NOT] IN (value, ...)``."""
+
+    __slots__ = ("operand", "items", "negated")
+
+    def __init__(self, operand, items, negated=False):
+        self.operand = operand
+        self.items = tuple(items)
+        self.negated = negated
+
+
+class Between(Node):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    __slots__ = ("operand", "low", "high", "negated")
+
+    def __init__(self, operand, low, high, negated=False):
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+
+class Case(Node):
+    """``CASE WHEN cond THEN value ... [ELSE value] END``.
+
+    Only the searched form is supported; ``whens`` is a tuple of
+    (condition, result) pairs.
+    """
+
+    __slots__ = ("whens", "default")
+
+    def __init__(self, whens, default=None):
+        self.whens = tuple(whens)
+        self.default = default
+
+
+class Cast(Node):
+    """``CAST(expr AS type)`` with type one of INTEGER, FLOAT, TEXT."""
+
+    __slots__ = ("operand", "type_name")
+
+    def __init__(self, operand, type_name):
+        self.operand = operand
+        self.type_name = type_name.upper()
+
+
+# ----------------------------------------------------------------------
+# Query structure
+# ----------------------------------------------------------------------
+
+
+class SelectItem(Node):
+    """One select-list entry: an expression with an optional alias."""
+
+    __slots__ = ("expr", "alias")
+
+    def __init__(self, expr, alias=None):
+        self.expr = expr
+        self.alias = alias
+
+
+class TableRef(Node):
+    """A base-table reference with an optional alias."""
+
+    __slots__ = ("name", "alias")
+
+    def __init__(self, name, alias=None):
+        self.name = name
+        self.alias = alias
+
+
+class Join(Node):
+    """An inner or cross join between two table expressions.
+
+    ``condition`` is None for CROSS JOIN.
+    """
+
+    __slots__ = ("left", "right", "condition")
+
+    def __init__(self, left, right, condition=None):
+        self.left = left
+        self.right = right
+        self.condition = condition
+
+
+class GroupingSpec(Node):
+    """The GROUP BY clause.
+
+    ``mode`` is one of ``"plain"``, ``"cube"``, ``"rollup"`` or
+    ``"sets"``.  For plain/cube/rollup, ``exprs`` holds the grouped
+    expressions; for sets, ``sets`` holds one tuple of expressions per
+    grouping set (``exprs`` is the deduplicated union, in first-seen
+    order).
+    """
+
+    __slots__ = ("mode", "exprs", "sets")
+
+    def __init__(self, mode, exprs, sets=None):
+        self.mode = mode
+        self.exprs = tuple(exprs)
+        self.sets = None if sets is None else tuple(tuple(s) for s in sets)
+
+    def grouping_sets(self):
+        """Expand to explicit grouping sets (tuples of indexes into exprs).
+
+        - plain  -> one set with every expression;
+        - cube   -> all ``2^n`` subsets (thesis §2.5's cube lattice);
+        - rollup -> the ``n+1`` prefixes;
+        - sets   -> as written.
+        """
+        n = len(self.exprs)
+        if self.mode == "plain":
+            return [tuple(range(n))]
+        if self.mode == "cube":
+            sets = []
+            for mask in range(1 << n):
+                sets.append(tuple(i for i in range(n) if mask & (1 << i)))
+            # Most-specific first, matching the conventional output order.
+            sets.sort(key=lambda s: (-len(s), s))
+            return sets
+        if self.mode == "rollup":
+            return [tuple(range(i)) for i in range(n, -1, -1)]
+        if self.mode == "sets":
+            index_of = {expr: i for i, expr in enumerate(self.exprs)}
+            return [tuple(index_of[e] for e in s) for s in self.sets]
+        raise ValueError("unknown grouping mode %r" % self.mode)
+
+
+class OrderItem(Node):
+    """One ORDER BY key: an expression plus direction."""
+
+    __slots__ = ("expr", "ascending")
+
+    def __init__(self, expr, ascending=True):
+        self.expr = expr
+        self.ascending = ascending
+
+
+class Select(Node):
+    """A full SELECT statement."""
+
+    __slots__ = (
+        "items",
+        "source",
+        "where",
+        "group",
+        "having",
+        "order",
+        "limit",
+        "offset",
+        "distinct",
+    )
+
+    def __init__(self, items, source, where=None, group=None, having=None,
+                 order=None, limit=None, offset=None, distinct=False):
+        self.items = tuple(items)
+        self.source = source
+        self.where = where
+        self.group = group
+        self.having = having
+        self.order = None if order is None else tuple(order)
+        self.limit = limit
+        self.offset = offset
+        self.distinct = distinct
+
+
+def walk(node):
+    """Yield ``node`` and every descendant expression/clause node."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if not isinstance(current, Node):
+            continue
+        yield current
+        for name in current.__slots__:
+            value = getattr(current, name)
+            if isinstance(value, Node):
+                stack.append(value)
+            elif isinstance(value, tuple):
+                for item in value:
+                    if isinstance(item, Node):
+                        stack.append(item)
+                    elif isinstance(item, tuple):
+                        stack.extend(x for x in item if isinstance(x, Node))

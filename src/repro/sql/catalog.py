@@ -1,0 +1,92 @@
+"""Catalog: named relations visible to the SQL engine.
+
+A relation is a list of column names plus a row iterator.  SIRUM's
+columnar :class:`~repro.data.table.Table` registers with its dimension
+values decoded back to their original objects so SQL predicates compare
+what the analyst wrote (``origin = 'SF'``), exactly as on PostgreSQL.
+Intermediate results (e.g. the estimate table during iterative scaling)
+register as plain row relations.
+"""
+
+from repro.sql.errors import SqlAnalysisError
+
+
+class Relation:
+    """A named relation: ordered column names and materialized rows."""
+
+    def __init__(self, columns, rows):
+        self.columns = list(columns)
+        seen = set()
+        for name in self.columns:
+            lowered = name.lower()
+            if lowered in seen:
+                raise SqlAnalysisError("duplicate column name %r" % name)
+            seen.add(lowered)
+        self.rows = [tuple(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise SqlAnalysisError(
+                    "row arity %d does not match %d columns"
+                    % (len(row), len(self.columns))
+                )
+
+    def column_index(self, name):
+        lowered = name.lower()
+        for i, column in enumerate(self.columns):
+            if column.lower() == lowered:
+                return i
+        raise SqlAnalysisError("unknown column %r" % name)
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class Catalog:
+    """Case-insensitive mapping of table names to relations."""
+
+    def __init__(self):
+        self._relations = {}
+
+    def register(self, name, relation):
+        """Register (or replace) relation ``name``."""
+        if not name or not isinstance(name, str):
+            raise SqlAnalysisError("table name must be a non-empty string")
+        self._relations[name.lower()] = relation
+
+    def register_rows(self, name, columns, rows):
+        """Convenience: build a :class:`Relation` from columns + rows."""
+        self.register(name, Relation(columns, rows))
+
+    def register_table(self, name, table, row_id_column=None):
+        """Register a SIRUM columnar table as relation ``name``.
+
+        Columns are the schema's dimensions (decoded values) followed by
+        the measure.  If ``row_id_column`` is given, a leading integer
+        row-id column of that name is added — the thesis's flight table
+        carries a ``Flight ID`` this models.
+        """
+        schema = table.schema
+        columns = list(schema.dimensions) + [schema.measure]
+        rows = []
+        for i in range(len(table)):
+            rows.append(table.decoded_row(i))
+        if row_id_column is not None:
+            columns = [row_id_column] + columns
+            rows = [(i + 1,) + row for i, row in enumerate(rows)]
+        self.register(name, Relation(columns, rows))
+
+    def drop(self, name):
+        """Remove relation ``name``; missing names are ignored."""
+        self._relations.pop(name.lower(), None)
+
+    def lookup(self, name):
+        try:
+            return self._relations[name.lower()]
+        except KeyError:
+            raise SqlAnalysisError("unknown table %r" % name) from None
+
+    def names(self):
+        return sorted(self._relations)
+
+    def __contains__(self, name):
+        return name.lower() in self._relations

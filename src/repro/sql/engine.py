@@ -1,0 +1,49 @@
+"""The SQL engine facade: parse, plan, optimize, execute.
+
+    >>> engine = SqlEngine()
+    >>> engine.catalog.register_rows("t", ["a", "m"], [("x", 1.0), ("y", 2.0)])
+    >>> engine.query("SELECT a, SUM(m) FROM t GROUP BY a ORDER BY a").rows
+    [('x', 1.0), ('y', 2.0)]
+
+Pass a :class:`~repro.engine.cluster.ClusterContext` to meter execution
+through a platform cost regime (how the §5.2 PostgreSQL/Hive
+comparisons are reproduced).
+"""
+
+from repro.sql.catalog import Catalog
+from repro.sql.executor import Executor
+from repro.sql.optimizer import optimize
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+from repro.sql.result import ResultSet
+
+
+class SqlEngine:
+    """Executes SQL text against registered relations."""
+
+    def __init__(self, catalog=None, cluster=None, optimize_plans=True):
+        self.catalog = catalog or Catalog()
+        self._cluster = cluster
+        self._optimize = optimize_plans
+
+    def register_table(self, name, table, row_id_column=None):
+        """Register a SIRUM columnar table under ``name``."""
+        self.catalog.register_table(name, table, row_id_column=row_id_column)
+
+    def plan(self, sql_text):
+        """Parse and plan without executing (returns the plan root)."""
+        select = parse(sql_text)
+        logical = Planner(self.catalog).plan_select(select)
+        if self._optimize:
+            logical = optimize(logical)
+        return logical
+
+    def explain(self, sql_text):
+        """EXPLAIN-style text for the optimized plan of ``sql_text``."""
+        return self.plan(sql_text).explain()
+
+    def query(self, sql_text):
+        """Execute ``sql_text``; returns a :class:`ResultSet`."""
+        logical = self.plan(sql_text)
+        rows, names = Executor(self._cluster).run(logical)
+        return ResultSet(names, rows)

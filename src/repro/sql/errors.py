@@ -1,0 +1,29 @@
+"""SQL-specific error types."""
+
+from repro.common.errors import ReproError
+
+
+class SqlError(ReproError):
+    """Base class for all SQL front-end and execution errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = "%s (at position %d)" % (message, position)
+        super().__init__(message)
+        self.position = position
+
+
+class SqlAnalysisError(SqlError):
+    """The query is well-formed but semantically invalid.
+
+    Examples: unknown table or column, aggregate nested in aggregate,
+    non-grouped column referenced in an aggregate query.
+    """
+
+
+class SqlExecutionError(SqlError):
+    """A runtime failure while evaluating a plan (e.g. division by zero)."""

@@ -1,0 +1,393 @@
+"""Physical execution of bound logical plans.
+
+The executor interprets a plan bottom-up over materialized row lists.
+Rows are plain tuples; NULL is ``None``.  Three-valued logic follows
+SQL: comparisons with NULL yield NULL, ``AND``/``OR`` short-circuit
+through UNKNOWN, and WHERE keeps only rows whose predicate is TRUE.
+
+When a :class:`~repro.engine.cluster.ClusterContext` is supplied, each
+operator charges the cost model for the rows it touches, so SQL-driven
+SIRUM runs are metered on the same scale as the operator-based engine.
+"""
+
+from repro.sql.errors import SqlExecutionError
+from repro.sql.functions import make_aggregate
+from repro.sql import plan as plan_nodes
+
+
+class Executor:
+    """Interprets plans against materialized relations."""
+
+    def __init__(self, cluster=None):
+        self._cluster = cluster
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def run(self, node):
+        """Execute ``node``; returns (rows, names)."""
+        rows = self._execute(node)
+        names = _output_names(node)
+        return rows, names
+
+    def _execute(self, node):
+        method = getattr(self, "_exec_%s" % type(node).__name__.lower())
+        return method(node)
+
+    def _charge(self, rows_touched, ops=0):
+        if self._cluster is not None:
+            cost = self._cluster.cost
+            self._cluster.metrics.charge(
+                rows_touched * cost.record_seconds + ops * cost.op_seconds
+            )
+
+    # ------------------------------------------------------------------
+    # Leaf and unary operators
+    # ------------------------------------------------------------------
+
+    def _exec_scan(self, node):
+        relation = node.relation
+        slots = node.column_slots
+        full_width = slots == list(range(len(relation.columns)))
+        out = []
+        predicate = node.predicate
+        for row in relation.rows:
+            if predicate is not None and evaluate(predicate, row) is not True:
+                continue
+            out.append(row if full_width else tuple(row[i] for i in slots))
+        self._charge(len(relation.rows), ops=len(out))
+        return out
+
+    def _exec_filter(self, node):
+        child_rows = self._execute(node.child)
+        out = [
+            row for row in child_rows if evaluate(node.predicate, row) is True
+        ]
+        self._charge(len(child_rows))
+        return out
+
+    def _exec_project(self, node):
+        child_rows = self._execute(node.child)
+        exprs = node.exprs
+        out = [tuple(evaluate(e, row) for e in exprs) for row in child_rows]
+        self._charge(len(child_rows), ops=len(child_rows) * len(exprs))
+        return out
+
+    def _exec_distinct(self, node):
+        child_rows = self._execute(node.child)
+        seen = set()
+        out = []
+        for row in child_rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        self._charge(len(child_rows))
+        return out
+
+    def _exec_sort(self, node):
+        rows = self._execute(node.child)
+        # Stable multi-key sort: apply keys right-to-left.  NULLs sort
+        # last under ASC, first under DESC (PostgreSQL default).
+        for key_expr, ascending in reversed(list(zip(node.keys, node.ascending))):
+            rows.sort(
+                key=lambda row: _sort_key(evaluate(key_expr, row), ascending),
+                reverse=not ascending,
+            )
+        self._charge(len(rows), ops=len(rows))
+        return rows
+
+    def _exec_limit(self, node):
+        rows = self._execute(node.child)
+        start = node.offset or 0
+        stop = None if node.limit is None else start + node.limit
+        return rows[start:stop]
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def _exec_hashjoin(self, node):
+        left_rows = self._execute(node.left)
+        right_rows = self._execute(node.right)
+        build = {}
+        for row in right_rows:
+            key = tuple(evaluate(k, row) for k in node.right_keys)
+            if any(v is None for v in key):
+                continue  # NULL never joins
+            build.setdefault(key, []).append(row)
+        out = []
+        for row in left_rows:
+            key = tuple(evaluate(k, row) for k in node.left_keys)
+            if any(v is None for v in key):
+                continue
+            for match in build.get(key, ()):
+                joined = row + match
+                if node.residual is None or evaluate(node.residual, joined) is True:
+                    out.append(joined)
+        self._charge(len(left_rows) + len(right_rows), ops=len(out))
+        return out
+
+    def _exec_crossjoin(self, node):
+        left_rows = self._execute(node.left)
+        right_rows = self._execute(node.right)
+        out = []
+        for left in left_rows:
+            for right in right_rows:
+                joined = left + right
+                if node.condition is None or evaluate(node.condition, joined) is True:
+                    out.append(joined)
+        self._charge(len(left_rows) * max(len(right_rows), 1), ops=len(out))
+        return out
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def _exec_aggregate(self, node):
+        child_rows = self._execute(node.child)
+        group_exprs = node.group_exprs
+        n_groups = len(group_exprs)
+        out = []
+        # One pass per grouping set; CUBE over d columns runs 2^d passes,
+        # mirroring the 2^d group-bys the naive cube algorithm issues.
+        for kept in node.grouping_sets:
+            kept_set = frozenset(kept)
+            groups = {}
+            order = []
+            for row in child_rows:
+                key = tuple(
+                    evaluate(group_exprs[i], row) if i in kept_set else None
+                    for i in range(n_groups)
+                )
+                state = groups.get(key)
+                if state is None:
+                    state = [
+                        make_aggregate(name, count_rows=arg is None, distinct=distinct)
+                        for name, arg, distinct in node.agg_specs
+                    ]
+                    groups[key] = state
+                    order.append(key)
+                for agg, (name, arg, _distinct) in zip(state, node.agg_specs):
+                    agg.add(True if arg is None else evaluate(arg, row))
+            if not child_rows and not kept and n_groups == 0:
+                # Global aggregate over an empty input still yields one row.
+                state = [
+                    make_aggregate(name, count_rows=arg is None, distinct=distinct)
+                    for name, arg, distinct in node.agg_specs
+                ]
+                groups[()] = state
+                order.append(())
+            grouping_bits = tuple(
+                0 if i in kept_set else 1 for i in range(n_groups)
+            )
+            for key in order:
+                results = tuple(agg.result() for agg in groups[key])
+                out.append(key + results + grouping_bits)
+            self._charge(len(child_rows), ops=len(groups) * len(node.agg_specs))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+
+
+def evaluate(expr, row):
+    """Evaluate a bound expression against one row tuple."""
+    tag = expr[0]
+    if tag == "col":
+        return row[expr[1]]
+    if tag == "const":
+        return expr[1]
+    if tag == "cmp":
+        return _compare(expr[1], evaluate(expr[2], row), evaluate(expr[3], row))
+    if tag == "arith":
+        return _arithmetic(expr[1], evaluate(expr[2], row), evaluate(expr[3], row))
+    if tag == "and":
+        left = evaluate(expr[1], row)
+        if left is False:
+            return False
+        right = evaluate(expr[2], row)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if tag == "or":
+        left = evaluate(expr[1], row)
+        if left is True:
+            return True
+        right = evaluate(expr[2], row)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    if tag == "not":
+        value = evaluate(expr[1], row)
+        return None if value is None else (not value)
+    if tag == "neg":
+        value = evaluate(expr[1], row)
+        return None if value is None else -value
+    if tag == "isnull":
+        value = evaluate(expr[1], row)
+        return (value is not None) if expr[2] else (value is None)
+    if tag == "in":
+        value = evaluate(expr[1], row)
+        if value is None:
+            return None
+        hit = value in expr[2]
+        return (not hit) if expr[3] else hit
+    if tag == "in_exprs":
+        value = evaluate(expr[1], row)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expr[2]:
+            candidate = evaluate(item, row)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return False if expr[3] else True
+        if saw_null:
+            return None
+        return True if expr[3] else False
+    if tag == "between":
+        value = evaluate(expr[1], row)
+        low = evaluate(expr[2], row)
+        high = evaluate(expr[3], row)
+        if value is None or low is None or high is None:
+            return None
+        hit = low <= value <= high
+        return (not hit) if expr[4] else hit
+    if tag == "case":
+        for condition, result in expr[1]:
+            if evaluate(condition, row) is True:
+                return evaluate(result, row)
+        return evaluate(expr[2], row)
+    if tag == "cast":
+        return _cast(evaluate(expr[1], row), expr[2])
+    if tag == "call":
+        fn, null_aware, args = expr[1], expr[2], expr[3]
+        values = [evaluate(a, row) for a in args]
+        if not null_aware and any(v is None for v in values):
+            return None
+        try:
+            return fn(*values)
+        except SqlExecutionError:
+            raise
+        except (TypeError, ValueError, ZeroDivisionError) as exc:
+            raise SqlExecutionError("function call failed: %s" % exc) from exc
+    if tag == "grouping":
+        # Resolved by the Aggregate operator: bits live after the
+        # aggregate results.  The planner only emits this tag inside a
+        # Project directly above an Aggregate.
+        raise SqlExecutionError("GROUPING() used outside an aggregate context")
+    raise SqlExecutionError("unknown expression tag %r" % tag)
+
+
+def _compare(op, left, right):
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise SqlExecutionError(
+            "cannot compare %r with %r" % (left, right)
+        ) from exc
+    raise SqlExecutionError("unknown comparison %r" % op)
+
+
+def _arithmetic(op, left, right):
+    if op == "||":
+        if left is None or right is None:
+            return None
+        return str(left) + str(right)
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise SqlExecutionError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                return left / right  # SQL float division, PostgreSQL-style
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise SqlExecutionError("modulo by zero")
+            return left % right
+    except TypeError as exc:
+        raise SqlExecutionError(
+            "bad operands for %s: %r, %r" % (op, left, right)
+        ) from exc
+    raise SqlExecutionError("unknown operator %r" % op)
+
+
+def _cast(value, type_name):
+    if value is None:
+        return None
+    try:
+        if type_name == "INTEGER":
+            return int(value)
+        if type_name == "FLOAT":
+            return float(value)
+        if type_name == "TEXT":
+            return str(value)
+    except (TypeError, ValueError) as exc:
+        raise SqlExecutionError(
+            "cannot cast %r to %s" % (value, type_name)
+        ) from exc
+    raise SqlExecutionError("unknown cast type %r" % type_name)
+
+
+class _NullLast:
+    """Sort wrapper placing NULLs last in ascending order."""
+
+    __slots__ = ("value", "is_null")
+
+    def __init__(self, value, is_null):
+        self.value = value
+        self.is_null = is_null
+
+    def __lt__(self, other):
+        if self.is_null:
+            return False
+        if other.is_null:
+            return True
+        return self.value < other.value
+
+    def __eq__(self, other):
+        return self.is_null == other.is_null and self.value == other.value
+
+
+def _sort_key(value, ascending):
+    return _NullLast(value, value is None)
+
+
+def _output_names(node):
+    if isinstance(node, plan_nodes.Project):
+        return list(node.names)
+    if isinstance(node, plan_nodes.Scan):
+        return [node.relation.columns[i] for i in node.column_slots]
+    children = node.children()
+    if children:
+        return _output_names(children[0])
+    return []

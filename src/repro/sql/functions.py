@@ -1,0 +1,248 @@
+"""Scalar and aggregate function registry for the SQL engine.
+
+Scalar functions are plain callables over Python values with SQL NULL
+(None) propagation handled by the executor for the common case (any
+NULL argument yields NULL) unless the function is registered as
+``null_aware``.  Aggregates are small accumulator classes with the
+standard SQL semantics: NULL inputs are skipped; an empty input yields
+NULL for everything except COUNT, which yields 0.
+"""
+
+import math
+
+from repro.sql.errors import SqlAnalysisError, SqlExecutionError
+
+
+# ----------------------------------------------------------------------
+# Scalar functions
+# ----------------------------------------------------------------------
+
+
+def _sql_like(value, pattern):
+    """SQL LIKE with ``%`` and ``_`` wildcards, case-sensitive."""
+    if value is None or pattern is None:
+        return None
+    # Translate to a regex once per call; patterns are tiny in practice.
+    import re
+
+    out = []
+    for ch in str(pattern):
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return bool(re.fullmatch("".join(out), str(value)))
+
+
+def _checked_log(value):
+    if value <= 0:
+        raise SqlExecutionError("LN of a non-positive value %r" % value)
+    return math.log(value)
+
+
+def _coalesce(*args):
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(a, b):
+    return None if a == b else a
+
+
+#: name -> (callable, null_aware).  Non-null-aware functions are only
+#: invoked when every argument is non-NULL.
+SCALAR_FUNCTIONS = {
+    "ABS": (abs, False),
+    "LN": (_checked_log, False),
+    "LOG": (_checked_log, False),
+    "EXP": (math.exp, False),
+    "SQRT": (math.sqrt, False),
+    "FLOOR": (lambda x: float(math.floor(x)), False),
+    "CEIL": (lambda x: float(math.ceil(x)), False),
+    "ROUND": (lambda x, n=0: round(x, int(n)), False),
+    "POWER": (lambda x, y: float(x) ** float(y), False),
+    "UPPER": (lambda s: str(s).upper(), False),
+    "LOWER": (lambda s: str(s).lower(), False),
+    "LENGTH": (lambda s: len(str(s)), False),
+    "LIKE": (_sql_like, True),
+    "COALESCE": (_coalesce, True),
+    "NULLIF": (_nullif, True),
+    "GREATEST": (lambda *a: max(a), False),
+    "LEAST": (lambda *a: min(a), False),
+}
+
+
+def lookup_scalar(name):
+    try:
+        return SCALAR_FUNCTIONS[name]
+    except KeyError:
+        raise SqlAnalysisError("unknown function %r" % name) from None
+
+
+# ----------------------------------------------------------------------
+# Aggregates
+# ----------------------------------------------------------------------
+
+
+class Aggregate:
+    """Accumulator protocol: ``add(value)`` then ``result()``."""
+
+    def add(self, value):
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+
+class CountAgg(Aggregate):
+    """COUNT(expr): number of non-NULL inputs; COUNT(*) counts rows."""
+
+    def __init__(self, count_rows=False):
+        self._count_rows = count_rows
+        self._n = 0
+
+    def add(self, value):
+        if self._count_rows or value is not None:
+            self._n += 1
+
+    def result(self):
+        return self._n
+
+
+class SumAgg(Aggregate):
+    def __init__(self):
+        self._total = None
+
+    def add(self, value):
+        if value is None:
+            return
+        self._total = value if self._total is None else self._total + value
+
+    def result(self):
+        return self._total
+
+
+class AvgAgg(Aggregate):
+    def __init__(self):
+        self._total = 0.0
+        self._n = 0
+
+    def add(self, value):
+        if value is None:
+            return
+        self._total += value
+        self._n += 1
+
+    def result(self):
+        return None if self._n == 0 else self._total / self._n
+
+
+class MinAgg(Aggregate):
+    def __init__(self):
+        self._best = None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self._best is None or value < self._best:
+            self._best = value
+
+    def result(self):
+        return self._best
+
+
+class MaxAgg(Aggregate):
+    def __init__(self):
+        self._best = None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self._best is None or value > self._best:
+            self._best = value
+
+    def result(self):
+        return self._best
+
+
+class VarianceAgg(Aggregate):
+    """Sample variance via Welford's online algorithm (numerically stable)."""
+
+    def __init__(self):
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value):
+        if value is None:
+            return
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+
+    def result(self):
+        if self._n < 2:
+            return None
+        return self._m2 / (self._n - 1)
+
+
+class StddevAgg(VarianceAgg):
+    def result(self):
+        variance = super().result()
+        return None if variance is None else math.sqrt(variance)
+
+
+class DistinctAgg(Aggregate):
+    """Wraps another aggregate, feeding each distinct value once."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._seen = set()
+
+    def add(self, value):
+        if value is None or value in self._seen:
+            return
+        self._seen.add(value)
+        self._inner.add(value)
+
+    def result(self):
+        return self._inner.result()
+
+
+AGGREGATE_FACTORIES = {
+    "COUNT": CountAgg,
+    "SUM": SumAgg,
+    "AVG": AvgAgg,
+    "MIN": MinAgg,
+    "MAX": MaxAgg,
+    "VARIANCE": VarianceAgg,
+    "VAR_SAMP": VarianceAgg,
+    "STDDEV": StddevAgg,
+}
+
+
+def is_aggregate_name(name):
+    return name in AGGREGATE_FACTORIES
+
+
+def make_aggregate(name, count_rows=False, distinct=False):
+    """Build an accumulator for aggregate ``name``.
+
+    ``count_rows`` selects COUNT(*) semantics; ``distinct`` wraps the
+    accumulator so duplicate inputs are folded once.
+    """
+    try:
+        factory = AGGREGATE_FACTORIES[name]
+    except KeyError:
+        raise SqlAnalysisError("unknown aggregate %r" % name) from None
+    agg = factory(count_rows=True) if (name == "COUNT" and count_rows) else factory()
+    if distinct:
+        if name == "COUNT" and count_rows:
+            raise SqlAnalysisError("COUNT(DISTINCT *) is not valid SQL")
+        agg = DistinctAgg(agg)
+    return agg

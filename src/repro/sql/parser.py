@@ -1,0 +1,435 @@
+"""Recursive-descent parser producing :mod:`repro.sql.ast` trees.
+
+Grammar (informal):
+
+    select    := SELECT [DISTINCT|ALL] items FROM source
+                 [WHERE expr] [GROUP BY grouping] [HAVING expr]
+                 [ORDER BY order_items] [LIMIT n [OFFSET n]]
+    source    := table_ref ([INNER|CROSS] JOIN table_ref [ON expr])*
+    grouping  := CUBE '(' exprs ')' | ROLLUP '(' exprs ')'
+               | GROUPING SETS '(' '(' exprs ')' (',' '(' exprs ')')* ')'
+               | exprs
+    expr      := or_expr with standard precedence:
+                 OR < AND < NOT < comparison/IS/IN/BETWEEN/LIKE
+                 < add/sub/|| < mul/div/mod < unary minus < atoms
+
+Operator precedence follows PostgreSQL.  The parser is deliberately
+strict: trailing tokens after a complete statement are an error.
+"""
+
+from repro.sql import ast
+from repro.sql.errors import SqlSyntaxError
+from repro.sql.tokens import tokenize
+
+#: Comparison operators at the comparison precedence level.
+COMPARISON_OPS = frozenset(["=", "<>", "!=", "<", "<=", ">", ">="])
+
+
+def parse(text):
+    """Parse one SELECT statement; raises SqlSyntaxError on bad input."""
+    parser = _Parser(tokenize(text))
+    select = parser.parse_select()
+    parser.expect_end()
+    return select
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token stream helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self):
+        return self._tokens[self._pos]
+
+    def _advance(self):
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _accept(self, kind, value=None):
+        if self._peek().matches(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, value=None):
+        token = self._peek()
+        if not token.matches(kind, value):
+            wanted = value if value is not None else kind
+            raise SqlSyntaxError(
+                "expected %s but found %r" % (wanted, token.value),
+                position=token.position,
+            )
+        return self._advance()
+
+    def expect_end(self):
+        self._accept("OP", ";")
+        token = self._peek()
+        if token.kind != "EOF":
+            raise SqlSyntaxError(
+                "unexpected trailing input %r" % token.value,
+                position=token.position,
+            )
+
+    # ------------------------------------------------------------------
+    # Statement
+    # ------------------------------------------------------------------
+
+    def parse_select(self):
+        self._expect("KEYWORD", "SELECT")
+        distinct = False
+        if self._accept("KEYWORD", "DISTINCT"):
+            distinct = True
+        else:
+            self._accept("KEYWORD", "ALL")
+        items = self._parse_select_items()
+        self._expect("KEYWORD", "FROM")
+        source = self._parse_source()
+        where = None
+        if self._accept("KEYWORD", "WHERE"):
+            where = self.parse_expr()
+        group = None
+        if self._accept("KEYWORD", "GROUP"):
+            self._expect("KEYWORD", "BY")
+            group = self._parse_grouping()
+        having = None
+        if self._accept("KEYWORD", "HAVING"):
+            having = self.parse_expr()
+        order = None
+        if self._accept("KEYWORD", "ORDER"):
+            self._expect("KEYWORD", "BY")
+            order = self._parse_order_items()
+        limit = offset = None
+        if self._accept("KEYWORD", "LIMIT"):
+            limit = self._parse_nonnegative_int("LIMIT")
+            if self._accept("KEYWORD", "OFFSET"):
+                offset = self._parse_nonnegative_int("OFFSET")
+        return ast.Select(
+            items=items,
+            source=source,
+            where=where,
+            group=group,
+            having=having,
+            order=order,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_nonnegative_int(self, clause):
+        token = self._expect("NUMBER")
+        if not isinstance(token.value, int) or token.value < 0:
+            raise SqlSyntaxError(
+                "%s requires a non-negative integer" % clause,
+                position=token.position,
+            )
+        return token.value
+
+    # ------------------------------------------------------------------
+    # Select list / FROM
+    # ------------------------------------------------------------------
+
+    def _parse_select_items(self):
+        items = [self._parse_select_item()]
+        while self._accept("OP", ","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self):
+        if self._accept("OP", "*"):
+            return ast.SelectItem(ast.Star())
+        expr = self.parse_expr()
+        alias = None
+        if self._accept("KEYWORD", "AS"):
+            alias = self._expect_name()
+        elif self._peek().kind == "IDENT":
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _expect_name(self):
+        token = self._peek()
+        if token.kind == "IDENT":
+            return self._advance().value
+        raise SqlSyntaxError(
+            "expected a name but found %r" % token.value, position=token.position
+        )
+
+    def _parse_source(self):
+        left = self._parse_table_ref()
+        while True:
+            if self._accept("KEYWORD", "CROSS"):
+                self._expect("KEYWORD", "JOIN")
+                right = self._parse_table_ref()
+                left = ast.Join(left, right, condition=None)
+                continue
+            if self._peek().matches("KEYWORD", "INNER") or self._peek().matches(
+                "KEYWORD", "JOIN"
+            ):
+                self._accept("KEYWORD", "INNER")
+                self._expect("KEYWORD", "JOIN")
+                right = self._parse_table_ref()
+                self._expect("KEYWORD", "ON")
+                condition = self.parse_expr()
+                left = ast.Join(left, right, condition)
+                continue
+            return left
+
+    def _parse_table_ref(self):
+        name = self._expect_name()
+        alias = None
+        if self._accept("KEYWORD", "AS"):
+            alias = self._expect_name()
+        elif self._peek().kind == "IDENT":
+            alias = self._advance().value
+        return ast.TableRef(name, alias)
+
+    # ------------------------------------------------------------------
+    # GROUP BY
+    # ------------------------------------------------------------------
+
+    def _parse_grouping(self):
+        if self._accept("KEYWORD", "CUBE"):
+            exprs = self._parse_paren_expr_list()
+            return ast.GroupingSpec("cube", exprs)
+        if self._accept("KEYWORD", "ROLLUP"):
+            exprs = self._parse_paren_expr_list()
+            return ast.GroupingSpec("rollup", exprs)
+        if self._accept("KEYWORD", "GROUPING"):
+            self._expect("KEYWORD", "SETS")
+            self._expect("OP", "(")
+            sets = [self._parse_grouping_set()]
+            while self._accept("OP", ","):
+                sets.append(self._parse_grouping_set())
+            self._expect("OP", ")")
+            union = []
+            for group_set in sets:
+                for expr in group_set:
+                    if expr not in union:
+                        union.append(expr)
+            return ast.GroupingSpec("sets", union, sets=sets)
+        exprs = [self.parse_expr()]
+        while self._accept("OP", ","):
+            exprs.append(self.parse_expr())
+        return ast.GroupingSpec("plain", exprs)
+
+    def _parse_grouping_set(self):
+        self._expect("OP", "(")
+        if self._accept("OP", ")"):
+            return []
+        exprs = [self.parse_expr()]
+        while self._accept("OP", ","):
+            exprs.append(self.parse_expr())
+        self._expect("OP", ")")
+        return exprs
+
+    def _parse_paren_expr_list(self):
+        self._expect("OP", "(")
+        exprs = [self.parse_expr()]
+        while self._accept("OP", ","):
+            exprs.append(self.parse_expr())
+        self._expect("OP", ")")
+        return exprs
+
+    def _parse_order_items(self):
+        items = [self._parse_order_item()]
+        while self._accept("OP", ","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self):
+        expr = self.parse_expr()
+        ascending = True
+        if self._accept("KEYWORD", "DESC"):
+            ascending = False
+        else:
+            self._accept("KEYWORD", "ASC")
+        return ast.OrderItem(expr, ascending)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def parse_expr(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._accept("KEYWORD", "OR"):
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self._accept("KEYWORD", "AND"):
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self._accept("KEYWORD", "NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == "OP" and token.value in COMPARISON_OPS:
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            return ast.BinaryOp(op, left, self._parse_additive())
+        negated = False
+        if self._peek().matches("KEYWORD", "NOT"):
+            following = self._tokens[self._pos + 1]
+            if following.kind == "KEYWORD" and following.value in (
+                "IN",
+                "BETWEEN",
+                "LIKE",
+            ):
+                self._advance()
+                negated = True
+        if self._accept("KEYWORD", "IS"):
+            is_negated = bool(self._accept("KEYWORD", "NOT"))
+            self._expect("KEYWORD", "NULL")
+            return ast.IsNull(left, negated=is_negated)
+        if self._accept("KEYWORD", "IN"):
+            items = self._parse_paren_expr_list()
+            return ast.InList(left, items, negated=negated)
+        if self._accept("KEYWORD", "BETWEEN"):
+            low = self._parse_additive()
+            self._expect("KEYWORD", "AND")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated=negated)
+        if self._accept("KEYWORD", "LIKE"):
+            pattern = self._parse_additive()
+            node = ast.FunctionCall("LIKE", [left, pattern])
+            return ast.UnaryOp("NOT", node) if negated else node
+        if negated:
+            raise SqlSyntaxError(
+                "NOT must be followed by IN, BETWEEN or LIKE here",
+                position=token.position,
+            )
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.matches("OP", "+") or token.matches("OP", "-") or token.matches(
+                "OP", "||"
+            ):
+                op = self._advance().value
+                left = ast.BinaryOp(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("*", "/", "%"):
+                op = self._advance().value
+                left = ast.BinaryOp(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self):
+        if self._accept("OP", "-"):
+            return ast.UnaryOp("-", self._parse_unary())
+        if self._accept("OP", "+"):
+            return self._parse_unary()
+        return self._parse_atom()
+
+    def _parse_atom(self):
+        token = self._peek()
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            self._advance()
+            return ast.Literal(token.value)
+        if token.matches("KEYWORD", "NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.matches("KEYWORD", "TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.matches("KEYWORD", "FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.matches("KEYWORD", "CASE"):
+            return self._parse_case()
+        if token.matches("KEYWORD", "CAST"):
+            return self._parse_cast()
+        if token.matches("KEYWORD", "GROUPING"):
+            # GROUPING(col) aggregate-context function, standard SQL.
+            self._advance()
+            args = self._parse_paren_expr_list()
+            return ast.FunctionCall("GROUPING", args)
+        if token.matches("OP", "("):
+            self._advance()
+            expr = self.parse_expr()
+            self._expect("OP", ")")
+            return expr
+        if token.kind == "IDENT":
+            return self._parse_identifier_expression()
+        raise SqlSyntaxError(
+            "unexpected token %r" % token.value, position=token.position
+        )
+
+    def _parse_identifier_expression(self):
+        name = self._advance().value
+        if self._accept("OP", "("):
+            return self._finish_function_call(name)
+        if self._accept("OP", "."):
+            if self._accept("OP", "*"):
+                return ast.Star(table=name)
+            column = self._expect_name()
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+    def _finish_function_call(self, name):
+        if self._accept("OP", "*"):
+            self._expect("OP", ")")
+            return ast.FunctionCall(name, [ast.Star()])
+        distinct = bool(self._accept("KEYWORD", "DISTINCT"))
+        if self._accept("OP", ")"):
+            return ast.FunctionCall(name, [], distinct=distinct)
+        args = [self.parse_expr()]
+        while self._accept("OP", ","):
+            args.append(self.parse_expr())
+        self._expect("OP", ")")
+        return ast.FunctionCall(name, args, distinct=distinct)
+
+    def _parse_case(self):
+        self._expect("KEYWORD", "CASE")
+        whens = []
+        while self._accept("KEYWORD", "WHEN"):
+            condition = self.parse_expr()
+            self._expect("KEYWORD", "THEN")
+            whens.append((condition, self.parse_expr()))
+        if not whens:
+            token = self._peek()
+            raise SqlSyntaxError(
+                "CASE requires at least one WHEN branch", position=token.position
+            )
+        default = None
+        if self._accept("KEYWORD", "ELSE"):
+            default = self.parse_expr()
+        self._expect("KEYWORD", "END")
+        return ast.Case(whens, default)
+
+    def _parse_cast(self):
+        self._expect("KEYWORD", "CAST")
+        self._expect("OP", "(")
+        operand = self.parse_expr()
+        self._expect("KEYWORD", "AS")
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.value in ("INTEGER", "FLOAT", "TEXT"):
+            type_name = self._advance().value
+        else:
+            raise SqlSyntaxError(
+                "unknown cast target %r" % token.value, position=token.position
+            )
+        self._expect("OP", ")")
+        return ast.Cast(operand, type_name)

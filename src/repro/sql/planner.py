@@ -1,0 +1,551 @@
+"""AST -> logical plan translation (name resolution and binding).
+
+The planner resolves column references against the FROM-clause scope,
+classifies the query as plain or aggregating, and emits a plan tree of
+:mod:`repro.sql.plan` nodes with all expressions bound to integer row
+slots.  Semantic violations raise :class:`SqlAnalysisError`.
+"""
+
+from repro.sql import ast, plan
+from repro.sql.errors import SqlAnalysisError
+from repro.sql.functions import is_aggregate_name, lookup_scalar
+
+
+class Scope:
+    """Visible columns of a FROM clause: (qualifier, name) -> slot."""
+
+    def __init__(self):
+        self.entries = []  # (qualifier_lower_or_None, name_lower, display_name)
+
+    def extend(self, qualifier, names):
+        qualifier = qualifier.lower() if qualifier else None
+        for name in names:
+            self.entries.append((qualifier, name.lower(), name))
+
+    def resolve(self, ref):
+        """Resolve a ColumnRef to its slot; raises on unknown/ambiguous."""
+        wanted_table = ref.table.lower() if ref.table else None
+        wanted_name = ref.name.lower()
+        matches = [
+            i
+            for i, (qualifier, name, _display) in enumerate(self.entries)
+            if name == wanted_name
+            and (wanted_table is None or qualifier == wanted_table)
+        ]
+        if not matches:
+            raise SqlAnalysisError("unknown column %r" % _display_ref(ref))
+        if len(matches) > 1:
+            raise SqlAnalysisError("ambiguous column %r" % _display_ref(ref))
+        return matches[0]
+
+    def slots_for_star(self, qualifier=None):
+        qualifier = qualifier.lower() if qualifier else None
+        slots = [
+            i
+            for i, (entry_qualifier, _name, _display) in enumerate(self.entries)
+            if qualifier is None or entry_qualifier == qualifier
+        ]
+        if not slots:
+            raise SqlAnalysisError("unknown table %r in star expansion" % qualifier)
+        return slots
+
+    def display_name(self, slot):
+        return self.entries[slot][2]
+
+    def __len__(self):
+        return len(self.entries)
+
+
+def _display_ref(ref):
+    return "%s.%s" % (ref.table, ref.name) if ref.table else ref.name
+
+
+class Planner:
+    """Stateless translator; one instance may plan many queries."""
+
+    def __init__(self, catalog):
+        self._catalog = catalog
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def plan_select(self, select):
+        source_plan, scope = self._plan_source(select.source)
+        if select.where is not None:
+            predicate = self._bind_scalar(select.where, scope)
+            source_plan = plan.Filter(source_plan, predicate)
+        if self._is_aggregate_query(select):
+            return self._plan_aggregate_query(select, source_plan, scope)
+        return self._plan_plain_query(select, source_plan, scope)
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+
+    def _plan_source(self, source):
+        if isinstance(source, ast.TableRef):
+            relation = self._catalog.lookup(source.name)
+            node = plan.Scan(
+                source.name, relation, list(range(len(relation.columns)))
+            )
+            scope = Scope()
+            scope.extend(source.alias or source.name, relation.columns)
+            return node, scope
+        if isinstance(source, ast.Join):
+            return self._plan_join(source)
+        raise SqlAnalysisError("unsupported FROM clause %r" % (source,))
+
+    def _plan_join(self, join):
+        left_plan, left_scope = self._plan_source(join.left)
+        right_plan, right_scope = self._plan_source(join.right)
+        scope = Scope()
+        scope.entries = list(left_scope.entries) + list(right_scope.entries)
+        if join.condition is None:
+            return plan.CrossJoin(left_plan, right_plan), scope
+        equi_pairs, residual_conjuncts = self._split_join_condition(
+            join.condition, left_scope, right_scope
+        )
+        if equi_pairs:
+            left_keys = [("col", left_slot) for left_slot, _r in equi_pairs]
+            right_keys = [("col", right_slot) for _l, right_slot in equi_pairs]
+            residual = None
+            if residual_conjuncts:
+                residual = self._bind_conjunction(residual_conjuncts, scope)
+            return (
+                plan.HashJoin(left_plan, right_plan, left_keys, right_keys, residual),
+                scope,
+            )
+        condition = self._bind_scalar(join.condition, scope)
+        return plan.CrossJoin(left_plan, right_plan, condition), scope
+
+    def _split_join_condition(self, condition, left_scope, right_scope):
+        """Partition AND-ed conjuncts into equi-key pairs and residuals.
+
+        A conjunct ``a = b`` where one side resolves in the left scope
+        and the other in the right becomes a hash-join key pair; every
+        other conjunct stays as a residual filter.
+        """
+        equi_pairs = []
+        residual = []
+        for conjunct in _flatten_and(condition):
+            pair = self._as_equi_pair(conjunct, left_scope, right_scope)
+            if pair is not None:
+                equi_pairs.append(pair)
+            else:
+                residual.append(conjunct)
+        return equi_pairs, residual
+
+    def _as_equi_pair(self, conjunct, left_scope, right_scope):
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            return None
+        sides = (conjunct.left, conjunct.right)
+        if not all(isinstance(side, ast.ColumnRef) for side in sides):
+            return None
+        for first, second in ((sides[0], sides[1]), (sides[1], sides[0])):
+            left_slot = _try_resolve(left_scope, first)
+            right_slot = _try_resolve(right_scope, second)
+            if left_slot is not None and right_slot is not None:
+                return left_slot, right_slot
+        return None
+
+    def _bind_conjunction(self, conjuncts, scope):
+        bound = self._bind_scalar(conjuncts[0], scope)
+        for conjunct in conjuncts[1:]:
+            bound = ("and", bound, self._bind_scalar(conjunct, scope))
+        return bound
+
+    # ------------------------------------------------------------------
+    # Plain (non-aggregate) queries
+    # ------------------------------------------------------------------
+
+    def _plan_plain_query(self, select, source_plan, scope):
+        exprs, names = self._expand_select_items(select.items, scope)
+        bound = [self._bind_scalar(e, scope) for e in exprs]
+        node = plan.Project(source_plan, bound, names)
+        if select.order:
+            node = self._plan_order(select, node, exprs, names, scope)
+        # Distinct preserves first-occurrence order, so applying it after
+        # the sort keeps ORDER BY semantics.
+        node = self._apply_distinct(select, node)
+        return self._apply_limit(select, node)
+
+    def _plan_order(self, select, node, select_exprs, names, scope):
+        keys = []
+        extra = []  # sort keys not present in the select list
+        for item in select.order:
+            slot = self._order_key_slot(item.expr, select_exprs, names)
+            if slot is not None:
+                keys.append(("col", slot))
+            else:
+                keys.append(("col", len(names) + len(extra)))
+                extra.append(self._bind_scalar(item.expr, scope))
+        if extra:
+            # Widen the projection with hidden sort keys, sort, then trim.
+            widened = plan.Project(
+                node.child,
+                list(node.exprs) + extra,
+                list(node.names) + ["$sort%d" % i for i in range(len(extra))],
+            )
+            sort = plan.Sort(widened, keys, [i.ascending for i in select.order])
+            trim = [("col", i) for i in range(len(names))]
+            return plan.Project(sort, trim, names)
+        return plan.Sort(node, keys, [i.ascending for i in select.order])
+
+    def _order_key_slot(self, expr, select_exprs, names):
+        """Match an ORDER BY expression to a select-list output slot."""
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            ordinal = expr.value
+            if not 1 <= ordinal <= len(names):
+                raise SqlAnalysisError("ORDER BY position %d out of range" % ordinal)
+            return ordinal - 1
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            lowered = expr.name.lower()
+            for i, name in enumerate(names):
+                if name.lower() == lowered:
+                    return i
+        for i, select_expr in enumerate(select_exprs):
+            if select_expr == expr:
+                return i
+        return None
+
+    def _expand_select_items(self, items, scope):
+        exprs = []
+        names = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                for slot in scope.slots_for_star(item.expr.table):
+                    exprs.append(_ref_for_slot(scope, slot))
+                    names.append(scope.display_name(slot))
+                continue
+            exprs.append(item.expr)
+            names.append(item.alias or _default_name(item.expr))
+        return exprs, names
+
+    def _apply_distinct(self, select, node):
+        return plan.Distinct(node) if select.distinct else node
+
+    def _apply_limit(self, select, node):
+        if select.limit is None and select.offset is None:
+            return node
+        return plan.Limit(node, select.limit, select.offset or 0)
+
+    # ------------------------------------------------------------------
+    # Aggregate queries
+    # ------------------------------------------------------------------
+
+    def _is_aggregate_query(self, select):
+        if select.group is not None:
+            return True
+        for item in select.items:
+            if not isinstance(item.expr, ast.Star) and _contains_aggregate(item.expr):
+                return True
+        if select.having is not None:
+            return True
+        return False
+
+    def _plan_aggregate_query(self, select, source_plan, scope):
+        group_exprs = list(select.group.exprs) if select.group else []
+        grouping_sets = (
+            select.group.grouping_sets() if select.group else [tuple()]
+        )
+        bound_groups = [self._bind_scalar(e, scope) for e in group_exprs]
+
+        collector = _AggregateCollector(group_exprs, scope, self)
+        select_exprs, names = self._expand_select_items(select.items, scope)
+        output_exprs = [collector.rewrite(e) for e in select_exprs]
+        having_expr = (
+            collector.rewrite(select.having) if select.having is not None else None
+        )
+        order_bound = None
+        if select.order:
+            order_bound = []
+            for item in select.order:
+                slot = self._order_key_slot(item.expr, select_exprs, names)
+                if slot is not None:
+                    order_bound.append(("col", slot))
+                else:
+                    order_bound.append(("post", collector.rewrite(item.expr)))
+
+        node = plan.Aggregate(
+            source_plan, bound_groups, grouping_sets, collector.specs
+        )
+        # Aggregate output layout: g group values, a aggregate results,
+        # g grouping bits.  Rewrite ("grouping", i) -> ("col", g + a + i)
+        # now that a is known.
+        bit_base = len(bound_groups) + len(collector.specs)
+        output_exprs = [_resolve_grouping(e, bit_base) for e in output_exprs]
+        if having_expr is not None:
+            having_expr = _resolve_grouping(having_expr, bit_base)
+        if order_bound is not None:
+            order_bound = [
+                ("post", _resolve_grouping(e[1], bit_base)) if e[0] == "post" else e
+                for e in order_bound
+            ]
+        if having_expr is not None:
+            node = plan.Filter(node, having_expr)
+        node = plan.Project(node, output_exprs, names)
+        if select.order:
+            node = self._plan_aggregate_order(
+                select, node, order_bound, having_expr, names, collector
+            )
+        node = self._apply_distinct(select, node)
+        return self._apply_limit(select, node)
+
+    def _plan_aggregate_order(self, select, node, order_bound, having_expr,
+                              names, collector):
+        ascending = [item.ascending for item in select.order]
+        extra = [expr for expr in order_bound if expr[0] == "post"]
+        if not extra:
+            return plan.Sort(node, order_bound, ascending)
+        # Sort keys that are not select outputs: widen the projection
+        # over the aggregate, sort, then trim back to the select list.
+        aggregate_node = node.child
+        widened_exprs = list(node.exprs)
+        widened_names = list(node.names)
+        keys = []
+        for expr in order_bound:
+            if expr[0] == "post":
+                keys.append(("col", len(widened_exprs)))
+                widened_exprs.append(expr[1])
+                widened_names.append("$sort%d" % len(widened_exprs))
+            else:
+                keys.append(expr)
+        widened = plan.Project(aggregate_node, widened_exprs, widened_names)
+        sort = plan.Sort(widened, keys, ascending)
+        trim = [("col", i) for i in range(len(names))]
+        return plan.Project(sort, trim, names)
+
+    # ------------------------------------------------------------------
+    # Expression binding (scalar context)
+    # ------------------------------------------------------------------
+
+    def _bind_scalar(self, expr, scope):
+        if isinstance(expr, ast.Literal):
+            return ("const", expr.value)
+        if isinstance(expr, ast.ColumnRef):
+            return ("col", scope.resolve(expr))
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._bind_scalar(expr.operand, scope)
+            return ("not" if expr.op == "NOT" else "neg", operand)
+        if isinstance(expr, ast.BinaryOp):
+            left = self._bind_scalar(expr.left, scope)
+            right = self._bind_scalar(expr.right, scope)
+            if expr.op in ("AND", "OR"):
+                return (expr.op.lower(), left, right)
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                return ("cmp", expr.op, left, right)
+            return ("arith", expr.op, left, right)
+        if isinstance(expr, ast.IsNull):
+            return ("isnull", self._bind_scalar(expr.operand, scope), expr.negated)
+        if isinstance(expr, ast.InList):
+            operand = self._bind_scalar(expr.operand, scope)
+            if all(isinstance(item, ast.Literal) for item in expr.items):
+                values = frozenset(item.value for item in expr.items)
+                return ("in", operand, values, expr.negated)
+            items = tuple(self._bind_scalar(item, scope) for item in expr.items)
+            return ("in_exprs", operand, items, expr.negated)
+        if isinstance(expr, ast.Between):
+            return (
+                "between",
+                self._bind_scalar(expr.operand, scope),
+                self._bind_scalar(expr.low, scope),
+                self._bind_scalar(expr.high, scope),
+                expr.negated,
+            )
+        if isinstance(expr, ast.Case):
+            whens = tuple(
+                (self._bind_scalar(c, scope), self._bind_scalar(r, scope))
+                for c, r in expr.whens
+            )
+            default = (
+                ("const", None)
+                if expr.default is None
+                else self._bind_scalar(expr.default, scope)
+            )
+            return ("case", whens, default)
+        if isinstance(expr, ast.Cast):
+            return ("cast", self._bind_scalar(expr.operand, scope), expr.type_name)
+        if isinstance(expr, ast.FunctionCall):
+            if is_aggregate_name(expr.name):
+                raise SqlAnalysisError(
+                    "aggregate %s() is not allowed here" % expr.name
+                )
+            if expr.name == "GROUPING":
+                raise SqlAnalysisError("GROUPING() requires a GROUP BY query")
+            fn, null_aware = lookup_scalar(expr.name)
+            args = tuple(self._bind_scalar(a, scope) for a in expr.args)
+            return ("call", fn, null_aware, args)
+        if isinstance(expr, ast.Star):
+            raise SqlAnalysisError("* is only valid in the select list or COUNT(*)")
+        raise SqlAnalysisError("unsupported expression %r" % (expr,))
+
+
+class _AggregateCollector:
+    """Rewrites post-aggregation expressions over the Aggregate output.
+
+    Aggregate output layout: group values ``0..g-1``, then aggregate
+    results ``g..g+a-1``, then grouping indicator bits ``g+a..2g+a-1``.
+    """
+
+    def __init__(self, group_exprs, scope, planner):
+        self._group_exprs = list(group_exprs)
+        self._scope = scope
+        self._planner = planner
+        self.specs = []  # (name, bound_arg_or_None, distinct)
+        self._spec_index = {}
+
+    def rewrite(self, expr):
+        for i, group_expr in enumerate(self._group_exprs):
+            if expr == group_expr:
+                return ("col", i)
+        if isinstance(expr, ast.FunctionCall) and is_aggregate_name(expr.name):
+            return ("col", len(self._group_exprs) + self._register(expr))
+        if isinstance(expr, ast.FunctionCall) and expr.name == "GROUPING":
+            if len(expr.args) != 1:
+                raise SqlAnalysisError("GROUPING() takes exactly one argument")
+            for i, group_expr in enumerate(self._group_exprs):
+                if expr.args[0] == group_expr:
+                    return ("grouping", i)
+            raise SqlAnalysisError(
+                "GROUPING() argument must be a grouped expression"
+            )
+        if isinstance(expr, ast.Literal):
+            return ("const", expr.value)
+        if isinstance(expr, ast.ColumnRef):
+            raise SqlAnalysisError(
+                "column %r must appear in GROUP BY or inside an aggregate"
+                % _display_ref(expr)
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return (
+                "not" if expr.op == "NOT" else "neg",
+                self.rewrite(expr.operand),
+            )
+        if isinstance(expr, ast.BinaryOp):
+            left = self.rewrite(expr.left)
+            right = self.rewrite(expr.right)
+            if expr.op in ("AND", "OR"):
+                return (expr.op.lower(), left, right)
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                return ("cmp", expr.op, left, right)
+            return ("arith", expr.op, left, right)
+        if isinstance(expr, ast.IsNull):
+            return ("isnull", self.rewrite(expr.operand), expr.negated)
+        if isinstance(expr, ast.InList):
+            operand = self.rewrite(expr.operand)
+            if all(isinstance(item, ast.Literal) for item in expr.items):
+                values = frozenset(item.value for item in expr.items)
+                return ("in", operand, values, expr.negated)
+            items = tuple(self.rewrite(item) for item in expr.items)
+            return ("in_exprs", operand, items, expr.negated)
+        if isinstance(expr, ast.Between):
+            return (
+                "between",
+                self.rewrite(expr.operand),
+                self.rewrite(expr.low),
+                self.rewrite(expr.high),
+                expr.negated,
+            )
+        if isinstance(expr, ast.Case):
+            whens = tuple(
+                (self.rewrite(c), self.rewrite(r)) for c, r in expr.whens
+            )
+            default = (
+                ("const", None) if expr.default is None else self.rewrite(expr.default)
+            )
+            return ("case", whens, default)
+        if isinstance(expr, ast.Cast):
+            return ("cast", self.rewrite(expr.operand), expr.type_name)
+        if isinstance(expr, ast.FunctionCall):
+            fn, null_aware = lookup_scalar(expr.name)
+            args = tuple(self.rewrite(a) for a in expr.args)
+            return ("call", fn, null_aware, args)
+        raise SqlAnalysisError(
+            "unsupported expression %r in aggregate query" % (expr,)
+        )
+
+    def _register(self, call):
+        if _contains_aggregate_args(call):
+            raise SqlAnalysisError("aggregates cannot be nested")
+        count_rows = len(call.args) == 1 and isinstance(call.args[0], ast.Star)
+        if count_rows and call.name != "COUNT":
+            raise SqlAnalysisError("%s(*) is not valid SQL" % call.name)
+        if count_rows:
+            bound_arg = None
+        elif len(call.args) == 1:
+            bound_arg = self._planner._bind_scalar(call.args[0], self._scope)
+        elif len(call.args) == 0 and call.name == "COUNT":
+            raise SqlAnalysisError("COUNT requires an argument or *")
+        else:
+            raise SqlAnalysisError(
+                "%s takes exactly one argument" % call.name
+            )
+        key = (call.name, bound_arg, call.distinct)
+        if key in self._spec_index:
+            return self._spec_index[key]
+        index = len(self.specs)
+        self.specs.append((call.name, bound_arg, call.distinct))
+        self._spec_index[key] = index
+        return index
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _resolve_grouping(bound, bit_base):
+    """Rewrite ("grouping", i) tags to concrete aggregate-output slots."""
+    if not isinstance(bound, tuple):
+        return bound
+    if bound[0] == "grouping":
+        return ("col", bit_base + bound[1])
+    return tuple(
+        tuple(_resolve_grouping(x, bit_base) for x in part)
+        if isinstance(part, tuple) and part and isinstance(part[0], tuple)
+        else _resolve_grouping(part, bit_base)
+        if isinstance(part, tuple)
+        else part
+        for part in bound
+    )
+
+
+def _flatten_and(expr):
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _flatten_and(expr.left) + _flatten_and(expr.right)
+    return [expr]
+
+
+def _try_resolve(scope, ref):
+    try:
+        return scope.resolve(ref)
+    except SqlAnalysisError:
+        return None
+
+
+def _ref_for_slot(scope, slot):
+    qualifier, name, _display = scope.entries[slot]
+    return ast.ColumnRef(name, table=qualifier)
+
+
+def _default_name(expr):
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        return expr.name.lower()
+    return "?column?"
+
+
+def _contains_aggregate(expr):
+    for node in ast.walk(expr):
+        if isinstance(node, ast.FunctionCall) and is_aggregate_name(node.name):
+            return True
+    return False
+
+
+def _contains_aggregate_args(call):
+    for arg in call.args:
+        if not isinstance(arg, ast.Star) and _contains_aggregate(arg):
+            return True
+    return False

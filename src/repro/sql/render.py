@@ -1,0 +1,203 @@
+"""AST -> SQL text rendering.
+
+Renders a parsed :class:`~repro.sql.ast.Select` back to SQL the parser
+accepts, with ``parse(render(parse(q)))`` structurally equal to
+``parse(q)`` (the round-trip property the test suite checks).  Used by
+EXPLAIN-style tooling and as a fuzzing oracle for the parser.
+"""
+
+from repro.sql import ast
+from repro.sql.errors import SqlError
+
+#: Binding strengths for parenthesization, loosest to tightest.
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "NOT": 3,
+    "=": 4, "<>": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5, "||": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+def render(select):
+    """Render a Select AST to SQL text."""
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_render_item(item) for item in select.items))
+    parts.append("FROM")
+    parts.append(_render_source(select.source))
+    if select.where is not None:
+        parts.append("WHERE " + render_expr(select.where))
+    if select.group is not None:
+        parts.append("GROUP BY " + _render_grouping(select.group))
+    if select.having is not None:
+        parts.append("HAVING " + render_expr(select.having))
+    if select.order:
+        parts.append(
+            "ORDER BY "
+            + ", ".join(
+                render_expr(item.expr) + ("" if item.ascending else " DESC")
+                for item in select.order
+            )
+        )
+    if select.limit is not None:
+        parts.append("LIMIT %d" % select.limit)
+    if select.offset is not None:
+        if select.limit is None:
+            # The grammar requires LIMIT before OFFSET.
+            parts.append("LIMIT %d OFFSET %d" % (2**62, select.offset))
+        else:
+            parts.append("OFFSET %d" % select.offset)
+    return " ".join(parts)
+
+
+def _render_item(item):
+    if isinstance(item.expr, ast.Star):
+        return _render_star(item.expr)
+    text = render_expr(item.expr)
+    if item.alias:
+        text += " AS %s" % _ident(item.alias)
+    return text
+
+
+def _render_star(star):
+    return "%s.*" % _ident(star.table) if star.table else "*"
+
+
+def _render_source(source):
+    if isinstance(source, ast.TableRef):
+        text = _ident(source.name)
+        if source.alias:
+            text += " AS %s" % _ident(source.alias)
+        return text
+    if isinstance(source, ast.Join):
+        left = _render_source(source.left)
+        right = _render_source(source.right)
+        if source.condition is None:
+            return "%s CROSS JOIN %s" % (left, right)
+        return "%s JOIN %s ON %s" % (
+            left,
+            right,
+            render_expr(source.condition),
+        )
+    raise SqlError("cannot render source %r" % (source,))
+
+
+def _render_grouping(group):
+    exprs = ", ".join(render_expr(e) for e in group.exprs)
+    if group.mode == "plain":
+        return exprs
+    if group.mode == "cube":
+        return "CUBE (%s)" % exprs
+    if group.mode == "rollup":
+        return "ROLLUP (%s)" % exprs
+    if group.mode == "sets":
+        rendered_sets = ", ".join(
+            "(%s)" % ", ".join(render_expr(e) for e in group_set)
+            for group_set in group.sets
+        )
+        return "GROUPING SETS (%s)" % rendered_sets
+    raise SqlError("unknown grouping mode %r" % group.mode)
+
+
+def render_expr(expr, parent_strength=0):
+    """Render one expression, parenthesizing when binding requires it."""
+    text, strength = _render_with_strength(expr)
+    if strength < parent_strength:
+        return "(%s)" % text
+    return text
+
+
+def _render_with_strength(expr):
+    if isinstance(expr, ast.Literal):
+        return _literal(expr.value), 9
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table:
+            return "%s.%s" % (_ident(expr.table), _ident(expr.name)), 9
+        return _ident(expr.name), 9
+    if isinstance(expr, ast.Star):
+        return _render_star(expr), 9
+    if isinstance(expr, ast.BinaryOp):
+        strength = _PRECEDENCE[expr.op]
+        # The comparison level (4) is non-associative in the grammar, so
+        # equal-strength children need parens on BOTH sides; other
+        # levels are left-associative, so only the right side does.
+        left_strength = strength + 1 if strength == 4 else strength
+        left = render_expr(expr.left, left_strength)
+        right = render_expr(expr.right, strength + 1)
+        return "%s %s %s" % (left, expr.op, right), strength
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return "NOT %s" % render_expr(expr.operand, 4), 3
+        # Parenthesize any non-atomic operand: "--x" would lex as a
+        # line comment, so nested negation must render as "-(-x)".
+        return "-%s" % render_expr(expr.operand, 8), 7
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name == "LIKE":
+            left = render_expr(expr.args[0], 5)
+            right = render_expr(expr.args[1], 5)
+            return "%s LIKE %s" % (left, right), 4
+        inner = ", ".join(render_expr(a) for a in expr.args)
+        if expr.distinct:
+            inner = "DISTINCT " + inner
+        if expr.args and isinstance(expr.args[0], ast.Star):
+            inner = "*"
+        return "%s(%s)" % (expr.name, inner), 9
+    if isinstance(expr, ast.IsNull):
+        operand = render_expr(expr.operand, 5)
+        middle = "IS NOT NULL" if expr.negated else "IS NULL"
+        return "%s %s" % (operand, middle), 4
+    if isinstance(expr, ast.InList):
+        operand = render_expr(expr.operand, 5)
+        items = ", ".join(render_expr(i) for i in expr.items)
+        keyword = "NOT IN" if expr.negated else "IN"
+        return "%s %s (%s)" % (operand, keyword, items), 4
+    if isinstance(expr, ast.Between):
+        operand = render_expr(expr.operand, 5)
+        keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return "%s %s %s AND %s" % (
+            operand,
+            keyword,
+            render_expr(expr.low, 5),
+            render_expr(expr.high, 5),
+        ), 4
+    if isinstance(expr, ast.Case):
+        parts = ["CASE"]
+        for condition, result in expr.whens:
+            parts.append(
+                "WHEN %s THEN %s"
+                % (render_expr(condition), render_expr(result))
+            )
+        if expr.default is not None:
+            parts.append("ELSE %s" % render_expr(expr.default))
+        parts.append("END")
+        return " ".join(parts), 9
+    if isinstance(expr, ast.Cast):
+        return "CAST(%s AS %s)" % (
+            render_expr(expr.operand),
+            expr.type_name,
+        ), 9
+    raise SqlError("cannot render expression %r" % (expr,))
+
+
+def _literal(value):
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        return "'%s'" % value.replace("'", "''")
+    return repr(value)
+
+
+def _ident(name):
+    if name.isidentifier() and not name.startswith("__"):
+        from repro.sql.tokens import KEYWORDS
+
+        if name.upper() not in KEYWORDS:
+            return name
+    return '"%s"' % name

@@ -1,0 +1,77 @@
+"""Query result container."""
+
+from repro.sql.errors import SqlError
+
+
+class ResultSet:
+    """Materialized query output: column names plus row tuples.
+
+    Iterable and indexable like a list of rows; ``column(name)``
+    extracts one column for convenience in tests and reports.
+    """
+
+    def __init__(self, columns, rows):
+        self.columns = list(columns)
+        self.rows = [tuple(row) for row in rows]
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def column_index(self, name):
+        lowered = name.lower()
+        for i, column in enumerate(self.columns):
+            if column.lower() == lowered:
+                return i
+        raise SqlError("result has no column %r" % name)
+
+    def column(self, name):
+        """All values of the named output column, in row order."""
+        i = self.column_index(name)
+        return [row[i] for row in self.rows]
+
+    def scalar(self):
+        """The single value of a 1x1 result; raises otherwise."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlError(
+                "scalar() requires a 1x1 result, got %dx%d"
+                % (len(self.rows), len(self.columns))
+            )
+        return self.rows[0][0]
+
+    def to_dicts(self):
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def pretty(self, max_rows=20):
+        """Fixed-width text rendering (for examples and the CLI)."""
+        shown = self.rows[:max_rows]
+        cells = [[_render(v) for v in row] for row in shown]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append("... (%d more rows)" % (len(self.rows) - max_rows))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "ResultSet(%d rows, columns=%r)" % (len(self.rows), self.columns)
+
+
+def _render(value):
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return "%g" % value
+    return str(value)

@@ -1,0 +1,166 @@
+"""Tokenizer for the SQL dialect.
+
+Produces a flat list of :class:`Token` objects.  Keywords are
+case-insensitive and normalized to upper case; identifiers keep their
+original spelling (the catalog matches them case-insensitively).
+String literals use single quotes with ``''`` as the escape for a
+literal quote, as in standard SQL.
+"""
+
+from repro.sql.errors import SqlSyntaxError
+
+#: Reserved words recognized by the parser.  Anything else that looks
+#: like a word is an identifier.
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS
+    AND OR NOT IN IS NULL TRUE FALSE BETWEEN LIKE
+    ASC DESC DISTINCT ALL
+    JOIN INNER LEFT ON CROSS
+    CUBE ROLLUP GROUPING SETS
+    CASE WHEN THEN ELSE END
+    CAST INTEGER FLOAT TEXT
+    UNION
+    """.split()
+)
+
+#: Multi-character operators, longest first so ``<=`` wins over ``<``.
+MULTI_CHAR_OPERATORS = ("<>", "<=", ">=", "!=", "||")
+
+SINGLE_CHAR_OPERATORS = "+-*/%(),.<>=;"
+
+
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``,
+    ``OP`` or ``EOF``; ``value`` is the normalized token text (or the
+    parsed value for literals) and ``position`` is the character offset
+    in the source for error messages.
+    """
+
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind, value, position):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def matches(self, kind, value=None):
+        return self.kind == kind and (value is None or self.value == value)
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize(text):
+    """Tokenize ``text``; returns a list ending with an EOF token."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _read_number(text, i)
+            tokens.append(Token("NUMBER", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        if ch == '"':
+            value, i = _read_quoted_identifier(text, i)
+            tokens.append(Token("IDENT", value, i))
+            continue
+        matched = False
+        for op in MULTI_CHAR_OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in SINGLE_CHAR_OPERATORS:
+            tokens.append(Token("OP", ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError("unexpected character %r" % ch, position=i)
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _read_string(text, i):
+    """Read a single-quoted string starting at ``i``; return (value, next_i)."""
+    out = []
+    i += 1  # opening quote
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", position=i)
+
+
+def _read_quoted_identifier(text, i):
+    """Read a double-quoted identifier starting at ``i``."""
+    end = text.find('"', i + 1)
+    if end < 0:
+        raise SqlSyntaxError("unterminated quoted identifier", position=i)
+    name = text[i + 1:end]
+    if not name:
+        raise SqlSyntaxError("empty quoted identifier", position=i)
+    return name, end + 1
+
+
+def _read_number(text, i):
+    """Read an integer or float literal; return (int-or-float, next_i)."""
+    start = i
+    n = len(text)
+    saw_dot = False
+    saw_exp = False
+    while i < n:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not saw_dot and not saw_exp:
+            saw_dot = True
+            i += 1
+        elif ch in "eE" and not saw_exp and i > start:
+            nxt = text[i + 1] if i + 1 < n else ""
+            nxt2 = text[i + 2] if i + 2 < n else ""
+            if nxt.isdigit() or (nxt in "+-" and nxt2.isdigit()):
+                saw_exp = True
+                i += 2 if nxt in "+-" else 1
+            else:
+                break
+        else:
+            break
+    literal = text[start:i]
+    if saw_dot or saw_exp:
+        return float(literal), i
+    return int(literal), i

@@ -1,0 +1,28 @@
+"""Streaming SIRUM — incremental rule maintenance (thesis §7).
+
+The thesis's conclusion proposes "a streaming version of SIRUM (e.g.,
+using Spark Streaming) that incrementally maintains informative rules
+as new data arrive."  This package implements that design over the
+library's tables:
+
+- :class:`~repro.streaming.stream.MicroBatchStream` — a source of
+  table micro-batches (from a list of tables or a generator function);
+- :class:`~repro.streaming.reservoir.ReservoirSample` — a classic
+  reservoir holding the candidate-pruning sample over the stream;
+- :class:`~repro.streaming.incremental.IncrementalSirum` — maintains
+  the rule set across batches: cheap per-batch RCT updates keep the
+  maximum-entropy estimates consistent, a KL drift monitor detects when
+  the current rules stop explaining the data, and re-mining runs only
+  then (or on a configurable schedule).
+"""
+
+from repro.streaming.stream import MicroBatchStream
+from repro.streaming.reservoir import ReservoirSample
+from repro.streaming.incremental import IncrementalSirum, StreamSnapshot
+
+__all__ = [
+    "MicroBatchStream",
+    "ReservoirSample",
+    "IncrementalSirum",
+    "StreamSnapshot",
+]

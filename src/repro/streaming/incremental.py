@@ -1,0 +1,201 @@
+"""Incremental rule maintenance over micro-batches.
+
+Per batch, :class:`IncrementalSirum`:
+
+1. appends the batch to its (optionally windowed) working set and
+   offers its rows to the candidate-pruning reservoir;
+2. *refits* the current rule set — coverage masks of the new rows are
+   computed, multipliers are carried over, and iterative scaling
+   restores every rule's constraint (cheap: the rules are fixed);
+3. monitors drift: the rule set's KL-divergence right after a mine is
+   the baseline; when the refitted KL exceeds ``drift_factor`` times
+   that baseline (the data's distribution moved away from what the
+   rules explain), or every ``remine_interval`` batches, the miner
+   re-runs using the reservoir as its pruning sample.
+
+This is the design the thesis sketches as future work in §7; the drift
+trigger keeps expensive mining proportional to actual distribution
+change rather than stream length.
+"""
+
+import numpy as np
+
+from repro.common.errors import ConfigError, DataError
+from repro.core.config import SirumConfig
+from repro.core.divergence import kl_divergence
+from repro.core.measure import MeasureTransform
+from repro.core.miner import Sirum, make_default_cluster
+from repro.core.scaling import iterative_scale
+from repro.data.table import Table
+
+
+class StreamSnapshot:
+    """State reported after each processed batch."""
+
+    def __init__(self, batch_index, rules, kl, baseline_kl, remined,
+                 total_rows):
+        self.batch_index = batch_index
+        self.rules = rules
+        self.kl = kl
+        self.baseline_kl = baseline_kl
+        self.remined = remined
+        self.total_rows = total_rows
+
+    def __repr__(self):
+        return (
+            "StreamSnapshot(batch=%d, rules=%d, kl=%.4g, remined=%s)"
+            % (self.batch_index, len(self.rules), self.kl, self.remined)
+        )
+
+
+class IncrementalSirum:
+    """Maintains an informative rule set over a table stream.
+
+    Parameters
+    ----------
+    config:
+        Miner configuration used whenever (re-)mining runs; its
+        ``sample_size`` sets the reservoir capacity.
+    drift_factor:
+        Re-mine when the current KL exceeds this multiple of the KL
+        measured right after the previous mine.
+    remine_interval:
+        Also re-mine unconditionally every this many batches
+        (None disables scheduled re-mining).
+    window_batches:
+        Keep only the most recent batches (None keeps everything).
+    """
+
+    def __init__(self, config=None, drift_factor=1.5, remine_interval=None,
+                 window_batches=None, cluster=None, seed=0):
+        if drift_factor < 1.0:
+            raise ConfigError("drift_factor must be at least 1")
+        if remine_interval is not None and remine_interval < 1:
+            raise ConfigError("remine_interval must be at least 1")
+        if window_batches is not None and window_batches < 1:
+            raise ConfigError("window_batches must be at least 1")
+        self.config = config or SirumConfig(k=5)
+        self.drift_factor = drift_factor
+        self.remine_interval = remine_interval
+        self.window_batches = window_batches
+        self.cluster = cluster or make_default_cluster()
+        self._reservoir = None
+        self._batches = []
+        self._rules = []
+        self._lambdas = None
+        self._baseline_kl = None
+        self._batches_since_mine = 0
+        self._batch_index = -1
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def process(self, batch):
+        """Ingest one table batch; returns a :class:`StreamSnapshot`."""
+        from repro.streaming.reservoir import ReservoirSample
+
+        if len(batch) == 0:
+            raise DataError("cannot process an empty batch")
+        self._batch_index += 1
+        self._batches.append(batch)
+        if self.window_batches is not None:
+            self._batches = self._batches[-self.window_batches:]
+        if self._reservoir is None:
+            self._reservoir = ReservoirSample(
+                self.config.sample_size, seed=self._seed
+            )
+        self._reservoir.offer_table(batch)
+
+        working = self._working_table()
+        remined = False
+        if not self._rules:
+            kl = self._mine(working)
+            remined = True
+        else:
+            kl = self._refit(working)
+            if self._should_remine(kl):
+                kl = self._mine(working)
+                remined = True
+        self._batches_since_mine = 0 if remined else (
+            self._batches_since_mine + 1
+        )
+        return StreamSnapshot(
+            batch_index=self._batch_index,
+            rules=list(self._rules),
+            kl=kl,
+            baseline_kl=self._baseline_kl,
+            remined=remined,
+            total_rows=len(working),
+        )
+
+    def run(self, stream):
+        """Process every batch of a stream; returns all snapshots."""
+        return [self.process(batch) for batch in stream]
+
+    @property
+    def rules(self):
+        """The currently maintained rules (selection order)."""
+        return list(self._rules)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _working_table(self):
+        if len(self._batches) == 1:
+            return self._batches[0]
+        first = self._batches[0]
+        columns = []
+        for j, name in enumerate(first.schema.dimensions):
+            columns.append(np.concatenate(
+                [b.dimension_columns()[j] for b in self._batches]
+            ))
+        measure = np.concatenate([b.measure for b in self._batches])
+        return Table.from_columns(
+            first.schema, columns, measure, first.encoders()
+        )
+
+    def _mine(self, working):
+        result = Sirum(self.config).mine(
+            working,
+            cluster=self.cluster,
+            sample_rows=self._reservoir.rows(),
+        )
+        self._rules = result.rule_set.rules()
+        self._lambdas = result.lambdas
+        self._baseline_kl = result.final_kl
+        return result.final_kl
+
+    def _refit(self, working):
+        transform = MeasureTransform.fit(working.measure)
+        masks = []
+        kept_rules = []
+        lambdas = []
+        for rule, lam in zip(self._rules, self._lambdas):
+            mask = rule.match_mask(working)
+            if mask.any():
+                masks.append(mask)
+                kept_rules.append(rule)
+                lambdas.append(lam)
+        # Rules whose support vanished (window slid past it) drop out.
+        self._rules = kept_rules
+        result = iterative_scale(
+            masks,
+            transform.transformed,
+            lambdas=np.asarray(lambdas),
+            epsilon=self.config.epsilon,
+            max_iterations=self.config.max_scaling_iterations,
+        )
+        self._lambdas = result.lambdas
+        return kl_divergence(transform.transformed, result.estimates)
+
+    def _should_remine(self, kl):
+        if self._baseline_kl is not None and self._baseline_kl > 0:
+            if kl > self.drift_factor * self._baseline_kl:
+                return True
+        if self.remine_interval is not None:
+            if self._batches_since_mine + 1 >= self.remine_interval:
+                return True
+        return False

@@ -1,0 +1,45 @@
+"""Reservoir sampling over a stream of encoded rows.
+
+Maintains a uniform random sample of everything seen so far (Vitter's
+Algorithm R), providing the candidate-pruning sample s for re-mining
+without a pass over the accumulated stream.
+"""
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+
+
+class ReservoirSample:
+    """Uniform fixed-capacity sample of an unbounded row stream."""
+
+    def __init__(self, capacity, seed=0):
+        if capacity < 1:
+            raise ConfigError("reservoir capacity must be at least 1")
+        self.capacity = capacity
+        self._rng = make_rng(seed)
+        self._rows = []
+        self.seen = 0
+
+    def offer(self, row):
+        """Consider one encoded row for inclusion."""
+        self.seen += 1
+        if len(self._rows) < self.capacity:
+            self._rows.append(row)
+            return True
+        slot = int(self._rng.integers(0, self.seen))
+        if slot < self.capacity:
+            self._rows[slot] = row
+            return True
+        return False
+
+    def offer_table(self, table):
+        """Offer every row of a table batch."""
+        for i in range(len(table)):
+            self.offer(table.encoded_row(i))
+
+    def rows(self):
+        """The current sample (a copy, in reservoir order)."""
+        return list(self._rows)
+
+    def __len__(self):
+        return len(self._rows)

@@ -1,0 +1,54 @@
+"""Micro-batch stream sources.
+
+A stream yields :class:`~repro.data.table.Table` batches that all share
+one schema (and, for dictionary-encoded dimensions, one encoder set) —
+the shape Spark Streaming's discretized streams would deliver to SIRUM.
+"""
+
+from repro.common.errors import DataError
+
+
+class MicroBatchStream:
+    """An iterator of same-schema table batches.
+
+    Construct from a list of tables (:meth:`from_tables`) or by
+    splitting one table into fixed-size batches (:meth:`from_table`) —
+    the standard way to replay a dataset as a stream in tests and
+    examples.
+    """
+
+    def __init__(self, batches):
+        batches = list(batches)
+        if not batches:
+            raise DataError("a stream needs at least one batch")
+        schema = batches[0].schema
+        for batch in batches[1:]:
+            if batch.schema != schema:
+                raise DataError("all stream batches must share one schema")
+        self._batches = batches
+        self.schema = schema
+
+    @classmethod
+    def from_tables(cls, tables):
+        return cls(tables)
+
+    @classmethod
+    def from_table(cls, table, batch_size):
+        """Replay ``table`` as consecutive batches of ``batch_size`` rows."""
+        if batch_size < 1:
+            raise DataError("batch_size must be at least 1")
+        batches = []
+        for start in range(0, len(table), batch_size):
+            batches.append(table.slice(start, min(start + batch_size,
+                                                  len(table))))
+        return cls(batches)
+
+    def __iter__(self):
+        return iter(self._batches)
+
+    def __len__(self):
+        return len(self._batches)
+
+    @property
+    def total_rows(self):
+        return sum(len(b) for b in self._batches)

@@ -1,0 +1,128 @@
+"""Tests for the prior-work baselines ([16] and [29])."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ElGebalyMiner,
+    SarawagiExplorer,
+    binary_kl_divergence,
+)
+from repro.common.errors import DataError
+from repro.core.miner import mine
+from repro.core.rule import Rule, WILDCARD
+from repro.data.generators import SyntheticSpec, generate, flight_table
+
+
+def _binary_table(num_rows=600, seed=11):
+    spec = SyntheticSpec(
+        num_rows=num_rows,
+        cardinalities=[5, 4, 6],
+        skew=0.6,
+        num_planted_rules=3,
+        planted_arity=2,
+        measure_kind="binary",
+        base_measure=0.25,
+        effect_scale=3.0,
+    )
+    table, _ = generate(spec, seed=seed)
+    return table
+
+
+class TestBinaryKl:
+    def test_zero_for_perfect_estimates(self):
+        m = np.array([1.0, 0.0, 1.0])
+        assert binary_kl_divergence(m, m) == pytest.approx(0.0, abs=1e-6)
+
+    def test_positive_for_wrong_estimates(self):
+        m = np.array([1.0, 0.0])
+        q = np.array([0.5, 0.5])
+        assert binary_kl_divergence(m, q) > 0
+
+    def test_requires_binary_measure(self):
+        with pytest.raises(DataError):
+            binary_kl_divergence(np.array([0.5]), np.array([0.5]))
+
+    def test_clips_out_of_range_estimates(self):
+        m = np.array([1.0, 0.0])
+        q = np.array([1.5, -0.5])
+        assert np.isfinite(binary_kl_divergence(m, q))
+
+
+class TestElGebalyMiner:
+    def test_mines_k_rules_with_decreasing_kl(self):
+        table = _binary_table()
+        result = ElGebalyMiner(k=4, sample_size=32, seed=1).mine(table)
+        assert len(result.rules) <= 5
+        assert result.rules[0].is_root()
+        diffs = np.diff(result.kl_trace)
+        assert np.all(diffs <= 1e-9)
+
+    def test_kl_threshold_stops_early(self):
+        table = _binary_table()
+        full = ElGebalyMiner(k=6, sample_size=32, seed=1).mine(table)
+        stopped = ElGebalyMiner(
+            k=6, sample_size=32, seed=1,
+            kl_threshold=full.kl_trace[1],
+        ).mine(table)
+        assert len(stopped.rules) <= len(full.rules)
+
+    def test_rejects_numeric_measure(self, flights):
+        with pytest.raises(DataError):
+            ElGebalyMiner(k=2).mine(flights)
+
+    def test_matches_naive_sirum_rules(self):
+        # Naive SIRUM is the distributed port of [16]: same greedy
+        # choices on the same sample produce the same rule list.
+        table = _binary_table()
+        centralized = ElGebalyMiner(k=3, sample_size=32, seed=4).mine(table)
+        distributed = mine(
+            table, k=3, variant="naive", sample_size=32, seed=4
+        )
+        assert centralized.rules == [m.rule for m in distributed.rule_set]
+
+    def test_binary_kl_available(self):
+        table = _binary_table()
+        result = ElGebalyMiner(k=2, sample_size=16, seed=0).mine(table)
+        assert result.final_binary_kl >= 0
+
+
+class TestSarawagiExplorer:
+    def test_explores_with_prior_rules(self, flights):
+        london = flights.encoder("Destination").encode_existing("London")
+        prior = [Rule((WILDCARD, WILDCARD, london))]
+        result = SarawagiExplorer(k=2).explore(flights, prior_rules=prior)
+        assert prior[0] in result.rules
+        assert len(result.rules) >= 3
+
+    def test_reset_scaling_costs_more_iterations(self, flights):
+        # The [29] reset behaviour repeats all prior work per rule —
+        # strictly more total iterations than carrying lambdas over.
+        explorer = SarawagiExplorer(k=3)
+        result = explorer.explore(flights)
+        sirum = mine(flights, k=3, variant="baseline", sample_size=14,
+                     seed=1)
+        assert result.scaling_iterations > sirum.scaling_iterations
+
+    def test_overlap_restriction(self, flights):
+        result = SarawagiExplorer(k=4, restrict_overlap=True).explore(flights)
+        rules = result.rules
+        for i, a in enumerate(rules):
+            for b in rules[i + 1:]:
+                admissible = (
+                    a.is_disjoint(b)
+                    or a.is_ancestor_of(b)
+                    or b.is_ancestor_of(a)
+                )
+                assert admissible
+
+    def test_kl_trace_decreases(self, flights):
+        result = SarawagiExplorer(k=3).explore(flights)
+        diffs = np.diff(result.kl_trace)
+        assert np.all(diffs <= 1e-9)
+
+    def test_bad_prior_rule_rejected(self, flights):
+        with pytest.raises(DataError):
+            SarawagiExplorer(k=1).explore(
+                flights, prior_rules=[Rule((6, 6, 6))]
+            )

@@ -1,0 +1,182 @@
+"""Data Auditor tableaux and Data X-Ray diagnosis baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import diagnose, generate_tableau
+from repro.common.errors import ConfigError, DataError
+from repro.data.schema import Schema
+from repro.data.table import Table
+
+
+def dirty_table(n_dirty=20, n_clean=60, noise_dirty=0, seed=0):
+    """All-dirty rows share (src='feed2', type='auto'); clean rows vary.
+
+    ``noise_dirty`` adds dirty rows with random attributes — errors a
+    pattern cannot explain.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n_dirty):
+        rows.append(("feed2", "auto", rng.choice(["a", "b", "c"]), 1.0))
+    for _ in range(n_clean):
+        rows.append(
+            (
+                rng.choice(["feed1", "feed3"]),
+                rng.choice(["auto", "manual"]),
+                rng.choice(["a", "b", "c"]),
+                0.0,
+            )
+        )
+    for _ in range(noise_dirty):
+        rows.append(
+            (
+                rng.choice(["feed1", "feed3"]),
+                "manual",
+                rng.choice(["a", "b", "c"]),
+                1.0,
+            )
+        )
+    schema = Schema(["source", "entry_type", "category"], "is_dirty")
+    return Table.from_rows(schema, rows)
+
+
+class TestPatternTableau:
+    def test_finds_the_planted_pattern(self):
+        table = dirty_table()
+        tableau = generate_tableau(table, seed=1)
+        assert len(tableau) >= 1
+        decoded = [p.decode(table) for p in tableau]
+        assert any(
+            values[0] == "feed2" or values[1] == "auto" for values in decoded
+        )
+
+    def test_full_coverage_of_systematic_errors(self):
+        tableau = generate_tableau(dirty_table(), coverage=1.0, seed=1)
+        assert tableau.coverage == pytest.approx(1.0)
+
+    def test_patterns_meet_confidence_threshold(self):
+        table = dirty_table(noise_dirty=5)
+        tableau = generate_tableau(table, min_confidence=0.9, seed=1)
+        for pattern in tableau:
+            assert pattern.confidence >= 0.9
+
+    def test_patterns_meet_support_threshold(self):
+        table = dirty_table()
+        tableau = generate_tableau(table, min_support=5, seed=1)
+        for pattern in tableau:
+            assert pattern.support >= 5
+
+    def test_clean_table_yields_empty_tableau(self):
+        table = dirty_table(n_dirty=0, n_clean=30)
+        tableau = generate_tableau(table)
+        assert len(tableau) == 0
+        assert tableau.coverage == 1.0
+
+    def test_max_patterns_respected(self):
+        table = dirty_table(noise_dirty=15, seed=3)
+        tableau = generate_tableau(
+            table, min_confidence=0.2, max_patterns=2, seed=3
+        )
+        assert len(tableau) <= 2
+
+    def test_non_binary_measure_rejected(self):
+        schema = Schema(["a"], "m")
+        table = Table.from_rows(schema, [("x", 2.5)])
+        with pytest.raises(DataError):
+            generate_tableau(table)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_support": 0},
+            {"min_confidence": 0.0},
+            {"min_confidence": 1.5},
+            {"coverage": 0.0},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            generate_tableau(dirty_table(), **kwargs)
+
+    def test_greedy_prefers_high_marginal_cover(self):
+        # One broad pattern explains everything; narrow ones add nothing.
+        table = dirty_table()
+        tableau = generate_tableau(table, coverage=1.0, seed=1)
+        assert tableau.patterns[0].dirty_covered == tableau.dirty_total
+
+
+class TestDataXray:
+    def test_explains_systematic_errors(self):
+        table = dirty_table()
+        result = diagnose(table, seed=1)
+        assert len(result) >= 1
+        assert result.false_negatives == 0
+
+    def test_cost_accounts_for_features_and_errors(self):
+        table = dirty_table()
+        result = diagnose(table, alpha=2.0, seed=1)
+        assert result.cost == pytest.approx(
+            2.0 * len(result)
+            + result.false_positives
+            + result.false_negatives
+        )
+
+    def test_high_alpha_buys_fewer_features(self):
+        table = dirty_table(noise_dirty=10, seed=5)
+        cheap = diagnose(table, alpha=0.5, seed=5)
+        expensive = diagnose(table, alpha=25.0, seed=5)
+        assert len(expensive) <= len(cheap)
+
+    def test_clean_table_needs_no_features(self):
+        table = dirty_table(n_dirty=0, n_clean=30)
+        result = diagnose(table)
+        assert len(result) == 0
+        assert result.cost == 0.0
+
+    def test_unexplainable_noise_left_as_false_negatives(self):
+        # With a huge alpha, claiming scattered noise is never worth a
+        # feature; the diagnosis reports the residual honestly.
+        table = dirty_table(n_dirty=0, n_clean=50, noise_dirty=3, seed=7)
+        result = diagnose(table, alpha=50.0, seed=7)
+        assert result.false_negatives > 0 or len(result) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            diagnose(dirty_table(), alpha=-1)
+        with pytest.raises(ConfigError):
+            diagnose(dirty_table(), max_features=0)
+
+    def test_non_binary_measure_rejected(self):
+        schema = Schema(["a"], "m")
+        table = Table.from_rows(schema, [("x", 0.25)])
+        with pytest.raises(DataError):
+            diagnose(table)
+
+    def test_diagnosis_cost_never_exceeds_do_nothing(self):
+        # Selecting features only happens when it lowers cost; the
+        # empty explanation costs exactly the number of dirty tuples.
+        table = dirty_table(noise_dirty=8, seed=11)
+        dirty_count = int(np.asarray(table.measure).sum())
+        result = diagnose(table, alpha=3.0, seed=11)
+        assert result.cost <= dirty_count
+
+
+class TestAgainstSirum:
+    def test_sirum_finds_what_the_baselines_find(self):
+        """The informative-rule view should surface the same systematic
+        error the tableau/diagnosis baselines identify (thesis §1)."""
+        from repro.apps import diagnose_dirty_records
+
+        table = dirty_table()
+        _result, findings = diagnose_dirty_records(table, k=3)
+        tableau = generate_tableau(table, seed=1)
+        tableau_values = {
+            tuple(p.decode(table)) for p in tableau
+        }
+        sirum_values = {tuple(f.decode(table)) for f in findings}
+        # At least one explanation is shared verbatim.
+        assert tableau_values & sirum_values or any(
+            "feed2" in v or "auto" in v for values in sirum_values
+            for v in values
+        )

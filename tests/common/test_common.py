@@ -1,0 +1,87 @@
+"""Tests for shared utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, DataError, ReproError
+from repro.common.rng import derive_rng, make_rng
+from repro.common.timing import Stopwatch, StepTimer
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(DataError, ReproError)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(5).integers(0, 100, size=10)
+        b = make_rng(5).integers(0, 100, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_derive_is_deterministic(self):
+        a = derive_rng(make_rng(1), "salt").integers(0, 1000)
+        b = derive_rng(make_rng(1), "salt").integers(0, 1000)
+        assert a == b
+
+    def test_derive_differs_by_salt(self):
+        a = derive_rng(make_rng(1), "x").integers(0, 10**9)
+        b = derive_rng(make_rng(1), "y").integers(0, 10**9)
+        assert a != b
+
+
+class TestStopwatch:
+    def test_context_manager_measures(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.009
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_accumulates_over_restarts(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        first = sw.elapsed
+        sw.start()
+        sw.stop()
+        assert sw.elapsed >= first
+
+
+class TestStepTimer:
+    def test_named_accumulation(self):
+        timer = StepTimer()
+        timer.add("a", 1.0)
+        timer.add("a", 0.5)
+        timer.add("b", 2.0)
+        assert timer.total("a") == pytest.approx(1.5)
+        assert timer.total() == pytest.approx(3.5)
+
+    def test_time_context_manager(self):
+        timer = StepTimer()
+        with timer.time("step"):
+            time.sleep(0.005)
+        assert timer.total("step") > 0
+
+    def test_merge(self):
+        a = StepTimer()
+        b = StepTimer()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        a.merge(b)
+        assert a.total("x") == pytest.approx(3.0)
+
+    def test_as_dict_preserves_order(self):
+        timer = StepTimer()
+        timer.add("first", 1.0)
+        timer.add("second", 1.0)
+        assert list(timer.as_dict()) == ["first", "second"]

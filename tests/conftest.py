@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.miner import make_default_cluster
+from repro.data.generators import flight_table, gdelt_table, income_table
+
+
+@pytest.fixture
+def flights():
+    """The 14-row worked example of thesis Table 1.1."""
+    return flight_table()
+
+
+@pytest.fixture
+def small_gdelt():
+    """A small GDELT-shaped table for integration tests."""
+    return gdelt_table(num_rows=800)
+
+
+@pytest.fixture
+def small_income():
+    """A small binary-measure table for integration tests."""
+    return income_table(num_rows=800)
+
+
+@pytest.fixture
+def cluster():
+    """A fresh small cluster per test (metrics start at zero)."""
+    return make_default_cluster(num_executors=2, cores_per_executor=2)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

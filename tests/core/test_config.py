@@ -1,0 +1,94 @@
+"""Tests for SirumConfig and the Table 4.2 variant presets."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import SirumConfig, VARIANT_FLAGS, variant_config
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"sample_size": 0},
+            {"epsilon": 0},
+            {"rules_per_iteration": 0},
+            {"top_fraction": 0},
+            {"top_fraction": 1.5},
+            {"min_gain_ratio": -0.1},
+            {"num_column_groups": 1},
+            {"sample_data_fraction": 0},
+            {"sample_data_fraction": 1.5},
+            {"target_kl": -1},
+            {"max_rules": 2, "k": 5},
+            {"num_partitions": 0},
+            {"max_scaling_iterations": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SirumConfig(**kwargs)
+
+    def test_defaults_match_thesis(self):
+        config = SirumConfig()
+        assert config.k == 10
+        assert config.sample_size == 64
+        assert config.epsilon == 0.01
+
+    def test_max_rules_defaults_to_4k(self):
+        assert SirumConfig(k=7).max_rules == 28
+
+
+class TestReplace:
+    def test_replace_overrides_field(self):
+        config = SirumConfig(k=5).replace(use_rct=True)
+        assert config.use_rct
+        assert config.k == 5
+
+    def test_replace_tracks_default_max_rules(self):
+        config = SirumConfig(k=5).replace(k=10)
+        assert config.max_rules == 40
+
+    def test_replace_keeps_explicit_max_rules(self):
+        config = SirumConfig(k=5, max_rules=99).replace(k=10)
+        assert config.max_rules == 99
+
+
+class TestVariants:
+    def test_all_table_4_2_variants_present(self):
+        assert set(VARIANT_FLAGS) == {
+            "naive",
+            "baseline",
+            "rct",
+            "fastpruning",
+            "fastancestor",
+            "multirule",
+            "optimized",
+        }
+
+    def test_naive_disables_broadcast_join(self):
+        assert not variant_config("naive").use_broadcast_join
+
+    def test_baseline_is_bj_sirum(self):
+        config = variant_config("baseline")
+        assert config.use_broadcast_join
+        assert not config.use_rct
+        assert not config.use_fast_pruning
+
+    def test_optimized_enables_everything(self):
+        config = variant_config("optimized")
+        assert config.use_rct
+        assert config.use_fast_pruning
+        assert config.num_column_groups == 2
+        assert config.rules_per_iteration == 2
+
+    def test_overrides_apply(self):
+        config = variant_config("rct", k=3, sample_size=8)
+        assert config.use_rct
+        assert config.k == 3
+        assert config.sample_size == 8
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigError):
+            variant_config("turbo")

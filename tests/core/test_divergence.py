@@ -1,0 +1,128 @@
+"""Tests for KL-divergence, entropy and the gain estimate (§2.3, §2.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.common.errors import DataError
+from repro.core.divergence import (
+    entropy,
+    information_gain,
+    kl_divergence,
+    rule_set_information_gain,
+)
+
+positive_arrays = hnp.arrays(
+    np.float64,
+    st.integers(2, 40),
+    elements=st.floats(0.01, 100.0, allow_nan=False),
+)
+
+
+class TestKlDivergence:
+    def test_self_similarity_is_zero(self):
+        m = np.array([1.0, 2.0, 3.0])
+        assert kl_divergence(m, m) == pytest.approx(0.0)
+
+    @given(m=positive_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_non_negativity(self, m):
+        uniform = np.ones_like(m)
+        assert kl_divergence(m, uniform) >= -1e-12
+
+    @given(m=positive_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance_after_normalization(self, m):
+        q = np.ones_like(m)
+        assert kl_divergence(m, q) == pytest.approx(
+            kl_divergence(m * 7.5, q * 0.3)
+        )
+
+    def test_zero_m_entries_contribute_zero(self):
+        m = np.array([0.0, 1.0, 1.0])
+        q = np.array([0.5, 1.0, 1.0])
+        # 0 log 0 = 0: only the normalization mismatch matters.
+        assert np.isfinite(kl_divergence(m, q))
+
+    def test_positive_m_against_zero_q_raises(self):
+        with pytest.raises(DataError):
+            kl_divergence(np.array([1.0, 1.0]), np.array([0.0, 1.0]))
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(DataError):
+            kl_divergence(np.array([-1.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            kl_divergence(np.ones(3), np.ones(4))
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(DataError):
+            kl_divergence(np.zeros(3), np.ones(3))
+
+    def test_flight_example_improves_with_second_rule(self, flights):
+        # Thesis §2.3: adding (*, *, London) reduces the divergence.
+        m = flights.measure
+        mhat1 = np.full(14, m.mean())
+        mhat2 = mhat1.copy()
+        london_rows = [0, 3, 5, 10]
+        mhat2[london_rows] = 15.25
+        other = [i for i in range(14) if i not in london_rows]
+        mhat2[other] = 8.4
+        assert kl_divergence(m, mhat2) < kl_divergence(m, mhat1)
+
+
+class TestEntropy:
+    def test_uniform_maximizes(self):
+        assert entropy(np.ones(8)) == pytest.approx(np.log(8))
+
+    def test_degenerate_distribution_is_zero(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    @given(m=positive_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_by_log_n(self, m):
+        assert -1e-9 <= entropy(m) <= np.log(m.size) + 1e-9
+
+
+class TestInformationGain:
+    def test_zero_when_sums_match(self):
+        assert information_gain(10.0, 10.0) == pytest.approx(0.0)
+
+    def test_positive_when_underestimated(self):
+        # Thesis §2.4: underestimated support sets get positive gain.
+        assert information_gain(10.0, 5.0) > 0
+
+    def test_negative_when_overestimated(self):
+        assert information_gain(5.0, 10.0) < 0
+
+    def test_zero_m_sum_is_zero_gain(self):
+        assert information_gain(0.0, 5.0) == 0.0
+
+    def test_zero_mhat_with_positive_m_raises(self):
+        with pytest.raises(DataError):
+            information_gain(1.0, 0.0)
+
+    @given(
+        sum_m=st.floats(0.1, 1000),
+        factor=st.floats(1.01, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_underestimation(self, sum_m, factor):
+        # The further the estimate falls below the truth, the larger
+        # the gain.
+        closer = information_gain(sum_m, sum_m / factor)
+        farther = information_gain(sum_m, sum_m / (factor * 2))
+        assert farther > closer
+
+
+class TestRuleSetInformationGain:
+    def test_matches_kl_difference(self):
+        m = np.array([4.0, 1.0, 1.0, 2.0])
+        root_only = np.full(4, 2.0)
+        better = np.array([3.5, 1.2, 1.2, 2.1])
+        expected = kl_divergence(m, root_only) - kl_divergence(m, better)
+        assert rule_set_information_gain(m, root_only, better) == pytest.approx(
+            expected
+        )

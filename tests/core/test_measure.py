@@ -1,0 +1,71 @@
+"""Tests for measure preconditioning (thesis §2.2 transformations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.common.errors import DataError
+from repro.core.measure import MeasureTransform
+
+any_measures = hnp.arrays(
+    np.float64,
+    st.integers(1, 50),
+    elements=st.floats(-1000, 1000, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestFit:
+    def test_non_negative_measure_is_identity(self):
+        m = np.array([1.0, 2.0, 0.0])
+        t = MeasureTransform.fit(m)
+        assert t.is_identity
+        np.testing.assert_array_equal(t.transformed, m)
+
+    def test_negative_values_are_shifted_to_non_negative(self):
+        m = np.array([-5.0, 3.0, 0.0])
+        t = MeasureTransform.fit(m)
+        assert t.transformed.min() == pytest.approx(0.0)
+        assert np.all(t.transformed >= 0)
+
+    def test_all_zero_measure_gets_uniform_lift(self):
+        m = np.zeros(4)
+        t = MeasureTransform.fit(m)
+        assert t.transformed.sum() == pytest.approx(1.0)
+        assert np.all(t.transformed > 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            MeasureTransform.fit(np.array([]))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(DataError):
+            MeasureTransform.fit(np.array([1.0, np.nan]))
+        with pytest.raises(DataError):
+            MeasureTransform.fit(np.array([1.0, np.inf]))
+
+
+class TestInvariants:
+    @given(m=any_measures)
+    @settings(max_examples=80, deadline=None)
+    def test_transformed_is_always_valid_for_maxent(self, m):
+        t = MeasureTransform.fit(m)
+        assert np.all(t.transformed >= 0)
+        assert t.transformed.sum() > 0
+
+    @given(m=any_measures)
+    @settings(max_examples=80, deadline=None)
+    def test_inverse_round_trips(self, m):
+        t = MeasureTransform.fit(m)
+        np.testing.assert_allclose(
+            t.inverse(t.transformed), m, rtol=1e-9, atol=1e-9
+        )
+
+    @given(m=any_measures)
+    @settings(max_examples=40, deadline=None)
+    def test_transform_is_monotone(self, m):
+        # The shift preserves order; floating-point absorption may
+        # collapse near-ties to equality but never inverts them.
+        t = MeasureTransform.fit(m)
+        by_m = np.argsort(m, kind="stable")
+        assert np.all(np.diff(t.transformed[by_m]) >= 0)

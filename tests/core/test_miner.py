@@ -1,0 +1,208 @@
+"""Tests for the SIRUM mining driver and its variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SirumConfig, variant_config
+from repro.core.divergence import kl_divergence
+from repro.core.miner import Sirum, make_default_cluster, mine
+from repro.core.rule import Rule, WILDCARD
+
+
+class TestWorkedExample:
+    """The miner reproduces thesis Tables 1.1/1.2 end to end."""
+
+    def test_flight_rules_match_table_1_2(self, flights):
+        # With the full table as the pruning sample the search is
+        # effectively exhaustive; rules 2-4 of Table 1.2 come out in
+        # the thesis's order.
+        result = mine(
+            flights, k=3, variant="baseline", sample_size=14, seed=1
+        )
+        decoded = [mr.decode(flights) for mr in result.rule_set]
+        assert decoded[0] == ("*", "*", "*")
+        assert decoded[1] == ("*", "*", "London")
+        assert set(decoded[2:]) == {("Fri", "*", "*"), ("Sat", "*", "*")}
+
+    def test_rule_aggregates_match_table_1_2(self, flights):
+        result = mine(
+            flights, k=3, variant="baseline", sample_size=14, seed=1
+        )
+        root = result.rule_set[0]
+        assert root.count == 14
+        assert root.avg_measure == pytest.approx(145 / 14)
+        london = result.find_rule((WILDCARD, WILDCARD,
+                                   flights.encoder("Destination")
+                                   .encode_existing("London")))
+        assert london is not None
+        assert london.count == 4
+        assert london.avg_measure == pytest.approx(15.25)
+
+    def test_kl_trace_is_monotone_decreasing(self, flights):
+        result = mine(
+            flights, k=3, variant="baseline", sample_size=14, seed=1
+        )
+        diffs = np.diff(result.kl_trace)
+        assert np.all(diffs <= 1e-9)
+
+    def test_information_gain_positive(self, flights):
+        result = mine(flights, k=2, variant="baseline", sample_size=14)
+        assert result.information_gain > 0
+
+
+class TestVariantEquivalence:
+    """All variants mine the same-quality rule sets (§4 optimizations
+    are performance-only, except multi-rule which may differ)."""
+
+    @pytest.mark.parametrize("variant", ["naive", "rct", "fastpruning",
+                                         "fastancestor"])
+    def test_single_rule_variants_match_baseline(self, small_gdelt, variant):
+        base = mine(small_gdelt, k=4, variant="baseline",
+                    sample_size=32, seed=5)
+        other = mine(small_gdelt, k=4, variant=variant,
+                     sample_size=32, seed=5)
+        assert [m.rule for m in base.rule_set] == \
+            [m.rule for m in other.rule_set]
+        assert other.final_kl == pytest.approx(base.final_kl, rel=1e-6)
+
+    def test_rct_estimates_match_baseline(self, small_gdelt):
+        base = mine(small_gdelt, k=3, variant="baseline",
+                    sample_size=16, seed=5)
+        rct = mine(small_gdelt, k=3, variant="rct",
+                   sample_size=16, seed=5)
+        np.testing.assert_allclose(
+            rct.estimates, base.estimates, rtol=0.02
+        )
+
+    def test_multirule_reaches_comparable_kl(self, small_gdelt):
+        base = mine(small_gdelt, k=6, variant="baseline",
+                    sample_size=32, seed=5)
+        multi = mine(small_gdelt, k=6, variant="multirule",
+                     sample_size=32, seed=5)
+        # Multi-rule may pick slightly different rules; quality stays
+        # in the same ballpark (thesis §4.4/§5.5 discussion).
+        assert multi.final_kl <= base.kl_trace[0]
+        assert multi.final_kl <= base.final_kl * 1.8 + 1e-9
+
+
+class TestMultiRule:
+    def test_selects_disjoint_rules_within_iteration(self, small_gdelt):
+        result = mine(small_gdelt, k=6, variant="multirule",
+                      sample_size=32, seed=5, top_fraction=0.05)
+        by_iteration = {}
+        for mined in result.rule_set:
+            by_iteration.setdefault(mined.iteration, []).append(mined.rule)
+        for iteration, rules in by_iteration.items():
+            if iteration == 0 or len(rules) < 2:
+                continue
+            for i, a in enumerate(rules):
+                for b in rules[i + 1:]:
+                    assert a.is_disjoint(b)
+
+    def test_multirule_uses_fewer_iterations(self, small_gdelt):
+        single = mine(small_gdelt, k=6, variant="baseline",
+                      sample_size=32, seed=5)
+        multi = mine(small_gdelt, k=6, variant="multirule",
+                     sample_size=32, seed=5)
+        single_iters = max(m.iteration for m in single.rule_set)
+        multi_iters = max(m.iteration for m in multi.rule_set)
+        assert multi_iters < single_iters
+
+
+class TestTargetKl:
+    def test_star_variant_keeps_adding_until_target(self, small_gdelt):
+        base = mine(small_gdelt, k=6, variant="baseline",
+                    sample_size=32, seed=5)
+        star = mine(
+            small_gdelt, k=6, variant="multirule", sample_size=32, seed=5,
+            target_kl=base.final_kl, max_rules=30,
+        )
+        assert star.final_kl <= base.final_kl * 1.001
+
+    def test_max_rules_caps_star_variant(self, small_gdelt):
+        result = mine(
+            small_gdelt, k=2, variant="baseline", sample_size=16, seed=5,
+            target_kl=0.0, max_rules=4,
+        )
+        assert len(result.rule_set) - 1 <= 4
+
+
+class TestSampleDataMode:
+    def test_sirum_on_sample_data_evaluates_on_full(self, small_gdelt):
+        full = mine(small_gdelt, k=3, variant="baseline",
+                    sample_size=16, seed=5)
+        sampled = mine(small_gdelt, k=3, variant="baseline",
+                       sample_size=16, seed=5, sample_data_fraction=0.5)
+        # Estimates are reported for the full table either way.
+        assert sampled.estimates.shape == full.estimates.shape
+        assert sampled.information_gain > 0
+        # Mining a sample costs less simulated time.
+        assert sampled.simulated_seconds < full.simulated_seconds
+
+    def test_sampled_info_gain_close_to_full(self, small_gdelt):
+        full = mine(small_gdelt, k=3, variant="baseline",
+                    sample_size=16, seed=5)
+        sampled = mine(small_gdelt, k=3, variant="baseline",
+                       sample_size=16, seed=5, sample_data_fraction=0.6)
+        assert sampled.information_gain >= 0.4 * full.information_gain
+
+
+class TestPriorRules:
+    def test_prior_rules_join_the_rule_set(self, flights):
+        london = flights.encoder("Destination").encode_existing("London")
+        prior = [Rule((WILDCARD, WILDCARD, london))]
+        result = mine(flights, k=2, variant="baseline", sample_size=14,
+                      seed=1, prior_rules=prior)
+        assert result.rule_set[1].rule == prior[0]
+        assert result.rule_set[1].iteration == 0
+
+    def test_prior_rules_not_reselected(self, flights):
+        london = flights.encoder("Destination").encode_existing("London")
+        prior = [Rule((WILDCARD, WILDCARD, london))]
+        result = mine(flights, k=2, variant="baseline", sample_size=14,
+                      seed=1, prior_rules=prior)
+        rules = [m.rule for m in result.rule_set]
+        assert len(set(rules)) == len(rules)
+
+
+class TestExhaustiveMode:
+    def test_exhaustive_picks_global_best(self, flights):
+        result = mine(flights, k=1, variant="baseline", exhaustive=True)
+        london = flights.encoder("Destination").encode_existing("London")
+        assert result.rule_set[1].rule == Rule((WILDCARD, WILDCARD, london))
+
+
+class TestMetrics:
+    def test_phases_are_populated(self, small_gdelt, cluster):
+        result = mine(small_gdelt, k=2, variant="baseline",
+                      sample_size=16, seed=5, cluster=cluster)
+        for phase in ("load", "candidate_pruning", "ancestor_generation",
+                      "gain", "iterative_scaling"):
+            assert result.phase_seconds(phase) > 0, phase
+
+    def test_deterministic_given_seed(self, small_gdelt):
+        a = mine(small_gdelt, k=3, variant="optimized", sample_size=16, seed=9)
+        b = mine(small_gdelt, k=3, variant="optimized", sample_size=16, seed=9)
+        assert [m.rule for m in a.rule_set] == [m.rule for m in b.rule_set]
+        assert a.simulated_seconds == pytest.approx(b.simulated_seconds)
+
+    def test_reset_lambdas_is_slower_but_equivalent(self, small_gdelt):
+        base = mine(small_gdelt, k=3, variant="baseline",
+                    sample_size=16, seed=5)
+        reset = mine(small_gdelt, k=3, variant="baseline",
+                     sample_size=16, seed=5, reset_lambdas=True)
+        assert reset.scaling_iterations > base.scaling_iterations
+        assert reset.final_kl == pytest.approx(base.final_kl, rel=0.05)
+
+
+class TestScalingBehaviour:
+    def test_estimates_satisfy_rule_constraints(self, small_income):
+        result = mine(small_income, k=4, variant="rct",
+                      sample_size=32, seed=2)
+        epsilon = result.config.epsilon
+        for mined in result.rule_set:
+            mask = mined.rule.match_mask(small_income)
+            target = small_income.measure[mask].mean()
+            estimate = result.estimates[mask].mean()
+            if target != 0:
+                assert abs(target - estimate) / abs(target) <= epsilon * 3

@@ -1,0 +1,93 @@
+"""Tests for multi-measure rule mining (thesis §7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, DataError
+from repro.core.multimeasure import MultiMeasureSirum
+from repro.core.rule import WILDCARD
+from repro.data.generators import SyntheticSpec, generate
+
+
+def _two_measure_table(seed=7):
+    """A table where measure A is driven by attr 0 and B by attr 1."""
+    spec = SyntheticSpec(
+        num_rows=1500,
+        cardinalities=[5, 5, 5],
+        skew=0.2,
+        num_planted_rules=0,
+        planted_arity=1,
+        noise_scale=0.3,
+        base_measure=10.0,
+        measure_name="A",
+    )
+    table, _ = generate(spec, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    a = table.measure.copy()
+    a[table.dimension_columns()[0] == 0] += 25.0
+    b = 5.0 + rng.normal(0, 0.3, size=len(table))
+    b[table.dimension_columns()[1] == 0] += 25.0
+    return table.with_measure(a), b
+
+
+class TestMultiMeasureSirum:
+    def test_shared_rules_cover_both_measures(self):
+        table, b = _two_measure_table()
+        miner = MultiMeasureSirum(k=4, sample_size=48, seed=2)
+        result = miner.mine(table, extra_measures={"B": b})
+        bound_attrs = set()
+        for rule in result.rules[1:]:
+            for j, v in enumerate(rule.values):
+                if v != WILDCARD:
+                    bound_attrs.add(j)
+        # Rules must touch the drivers of *both* measures.
+        assert 0 in bound_attrs
+        assert 1 in bound_attrs
+
+    def test_kl_decreases_for_every_measure(self):
+        table, b = _two_measure_table()
+        result = MultiMeasureSirum(k=3, sample_size=32, seed=2).mine(
+            table, extra_measures={"B": b}
+        )
+        for name in result.measure_names:
+            trace = result.kl_traces[name]
+            assert trace[-1] <= trace[0] + 1e-9
+
+    def test_information_gain_positive_for_both(self):
+        table, b = _two_measure_table()
+        result = MultiMeasureSirum(k=4, sample_size=48, seed=2).mine(
+            table, extra_measures={"B": b}
+        )
+        assert result.information_gain(table.schema.measure) > 0
+        assert result.information_gain("B") > 0
+
+    def test_estimates_in_original_units(self):
+        table, b = _two_measure_table()
+        result = MultiMeasureSirum(k=2, sample_size=32, seed=2).mine(
+            table, extra_measures={"B": b}
+        )
+        estimates = result.estimates("B")
+        assert estimates.mean() == pytest.approx(np.mean(b), rel=0.05)
+
+    def test_single_measure_degenerates_gracefully(self, flights):
+        result = MultiMeasureSirum(k=2, sample_size=14, seed=1).mine(flights)
+        assert len(result.rules) >= 2
+        assert result.measure_names == ["Delay"]
+
+    def test_length_mismatch_rejected(self, flights):
+        with pytest.raises(DataError):
+            MultiMeasureSirum(k=1).mine(
+                flights, extra_measures={"B": np.ones(3)}
+            )
+
+    def test_duplicate_measure_name_rejected(self, flights):
+        with pytest.raises(DataError):
+            MultiMeasureSirum(k=1).mine(
+                flights, extra_measures={"Delay": np.ones(14)}
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            MultiMeasureSirum(k=0)
+        with pytest.raises(ConfigError):
+            MultiMeasureSirum(sample_size=0)

@@ -1,0 +1,177 @@
+"""Tests for the Rule Coverage Table — thesis §4.1, Table 4.1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import DataError
+from repro.core.rct import BitMatrix, RuleCoverageTable, iterative_scale_rct
+from repro.core.rule import Rule, WILDCARD
+from repro.core.scaling import iterative_scale
+
+
+def _flight_state(flights):
+    """Masks for (*, *, *), (*, *, London), (Fri, *, *) — thesis rules."""
+    london = flights.encoder("Destination").encode_existing("London")
+    friday = flights.encoder("Day").encode_existing("Fri")
+    rules = [
+        Rule.all_wildcards(3),
+        Rule((WILDCARD, WILDCARD, london)),
+        Rule((friday, WILDCARD, WILDCARD)),
+    ]
+    return rules, [r.match_mask(flights) for r in rules]
+
+
+class TestBitMatrix:
+    def test_add_rule_sets_bits(self, flights):
+        rules, masks = _flight_state(flights)
+        bm = BitMatrix(14)
+        for mask in masks:
+            bm.add_rule(mask)
+        keys, inverse = bm.group_rows()
+        assert inverse.size == 14
+        assert keys.shape[0] == 4  # thesis Table 4.1 has 4 rows
+
+    def test_more_than_64_rules_grow_words(self):
+        bm = BitMatrix(4)
+        rng = np.random.default_rng(0)
+        for _ in range(70):
+            bm.add_rule(rng.random(4) < 0.5)
+        assert bm.num_rules == 70
+        assert bm._words.shape[1] == 2
+
+    def test_covers_across_word_boundary(self):
+        bm = BitMatrix(3)
+        for i in range(65):
+            mask = np.zeros(3, dtype=bool)
+            mask[i % 3] = True
+            bm.add_rule(mask)
+        keys, _ = bm.group_rows()
+        covered = bm.covers(keys, 64)
+        assert covered.shape[0] == keys.shape[0]
+
+    def test_mask_length_mismatch(self):
+        bm = BitMatrix(3)
+        with pytest.raises(DataError):
+            bm.add_rule(np.ones(4, dtype=bool))
+
+
+class TestRuleCoverageTable:
+    def test_thesis_table_4_1(self, flights):
+        """RCT after the third rule: the exact rows of Table 4.1."""
+        rules, masks = _flight_state(flights)
+        bm = BitMatrix(14)
+        for mask in masks:
+            bm.add_rule(mask)
+        # Estimates are the mhat2 column (after two rules converged).
+        estimates = np.full(14, 8.4)
+        estimates[[0, 3, 5, 10]] = 15.25
+        rct = RuleCoverageTable.build(bm, flights.measure, estimates)
+        rows = {}
+        for g in range(rct.num_groups):
+            pattern = tuple(
+                bool(bm.covers(rct.keys[g:g + 1], i)[0]) for i in range(3)
+            )
+            rows[pattern] = (
+                int(rct.counts[g]),
+                float(rct.sum_m[g]),
+                float(rct.sum_mhat[g]),
+            )
+        # BA=1000: 9 tuples, sum m = 68, sum mhat = 75.6
+        assert rows[(True, False, False)] == (9, 68.0, pytest.approx(75.6))
+        # BA=1100: 3 tuples, 41, 45.9 (London not Friday)
+        assert rows[(True, True, False)] == (3, 41.0, pytest.approx(45.75))
+        # BA=1010: 1 tuple, 16, 8.4 (Friday not London)
+        assert rows[(True, False, True)] == (1, 16.0, pytest.approx(8.4))
+        # BA=1110: 1 tuple, 20, 15.3
+        assert rows[(True, True, True)] == (1, 20.0, pytest.approx(15.25))
+
+    def test_rows_partition_the_dataset(self, flights):
+        rules, masks = _flight_state(flights)
+        bm = BitMatrix(14)
+        for mask in masks:
+            bm.add_rule(mask)
+        rct = RuleCoverageTable.build(
+            bm, flights.measure, np.ones(14)
+        )
+        assert rct.counts.sum() == 14
+        assert rct.sum_m.sum() == pytest.approx(flights.measure.sum())
+
+    def test_length_mismatch_rejected(self, flights):
+        bm = BitMatrix(14)
+        bm.add_rule(np.ones(14, dtype=bool))
+        with pytest.raises(DataError):
+            RuleCoverageTable.build(bm, np.ones(10), np.ones(14))
+
+
+class TestRctScaling:
+    def test_matches_algorithm_1_fixpoint(self, flights):
+        """Algorithm 3 converges to the same estimates as Algorithm 1."""
+        rules, masks = _flight_state(flights)
+        bm = BitMatrix(14)
+        for mask in masks:
+            bm.add_rule(mask)
+        direct = iterative_scale(masks, flights.measure, epsilon=1e-9)
+        via_rct = iterative_scale_rct(
+            bm,
+            flights.measure,
+            np.ones(14),
+            np.ones(3),
+            epsilon=1e-9,
+        )
+        np.testing.assert_allclose(
+            via_rct.estimates, direct.estimates, rtol=1e-6
+        )
+
+    @given(seed=st.integers(0, 3000), num_rules=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_rule_sets_match_algorithm_1(self, seed, num_rules):
+        rng = np.random.default_rng(seed)
+        n = 40
+        measure = rng.uniform(0.5, 5.0, size=n)
+        masks = [np.ones(n, dtype=bool)]
+        for _ in range(num_rules):
+            mask = rng.random(n) < 0.5
+            if not mask.any():
+                mask[0] = True
+            masks.append(mask)
+        bm = BitMatrix(n)
+        for mask in masks:
+            bm.add_rule(mask)
+        direct = iterative_scale(masks, measure, epsilon=1e-8)
+        via_rct = iterative_scale_rct(
+            bm, measure, np.ones(n), np.ones(len(masks)), epsilon=1e-8
+        )
+        np.testing.assert_allclose(
+            via_rct.estimates, direct.estimates, rtol=1e-4, atol=1e-8
+        )
+
+    def test_data_passes_constant(self, flights):
+        rules, masks = _flight_state(flights)
+        bm = BitMatrix(14)
+        for mask in masks:
+            bm.add_rule(mask)
+        result = iterative_scale_rct(
+            bm, flights.measure, np.ones(14), np.ones(3)
+        )
+        assert result.data_passes == 2
+
+    def test_group_count_is_small(self, flights):
+        # The RCT has at most 2^|R| rows but usually far fewer — here 4
+        # rows versus 14 tuples (and the gap widens with |D|).
+        rules, masks = _flight_state(flights)
+        bm = BitMatrix(14)
+        for mask in masks:
+            bm.add_rule(mask)
+        result = iterative_scale_rct(
+            bm, flights.measure, np.ones(14), np.ones(3)
+        )
+        assert result.rct.num_groups == 4
+
+    def test_lambda_count_must_match(self, flights):
+        bm = BitMatrix(14)
+        bm.add_rule(np.ones(14, dtype=bool))
+        with pytest.raises(DataError):
+            iterative_scale_rct(
+                bm, flights.measure, np.ones(14), np.ones(3)
+            )

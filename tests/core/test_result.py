@@ -1,0 +1,58 @@
+"""Tests for result types (MinedRule, RuleSet, MiningResult views)."""
+
+import pytest
+
+from repro.core.miner import mine
+from repro.core.rule import Rule, WILDCARD
+
+
+@pytest.fixture
+def result(flights):
+    return mine(flights, k=2, variant="baseline", sample_size=14, seed=1)
+
+
+class TestRuleSet:
+    def test_iteration_and_indexing(self, result):
+        assert len(result.rule_set) == 3
+        assert result.rule_set[0].rule.is_root()
+        assert [m.rule for m in result.rule_set] == result.rule_set.rules()
+
+    def test_to_rows_decodes(self, result, flights):
+        rows = result.rule_set.to_rows(flights)
+        assert rows[0][:3] == ("*", "*", "*")
+        assert rows[0][-1] == 14
+
+    def test_markdown_has_header_and_rows(self, result, flights):
+        text = result.rule_set.to_markdown(flights)
+        lines = text.splitlines()
+        assert "AVG(Delay)" in lines[0]
+        assert len(lines) == 2 + len(result.rule_set)
+
+
+class TestMiningResult:
+    def test_find_rule(self, result, flights):
+        london = flights.encoder("Destination").encode_existing("London")
+        found = result.find_rule((WILDCARD, WILDCARD, london))
+        assert found is not None
+        assert found.count == 4
+        assert result.find_rule((5, 5, 5)) is None
+
+    def test_summary_mentions_rules_and_kl(self, result):
+        text = result.summary()
+        assert "rules=3" in text
+        assert "kl=" in text
+
+    def test_phase_accessors(self, result):
+        assert result.rule_generation_seconds >= 0
+        assert result.iterative_scaling_seconds >= 0
+        assert result.simulated_seconds > 0
+        assert result.phase_seconds("no_such_phase") == 0.0
+
+    def test_final_kl_is_last_trace_entry(self, result):
+        assert result.final_kl == result.kl_trace[-1]
+
+    def test_estimates_in_original_units(self, result, flights):
+        # Root-rule-only constraints force the mean to match.
+        assert result.estimates.mean() == pytest.approx(
+            flights.measure.mean(), rel=0.05
+        )

@@ -1,0 +1,176 @@
+"""Unit tests for the rule algebra (thesis §2.1, §2.5)."""
+
+import pytest
+
+from repro.common.errors import DataError
+from repro.core.rule import Rule, WILDCARD
+
+
+class TestConstruction:
+    def test_values_are_stored_as_tuple(self):
+        rule = Rule([1, WILDCARD, 2])
+        assert rule.values == (1, -1, 2)
+
+    def test_rejects_values_below_wildcard(self):
+        with pytest.raises(DataError):
+            Rule((0, -2))
+
+    def test_is_immutable(self):
+        rule = Rule((1, 2))
+        with pytest.raises(AttributeError):
+            rule.values = (3, 4)
+
+    def test_all_wildcards(self):
+        rule = Rule.all_wildcards(4)
+        assert rule.values == (-1, -1, -1, -1)
+        assert rule.is_root()
+
+    def test_from_tuple_is_fully_bound(self):
+        rule = Rule.from_tuple((0, 1, 2))
+        assert rule.num_bound == 3
+
+    def test_equality_and_hash(self):
+        assert Rule((1, WILDCARD)) == Rule((1, WILDCARD))
+        assert hash(Rule((1, WILDCARD))) == hash(Rule((1, WILDCARD)))
+        assert Rule((1, WILDCARD)) != Rule((WILDCARD, 1))
+
+    def test_repr_renders_wildcards(self):
+        assert repr(Rule((1, WILDCARD))) == "Rule(1, *)"
+
+
+class TestMatching:
+    def test_wildcards_match_anything(self):
+        assert Rule.all_wildcards(3).matches((5, 6, 7))
+
+    def test_bound_value_must_equal(self):
+        rule = Rule((5, WILDCARD, 7))
+        assert rule.matches((5, 0, 7))
+        assert not rule.matches((5, 0, 8))
+
+    def test_match_mask_vectorized(self, flights):
+        london = flights.encoder("Destination").encode_existing("London")
+        rule = Rule((WILDCARD, WILDCARD, london))
+        mask = rule.match_mask(flights)
+        # Tuples 1, 4, 6, 11 (1-based) arrive in London — thesis §2.1.
+        assert list(mask.nonzero()[0]) == [0, 3, 5, 10]
+
+    def test_thesis_tuple_t6_matches_r1_r2_r4_not_r3(self, flights):
+        # t6 = (Sat, Frankfurt, London); thesis §2.1 example.
+        t6 = flights.encoded_row(5)
+        enc_day = flights.encoder("Day")
+        enc_dst = flights.encoder("Destination")
+        r1 = Rule.all_wildcards(3)
+        r2 = Rule((WILDCARD, WILDCARD, enc_dst.encode_existing("London")))
+        r3 = Rule((enc_day.encode_existing("Fri"), WILDCARD, WILDCARD))
+        r4 = Rule((enc_day.encode_existing("Sat"), WILDCARD, WILDCARD))
+        assert r1.matches(t6)
+        assert r2.matches(t6)
+        assert not r3.matches(t6)
+        assert r4.matches(t6)
+
+
+class TestLca:
+    def test_thesis_example_t1_t6(self, flights):
+        # lca(t1, t6) = (*, *, London) — thesis §2.1.
+        t1 = flights.encoded_row(0)
+        t6 = flights.encoded_row(5)
+        lca = Rule.lca(t1, t6)
+        london = flights.encoder("Destination").encode_existing("London")
+        assert lca == Rule((WILDCARD, WILDCARD, london))
+
+    def test_lca_of_identical_tuples_is_the_tuple(self):
+        assert Rule.lca((1, 2), (1, 2)) == Rule((1, 2))
+
+    def test_lca_of_disjoint_tuples_is_root(self):
+        assert Rule.lca((1, 2), (3, 4)).is_root()
+
+    def test_lca_with_rules_treats_wildcards_as_disagreement(self):
+        left = Rule((1, WILDCARD))
+        right = Rule((1, 2))
+        assert Rule.lca(left, right) == Rule((1, WILDCARD))
+
+    def test_lca_arity_mismatch_raises(self):
+        with pytest.raises(DataError):
+            Rule.lca((1,), (1, 2))
+
+    def test_lca_is_ancestor_of_both(self, rng):
+        for _ in range(50):
+            a = tuple(rng.integers(0, 3, size=5))
+            b = tuple(rng.integers(0, 3, size=5))
+            lca = Rule.lca(a, b)
+            assert lca.matches(a)
+            assert lca.matches(b)
+
+
+class TestDisjointness:
+    def test_thesis_disjoint_example(self):
+        # (Fri, London, LA) vs (*, SF, LA): different Origin -> disjoint.
+        left = Rule((0, 1, 2))
+        right = Rule((WILDCARD, 3, 2))
+        assert left.is_disjoint(right)
+        assert not left.overlaps(right)
+
+    def test_thesis_overlapping_example_with_disjoint_supports(self):
+        # (Wed, *, *) vs (*, *, London) overlap by definition even when
+        # supports are disjoint (thesis §2.1).
+        left = Rule((7, WILDCARD, WILDCARD))
+        right = Rule((WILDCARD, WILDCARD, 0))
+        assert not left.is_disjoint(right)
+        assert left.overlaps(right)
+
+    def test_disjointness_is_symmetric(self):
+        a = Rule((1, WILDCARD))
+        b = Rule((2, WILDCARD))
+        assert a.is_disjoint(b) == b.is_disjoint(a)
+
+    def test_root_overlaps_everything(self):
+        root = Rule.all_wildcards(2)
+        assert not root.is_disjoint(Rule((0, 1)))
+
+
+class TestAncestors:
+    def test_count_is_two_to_the_bound(self):
+        rule = Rule((1, 2, WILDCARD))
+        assert len(list(rule.ancestors())) == 4
+
+    def test_thesis_figure_2_1_lattice(self, flights):
+        # CL((Fri, SF, London)) has 8 elements — thesis Figure 2.1.
+        t1 = flights.encoded_row(0)
+        lattice = set(Rule.from_tuple(t1).ancestors())
+        assert len(lattice) == 8
+        assert Rule.all_wildcards(3) in lattice
+        assert Rule.from_tuple(t1) in lattice
+
+    def test_exclude_self(self):
+        rule = Rule((1, 2))
+        ancestors = set(rule.ancestors(include_self=False))
+        assert rule not in ancestors
+        assert len(ancestors) == 3
+
+    def test_every_ancestor_is_an_ancestor(self):
+        rule = Rule((3, 1, 4, WILDCARD))
+        for ancestor in rule.ancestors():
+            assert ancestor.is_ancestor_of(rule)
+            assert rule.is_descendant_of(ancestor)
+
+    def test_parents_have_one_more_wildcard(self):
+        rule = Rule((1, 2, WILDCARD))
+        parents = list(rule.parents())
+        assert len(parents) == 2
+        for parent in parents:
+            assert parent.num_bound == rule.num_bound - 1
+
+    def test_generalize(self):
+        rule = Rule((1, 2, 3))
+        assert rule.generalize([0, 2]) == Rule((WILDCARD, 2, WILDCARD))
+
+    def test_root_is_only_its_own_ancestor(self):
+        root = Rule.all_wildcards(3)
+        assert list(root.ancestors()) == [root]
+
+
+class TestDecode:
+    def test_decode_uses_table_encoders(self, flights):
+        london = flights.encoder("Destination").encode_existing("London")
+        rule = Rule((WILDCARD, WILDCARD, london))
+        assert rule.decode(flights) == ("*", "*", "London")

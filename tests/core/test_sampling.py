@@ -1,0 +1,187 @@
+"""Tests for sample-based candidate pruning (thesis §3.1.1, §4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import DataError
+from repro.common.rng import make_rng
+from repro.core.index import SampleInvertedIndex
+from repro.core.rule import Rule, WILDCARD
+from repro.core.sampling import (
+    draw_sample_rows,
+    lca_aggregates_baseline,
+    lca_aggregates_fast,
+    merge_lca_aggregates,
+    sample_match_counts,
+)
+from repro.engine.task import TaskContext
+
+
+def _reference_lcas(columns, measure, estimates, sample_rows):
+    """Quadratic-time oracle: explicit LCA per (tuple, sample) pair."""
+    n = measure.size
+    acc = {}
+    for srow in sample_rows:
+        for i in range(n):
+            trow = tuple(int(col[i]) for col in columns)
+            key = Rule.lca(trow, srow).values
+            entry = acc.setdefault(key, [0.0, 0.0, 0.0])
+            entry[0] += measure[i]
+            entry[1] += estimates[i]
+            entry[2] += 1.0
+    return acc
+
+
+class TestDrawSample:
+    def test_sample_rows_come_from_table(self, flights, rng):
+        rows = draw_sample_rows(flights, 5, rng)
+        table_rows = {flights.encoded_row(i) for i in range(14)}
+        assert len(rows) == 5
+        assert all(r in table_rows for r in rows)
+
+    def test_sample_capped_at_table_size(self, flights, rng):
+        rows = draw_sample_rows(flights, 100, rng)
+        assert len(rows) == 14
+
+
+class TestLcaAggregates:
+    def test_baseline_matches_oracle(self, flights, rng):
+        columns = flights.dimension_columns()
+        m = flights.measure
+        est = np.ones(14)
+        sample = draw_sample_rows(flights, 4, rng)
+        got = lca_aggregates_baseline(columns, m, est, sample)
+        expected = _reference_lcas(columns, m, est, sample)
+        assert set(got) == set(expected)
+        for key in expected:
+            assert got[key] == pytest.approx(expected[key])
+
+    def test_fast_equals_baseline(self, flights, rng):
+        columns = flights.dimension_columns()
+        m = flights.measure
+        est = rng.uniform(1, 2, size=14)
+        sample = draw_sample_rows(flights, 6, rng)
+        index = SampleInvertedIndex(sample, 3)
+        slow = lca_aggregates_baseline(columns, m, est, sample)
+        fast = lca_aggregates_fast(columns, m, est, index, sample)
+        assert set(slow) == set(fast)
+        for key in slow:
+            assert fast[key] == pytest.approx(slow[key])
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_aggregates_match_oracle_on_random_tables(self, seed):
+        rng = np.random.default_rng(seed)
+        n, d = 30, 3
+        columns = [rng.integers(0, 3, size=n).astype(np.int64) for _ in range(d)]
+        measure = rng.uniform(0, 5, size=n)
+        estimates = rng.uniform(0.5, 2, size=n)
+        sample = [tuple(int(col[i]) for col in columns) for i in
+                  rng.choice(n, size=4, replace=False)]
+        got = lca_aggregates_baseline(columns, measure, estimates, sample)
+        expected = _reference_lcas(columns, measure, estimates, sample)
+        assert set(got) == set(expected)
+        for key in expected:
+            assert got[key] == pytest.approx(expected[key])
+
+    def test_pair_totals_preserved(self, flights, rng):
+        # The LCA table partitions the |s| x n pairs: counts sum to it.
+        columns = flights.dimension_columns()
+        sample = draw_sample_rows(flights, 6, rng)
+        acc = lca_aggregates_baseline(
+            columns, flights.measure, np.ones(14), sample
+        )
+        assert sum(v[2] for v in acc.values()) == 6 * 14
+
+    def test_fast_charges_fewer_ops_when_values_differ(self, flights, rng):
+        columns = flights.dimension_columns()
+        sample = draw_sample_rows(flights, 6, rng)
+        index = SampleInvertedIndex(sample, 3)
+        tc_slow = TaskContext(0, 0)
+        tc_fast = TaskContext(0, 0)
+        lca_aggregates_baseline(
+            columns, flights.measure, np.ones(14), sample, tc_slow
+        )
+        lca_aggregates_fast(
+            columns, flights.measure, np.ones(14), index, sample, tc_fast
+        )
+        # Flight attributes rarely agree: §4.2 predicts fewer operations.
+        assert tc_fast.ops < tc_slow.ops
+
+    def test_fast_requires_index(self, flights, rng):
+        sample = draw_sample_rows(flights, 2, rng)
+        with pytest.raises(DataError):
+            lca_aggregates_fast(
+                flights.dimension_columns(),
+                flights.measure,
+                np.ones(14),
+                None,
+                sample,
+            )
+
+
+class TestMerge:
+    def test_merge_sums_entrywise(self):
+        a = {(1, -1): [1.0, 2.0, 1.0]}
+        b = {(1, -1): [3.0, 1.0, 2.0], (-1, -1): [5.0, 5.0, 5.0]}
+        merged = merge_lca_aggregates([a, b])
+        assert merged[(1, -1)] == [4.0, 3.0, 3.0]
+        assert merged[(-1, -1)] == [5.0, 5.0, 5.0]
+
+    def test_merge_of_splits_equals_whole(self, flights, rng):
+        columns = flights.dimension_columns()
+        m = flights.measure
+        est = np.ones(14)
+        sample = draw_sample_rows(flights, 4, rng)
+        whole = lca_aggregates_baseline(columns, m, est, sample)
+        first = lca_aggregates_baseline(
+            [c[:7] for c in columns], m[:7], est[:7], sample
+        )
+        second = lca_aggregates_baseline(
+            [c[7:] for c in columns], m[7:], est[7:], sample
+        )
+        merged = merge_lca_aggregates([first, second])
+        assert set(merged) == set(whole)
+        for key in whole:
+            assert merged[key] == pytest.approx(whole[key])
+
+
+class TestSampleMatchCounts:
+    def test_thesis_correction_invariant(self, flights, rng):
+        # Every candidate generated from LCAs matches >= 1 sample tuple.
+        sample = draw_sample_rows(flights, 5, rng)
+        acc = lca_aggregates_baseline(
+            flights.dimension_columns(), flights.measure, np.ones(14), sample
+        )
+        candidates = []
+        for key in acc:
+            candidates.extend(a.values for a in Rule(key).ancestors())
+        counts = sample_match_counts(candidates, sample)
+        assert np.all(counts >= 1)
+
+    def test_counts_against_bruteforce(self, rng):
+        sample = [(0, 1), (0, 2), (1, 1)]
+        candidates = [
+            (WILDCARD, WILDCARD),  # matches all 3
+            (0, WILDCARD),         # matches 2
+            (WILDCARD, 1),         # matches 2
+            (1, 2),                # matches 0
+        ]
+        counts = sample_match_counts(candidates, sample)
+        np.testing.assert_array_equal(counts, [3, 2, 2, 0])
+
+    def test_chunked_path_consistency(self, rng):
+        # Exercise the block-partitioned implementation past one block.
+        sample = [tuple(rng.integers(0, 3, size=4)) for _ in range(8)]
+        candidates = [
+            tuple(int(v) if rng.random() > 0.5 else WILDCARD
+                  for v in rng.integers(0, 3, size=4))
+            for _ in range(5000)
+        ]
+        counts = sample_match_counts(candidates, sample)
+        # Oracle on a few spot indices.
+        for idx in [0, 1234, 4999]:
+            rule = Rule(candidates[idx])
+            expected = sum(1 for s in sample if rule.matches(s))
+            assert counts[idx] == expected

@@ -1,0 +1,160 @@
+"""Tests for iterative scaling — thesis Algorithm 1 and §2.2 examples."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConvergenceError, DataError
+from repro.core.rule import Rule, WILDCARD
+from repro.core.scaling import iterative_scale
+
+
+def _flight_masks(flights, *rule_specs):
+    masks = []
+    for spec in rule_specs:
+        masks.append(Rule(spec).match_mask(flights))
+    return masks
+
+
+class TestWorkedExample:
+    """Pins the m-hat columns of thesis Table 1.1 and the §2.2 lambdas."""
+
+    def test_mhat1_root_rule_only(self, flights):
+        masks = [np.ones(14, dtype=bool)]
+        result = iterative_scale(masks, flights.measure, epsilon=1e-8)
+        # mhat1 column: every tuple gets the global mean 10.357 (10.4).
+        np.testing.assert_allclose(result.estimates, 145.0 / 14.0)
+        assert result.lambdas[0] == pytest.approx(145.0 / 14.0)
+
+    def test_mhat2_after_london_rule(self, flights):
+        london = flights.encoder("Destination").encode_existing("London")
+        masks = _flight_masks(
+            flights,
+            (WILDCARD, WILDCARD, WILDCARD),
+            (WILDCARD, WILDCARD, london),
+        )
+        result = iterative_scale(masks, flights.measure, epsilon=1e-8)
+        # mhat2 column: 15.25 (printed 15.3) for London-bound flights,
+        # 8.4 elsewhere; lambdas converge to 8.4 and ~1.8 (§2.2).
+        london_rows = [0, 3, 5, 10]
+        np.testing.assert_allclose(result.estimates[london_rows], 15.25)
+        others = [i for i in range(14) if i not in london_rows]
+        np.testing.assert_allclose(result.estimates[others], 8.4)
+        assert result.lambdas[0] == pytest.approx(8.4, abs=1e-6)
+        assert result.lambdas[1] == pytest.approx(1.815, abs=1e-3)
+
+    def test_mhat3_after_friday_rule(self, flights):
+        london = flights.encoder("Destination").encode_existing("London")
+        friday = flights.encoder("Day").encode_existing("Fri")
+        masks = _flight_masks(
+            flights,
+            (WILDCARD, WILDCARD, WILDCARD),
+            (WILDCARD, WILDCARD, london),
+            (friday, WILDCARD, WILDCARD),
+        )
+        result = iterative_scale(masks, flights.measure, epsilon=1e-8)
+        # mhat3 column of Table 1.1 (printed to one decimal).
+        expected = [22.4, 13.6, 7.8, 12.9, 7.8, 12.9, 7.8, 7.8, 7.8, 7.8,
+                    12.9, 7.8, 7.8, 7.8]
+        np.testing.assert_allclose(result.estimates, expected, atol=0.06)
+
+
+class TestConvergence:
+    def test_constraints_hold_at_fixpoint(self, flights, rng):
+        # After convergence every rule's average estimate matches its
+        # average measure within epsilon (relative).
+        london = flights.encoder("Destination").encode_existing("London")
+        masks = _flight_masks(
+            flights,
+            (WILDCARD, WILDCARD, WILDCARD),
+            (WILDCARD, WILDCARD, london),
+        )
+        epsilon = 1e-4
+        result = iterative_scale(masks, flights.measure, epsilon=epsilon)
+        for mask in masks:
+            target = flights.measure[mask].mean()
+            estimate = result.estimates[mask].mean()
+            assert abs(target - estimate) / abs(target) <= epsilon
+
+    @given(seed=st.integers(0, 5000), num_rules=st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_random_overlapping_rules_converge(self, seed, num_rules):
+        rng = np.random.default_rng(seed)
+        n = 60
+        measure = rng.uniform(0.5, 10.0, size=n)
+        masks = [np.ones(n, dtype=bool)]
+        for _ in range(num_rules):
+            mask = rng.random(n) < rng.uniform(0.2, 0.9)
+            if not mask.any():
+                mask[rng.integers(0, n)] = True
+            masks.append(mask)
+        result = iterative_scale(masks, measure, epsilon=1e-3)
+        for mask in masks:
+            target = measure[mask].mean()
+            estimate = result.estimates[mask].mean()
+            assert abs(target - estimate) / abs(target) <= 1e-3 + 1e-9
+
+    def test_carrying_lambdas_over_reaches_same_fixpoint(self, flights):
+        london = flights.encoder("Destination").encode_existing("London")
+        friday = flights.encoder("Day").encode_existing("Fri")
+        specs = [
+            (WILDCARD, WILDCARD, WILDCARD),
+            (WILDCARD, WILDCARD, london),
+            (friday, WILDCARD, WILDCARD),
+        ]
+        masks = _flight_masks(flights, *specs)
+        # Incremental: scale two rules, then add the third carrying
+        # multipliers over (what SIRUM does, §5.6.2).
+        partial = iterative_scale(masks[:2], flights.measure, epsilon=1e-10)
+        incremental = iterative_scale(
+            masks,
+            flights.measure,
+            lambdas=partial.lambdas,
+            estimates=partial.estimates,
+            epsilon=1e-10,
+        )
+        fresh = iterative_scale(masks, flights.measure, epsilon=1e-10)
+        np.testing.assert_allclose(
+            incremental.estimates, fresh.estimates, rtol=1e-6
+        )
+
+    def test_iteration_budget_enforced(self, flights):
+        london = flights.encoder("Destination").encode_existing("London")
+        masks = _flight_masks(
+            flights,
+            (WILDCARD, WILDCARD, WILDCARD),
+            (WILDCARD, WILDCARD, london),
+        )
+        with pytest.raises(ConvergenceError):
+            iterative_scale(
+                masks, flights.measure, epsilon=1e-12, max_iterations=1
+            )
+
+    def test_data_passes_are_two_per_iteration(self, flights):
+        masks = [np.ones(14, dtype=bool)]
+        result = iterative_scale(masks, flights.measure)
+        assert result.data_passes == 2 * result.iterations
+
+
+class TestValidation:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DataError):
+            iterative_scale([np.array([], dtype=bool)], np.array([]))
+
+    def test_empty_rule_list_rejected(self):
+        with pytest.raises(DataError):
+            iterative_scale([], np.ones(3))
+
+    def test_mask_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            iterative_scale([np.ones(2, dtype=bool)], np.ones(3))
+
+    def test_zero_support_rule_rejected(self):
+        with pytest.raises(DataError):
+            iterative_scale(
+                [np.ones(3, dtype=bool), np.zeros(3, dtype=bool)], np.ones(3)
+            )
+
+    def test_non_positive_epsilon_rejected(self):
+        with pytest.raises(DataError):
+            iterative_scale([np.ones(3, dtype=bool)], np.ones(3), epsilon=0)

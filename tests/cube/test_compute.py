@@ -1,0 +1,193 @@
+"""Cube computation: the four algorithms agree and are internally sound."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import DataError
+from repro.core.rule import WILDCARD
+from repro.cube import buc_cube, hash_cube, naive_cube, sort_cube
+from repro.data.generators import flight_table
+from repro.data.schema import Schema
+from repro.data.table import Table
+
+ALGORITHMS = [naive_cube, hash_cube, sort_cube, buc_cube]
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return flight_table()
+
+
+@pytest.fixture(scope="module")
+def flight_cube(flights):
+    return naive_cube(flights)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS[1:])
+    def test_matches_naive_on_flights(self, flights, flight_cube, algorithm):
+        assert algorithm(flights) == flight_cube
+
+    def test_every_cuboid_materialized(self, flight_cube, flights):
+        assert len(flight_cube.cuboids) == 2 ** flights.schema.arity
+
+    def test_consistent_with_base(self, flight_cube):
+        assert flight_cube.consistent_with_base()
+
+
+class TestAggregateContents:
+    def test_apex_is_grand_total(self, flight_cube):
+        apex = flight_cube.cuboids[0][()]
+        assert apex.count == 14
+        assert apex.sum_measure == pytest.approx(145.0)
+        assert apex.avg == pytest.approx(10.357, abs=1e-3)
+
+    def test_point_query_matches_thesis_rule(self, flights, flight_cube):
+        london = flights.encoder("Destination").encode_existing("London")
+        agg = flight_cube.point((WILDCARD, WILDCARD, london))
+        assert agg.count == 4
+        assert agg.avg == pytest.approx(15.25)
+
+    def test_point_query_missing_group_returns_none(self, flights, flight_cube):
+        # (Fri, *, *) exists but Fri->Beijing was never flown.
+        fri = flights.encoder("Day").encode_existing("Fri")
+        beijing = flights.encoder("Destination").encode_existing("Beijing")
+        assert flight_cube.point((fri, WILDCARD, beijing)) is None
+
+    def test_point_query_arity_checked(self, flight_cube):
+        with pytest.raises(DataError):
+            flight_cube.point((WILDCARD,))
+
+    def test_base_cuboid_group_per_distinct_row(self, flights, flight_cube):
+        base = flight_cube.cuboids[flight_cube.lattice.base_mask]
+        distinct = {flights.encoded_row(i) for i in range(len(flights))}
+        assert set(base) == distinct
+
+    def test_slice_filters_groups(self, flights, flight_cube):
+        mon = flights.encoder("Day").encode_existing("Mon")
+        rows = flight_cube.slice(0b011, fixed={0: mon})
+        assert sum(agg.count for _k, agg in rows) == 5
+
+    def test_slice_rejects_aggregated_position(self, flight_cube):
+        with pytest.raises(DataError):
+            flight_cube.slice(0b001, fixed={2: 0})
+
+    def test_roll_up_equals_direct_computation(self, flights, flight_cube):
+        rolled = flight_cube.roll_up(0b111, 0b100)
+        assert rolled == flight_cube.cuboids[0b100]
+
+
+class TestWorkCounters:
+    def test_naive_scans_once_per_cuboid(self, flights):
+        stats = {}
+        naive_cube(flights, stats=stats)
+        assert stats["passes"] == 8
+        assert stats["tuples_read"] == 8 * len(flights)
+
+    def test_hash_cube_reads_fewer_tuples(self, flights):
+        naive_stats, hash_stats = {}, {}
+        naive_cube(flights, stats=naive_stats)
+        hash_cube(flights, stats=hash_stats)
+        assert hash_stats["tuples_read"] < naive_stats["tuples_read"]
+
+    def test_sort_cube_uses_fewer_passes(self, flights):
+        stats = {}
+        sort_cube(flights, stats=stats)
+        assert stats["sorts"] < 8
+
+    def test_requested_masks_only(self, flights):
+        cube = naive_cube(flights, masks=[0, 0b001])
+        assert set(cube.cuboids) == {0, 0b001}
+
+    def test_hash_cube_requested_masks(self, flights):
+        cube = hash_cube(flights, masks=[0, 0b010])
+        assert set(cube.cuboids) == {0, 0b010}
+        full = naive_cube(flights)
+        assert cube.cuboids[0b010] == full.cuboids[0b010]
+
+
+class TestIceberg:
+    def test_min_support_one_equals_full_cube(self, flights, flight_cube):
+        assert buc_cube(flights, min_support=1) == flight_cube
+
+    def test_iceberg_keeps_only_supported_groups(self, flights, flight_cube):
+        iceberg = buc_cube(flights, min_support=4)
+        for mask, groups in iceberg.cuboids.items():
+            for key, agg in groups.items():
+                assert agg.count >= 4
+                assert flight_cube.cuboids[mask][key] == agg
+
+    def test_iceberg_is_complete(self, flights, flight_cube):
+        # Every qualifying group of the full cube must appear.
+        iceberg = buc_cube(flights, min_support=3)
+        for mask, groups in flight_cube.cuboids.items():
+            for key, agg in groups.items():
+                if agg.count >= 3:
+                    assert iceberg.cuboids[mask][key] == agg
+
+    def test_min_support_validation(self, flights):
+        with pytest.raises(DataError):
+            buc_cube(flights, min_support=0)
+
+    def test_unreachable_support_leaves_apex_empty(self, flights):
+        iceberg = buc_cube(flights, min_support=1000)
+        assert iceberg.num_groups() == 0
+
+
+# ----------------------------------------------------------------------
+# Property-based agreement on random tables
+# ----------------------------------------------------------------------
+
+ROWS = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 2),
+        st.integers(0, 2),
+        st.floats(0, 50, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def table_from(rows):
+    schema = Schema(["a", "b", "c"], "m")
+    return Table.from_rows(schema, rows)
+
+
+@given(ROWS)
+@settings(max_examples=40, deadline=None)
+def test_all_algorithms_agree(rows):
+    table = table_from(rows)
+    reference = naive_cube(table)
+    assert hash_cube(table) == reference
+    assert sort_cube(table) == reference
+    assert buc_cube(table) == reference
+
+
+@given(ROWS)
+@settings(max_examples=40, deadline=None)
+def test_cube_is_consistent_with_base(rows):
+    assert hash_cube(table_from(rows)).consistent_with_base()
+
+
+@given(ROWS, st.integers(2, 5))
+@settings(max_examples=40, deadline=None)
+def test_iceberg_subset_property(rows, support):
+    table = table_from(rows)
+    full = naive_cube(table)
+    iceberg = buc_cube(table, min_support=support)
+    for mask, groups in iceberg.cuboids.items():
+        for key, agg in groups.items():
+            assert full.cuboids[mask][key] == agg
+            assert agg.count >= support
+
+
+@given(ROWS)
+@settings(max_examples=40, deadline=None)
+def test_every_level_sums_to_total(rows):
+    """Each cuboid partitions the rows, so counts always total |D|."""
+    table = table_from(rows)
+    cube = naive_cube(table)
+    for groups in cube.cuboids.values():
+        assert sum(agg.count for agg in groups.values()) == len(table)

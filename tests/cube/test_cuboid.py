@@ -1,0 +1,82 @@
+"""Cuboid lattice structure tests."""
+
+import pytest
+
+from repro.common.errors import DataError
+from repro.cube.cuboid import (
+    CuboidLattice,
+    mask_of,
+    popcount,
+    positions_of,
+)
+
+
+class TestMaskHelpers:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_mask_of_round_trips_positions(self):
+        assert positions_of(mask_of([0, 2], arity=3)) == [0, 2]
+
+    def test_mask_of_rejects_out_of_range(self):
+        with pytest.raises(DataError):
+            mask_of([3], arity=3)
+
+    def test_positions_are_sorted(self):
+        assert positions_of(0b110) == [1, 2]
+
+
+class TestLattice:
+    @pytest.fixture
+    def lattice(self):
+        return CuboidLattice(3)
+
+    def test_size(self, lattice):
+        assert len(lattice) == 8
+        assert lattice.base_mask == 0b111
+
+    def test_arity_bounds(self):
+        with pytest.raises(DataError):
+            CuboidLattice(0)
+        with pytest.raises(DataError):
+            CuboidLattice(21)
+
+    def test_levels_partition_all_masks(self, lattice):
+        levels = lattice.masks_by_level()
+        assert [len(level) for level in levels] == [1, 3, 3, 1]
+        assert sorted(m for level in levels for m in level) == list(range(8))
+
+    def test_parents_add_one_attribute(self, lattice):
+        assert sorted(lattice.parents(0b001)) == [0b011, 0b101]
+
+    def test_base_has_no_parents(self, lattice):
+        assert lattice.parents(0b111) == []
+
+    def test_children_remove_one_attribute(self, lattice):
+        assert sorted(lattice.children(0b011)) == [0b001, 0b010]
+
+    def test_apex_has_no_children(self, lattice):
+        assert lattice.children(0) == []
+
+    def test_ancestor_is_subset_relation(self, lattice):
+        assert lattice.is_ancestor(0b001, 0b011)
+        assert lattice.is_ancestor(0, 0b111)
+        assert not lattice.is_ancestor(0b100, 0b011)
+        assert lattice.is_ancestor(0b011, 0b011)
+
+    def test_project_key_keeps_subset_values(self, lattice):
+        # Cuboid {0,1,2} key (a, b, c) projected to {0,2} keeps (a, c).
+        assert lattice.project_key(("a", "b", "c"), 0b111, 0b101) == ("a", "c")
+
+    def test_project_key_to_apex(self, lattice):
+        assert lattice.project_key(("a",), 0b001, 0) == ()
+
+    def test_project_key_rejects_non_ancestor(self, lattice):
+        with pytest.raises(DataError):
+            lattice.project_key(("a",), 0b001, 0b010)
+
+    def test_parent_child_duality(self, lattice):
+        for mask in lattice.all_masks():
+            for parent in lattice.parents(mask):
+                assert mask in lattice.children(parent)

@@ -1,0 +1,110 @@
+"""Partial-cube selection and query answering."""
+
+import pytest
+
+from repro.common.errors import DataError
+from repro.core.rule import WILDCARD
+from repro.cube import PartialCube, choose_cuboids, naive_cube
+from repro.data.generators import flight_table, susy_table
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return flight_table()
+
+
+@pytest.fixture(scope="module")
+def full_cube(flights):
+    return naive_cube(flights)
+
+
+class TestSelection:
+    def test_base_always_selected(self, full_cube):
+        base = full_cube.lattice.base_mask
+        selected = choose_cuboids(full_cube, budget_groups=len(
+            full_cube.cuboids[base]))
+        assert base in selected
+
+    def test_budget_too_small_rejected(self, full_cube):
+        with pytest.raises(DataError):
+            choose_cuboids(full_cube, budget_groups=1)
+
+    def test_larger_budget_selects_more(self, full_cube):
+        small = choose_cuboids(full_cube, budget_groups=20)
+        large = choose_cuboids(full_cube, budget_groups=100)
+        assert set(small) <= set(large)
+
+    def test_budget_respected(self, full_cube):
+        budget = 40
+        selected = choose_cuboids(full_cube, budget_groups=budget)
+        stored = sum(len(full_cube.cuboids[m]) for m in selected)
+        assert stored <= budget
+
+    def test_unbounded_budget_reaches_optimal_answer_cost(self, full_cube):
+        # The greedy stops at zero marginal benefit, so it may skip a
+        # cuboid whose best materialized descendant is equally small —
+        # but every cuboid must still be answerable at the optimal cost
+        # (the size of its smallest descendant in the full cube).
+        lattice = full_cube.lattice
+        sizes = {mask: len(g) for mask, g in full_cube.cuboids.items()}
+        selected = set(choose_cuboids(full_cube, budget_groups=10**9))
+        for mask in full_cube.cuboids:
+            achieved = min(
+                sizes[c] for c in selected if lattice.is_ancestor(mask, c)
+            )
+            optimal = min(
+                sizes[c] for c in sizes if lattice.is_ancestor(mask, c)
+            )
+            assert achieved == optimal
+
+
+class TestAnswering:
+    @pytest.fixture(scope="class")
+    def partial(self, full_cube):
+        selected = choose_cuboids(full_cube, budget_groups=30)
+        return PartialCube(full_cube, selected)
+
+    def test_every_cuboid_answerable(self, full_cube, partial):
+        for mask, expected in full_cube.cuboids.items():
+            assert partial.cuboid(mask) == expected
+
+    def test_materialized_hit_is_free(self, partial):
+        base = partial.lattice.base_mask
+        partial.cuboid(base)
+        assert partial.last_answer_cost == 0
+
+    def test_rollup_cost_reported(self, full_cube, partial):
+        unmaterialized = [
+            mask for mask in full_cube.cuboids if mask not in partial.selected
+        ]
+        assert unmaterialized, "budget should have excluded something"
+        partial.cuboid(unmaterialized[0])
+        assert partial.last_answer_cost > 0
+
+    def test_point_query_matches_full(self, flights, full_cube, partial):
+        london = flights.encoder("Destination").encode_existing("London")
+        values = (WILDCARD, WILDCARD, london)
+        assert partial.point(values) == full_cube.point(values)
+
+    def test_requires_base_cuboid(self, full_cube):
+        with pytest.raises(DataError):
+            PartialCube(full_cube, [0])
+
+    def test_rejects_unmaterialized_selection(self, full_cube):
+        partial_input = naive_cube(flight_table(), masks=[0b111])
+        with pytest.raises(DataError):
+            PartialCube(partial_input, [0b111, 0b1000])
+
+
+class TestBuild:
+    def test_build_from_table(self):
+        table = susy_table(num_rows=150, num_dimensions=4, seed=9)
+        partial = PartialCube.build(table, budget_groups=400)
+        full = naive_cube(table)
+        for mask in full.cuboids:
+            assert partial.cuboid(mask) == full.cuboids[mask]
+
+    def test_stored_groups_under_budget(self):
+        table = susy_table(num_rows=150, num_dimensions=4, seed=9)
+        partial = PartialCube.build(table, budget_groups=400)
+        assert partial.stored_groups() <= 400

@@ -1,0 +1,160 @@
+"""Columnar file format: round trips, statistics, block skipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import DataError
+from repro.data.colfile import (
+    block_scan_stats,
+    read_colfile,
+    scan_colfile,
+    write_colfile,
+)
+from repro.data.generators import flight_table
+from repro.data.schema import Schema
+from repro.data.table import Table
+
+
+def tables_equal(a, b):
+    if a.schema != b.schema or len(a) != len(b):
+        return False
+    return all(a.decoded_row(i) == b.decoded_row(i) for i in range(len(a)))
+
+
+@pytest.fixture
+def flights():
+    return flight_table()
+
+
+class TestRoundTrip:
+    def test_flight_table_round_trips(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path)
+        assert tables_equal(read_colfile(path), flights)
+
+    def test_multi_block_round_trip(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        stats = write_colfile(flights, path, block_rows=4)
+        assert len(stats) == 4  # 14 rows in blocks of 4
+        assert tables_equal(read_colfile(path), flights)
+
+    def test_single_row_blocks(self, flights, tmp_path):
+        path = tmp_path / "tiny.col"
+        write_colfile(flights, path, block_rows=1)
+        assert tables_equal(read_colfile(path), flights)
+
+    def test_block_rows_validated(self, flights, tmp_path):
+        with pytest.raises(DataError):
+            write_colfile(flights, tmp_path / "x.col", block_rows=0)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.col"
+        path.write_bytes(b"NOPE" + b"\0" * 64)
+        with pytest.raises(DataError):
+            read_colfile(path)
+
+
+class TestStatistics:
+    def test_stats_bound_block_contents(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        stats = write_colfile(flights, path, block_rows=5)
+        measure = np.asarray(flights.measure)
+        start = 0
+        for stat in stats:
+            stop = start + stat["rows"]
+            low, high = stat["measure"]
+            assert low == measure[start:stop].min()
+            assert high == measure[start:stop].max()
+            for j in range(flights.schema.arity):
+                codes = flights.dimension_columns()[j][start:stop]
+                assert stat["dims"][j] == [int(codes.min()), int(codes.max())]
+            start = stop
+
+
+class TestBlockSkipping:
+    def test_dim_predicate_scan_is_exact(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=3)
+        result = scan_colfile(path, dim_predicates={"Origin": "SF"})
+        expected = [
+            flights.decoded_row(i)
+            for i in range(len(flights))
+            if flights.decoded_row(i)[1] == "SF"
+        ]
+        got = [result.decoded_row(i) for i in range(len(result))]
+        assert got == expected
+
+    def test_measure_range_scan_is_exact(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=3)
+        result = scan_colfile(path, measure_range=(15.0, 20.0))
+        assert len(result) == 5
+        assert all(15.0 <= m <= 20.0 for m in result.measure)
+
+    def test_blocks_are_skipped(self, flights, tmp_path):
+        # Delays 15..20 cluster in the first rows of the (ordered)
+        # flight table, so later blocks are skippable by stats.
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=3)
+        read, skipped = block_scan_stats(path, measure_range=(15.0, 20.0))
+        assert skipped > 0
+        assert read + skipped == 5
+
+    def test_unknown_value_skips_everything(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=3)
+        result = scan_colfile(path, dim_predicates={"Origin": "Atlantis"})
+        assert len(result) == 0
+        read, skipped = block_scan_stats(
+            path, dim_predicates={"Origin": "Atlantis"}
+        )
+        assert read == 0
+
+    def test_unknown_dimension_rejected(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path)
+        with pytest.raises(DataError):
+            scan_colfile(path, dim_predicates={"Nope": "x"})
+
+    def test_no_predicate_reads_all_blocks(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=3)
+        read, skipped = block_scan_stats(path)
+        assert (read, skipped) == (5, 0)
+
+
+# ----------------------------------------------------------------------
+# Property-based round trips
+# ----------------------------------------------------------------------
+
+ROWS = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(0, 5),
+        st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(ROWS, st.integers(1, 7))
+@settings(max_examples=40, deadline=None)
+def test_round_trip_any_table(tmp_path_factory, rows, block_rows):
+    table = Table.from_rows(Schema(["x", "y"], "m"), rows)
+    path = tmp_path_factory.mktemp("colfile") / "t.col"
+    write_colfile(table, path, block_rows=block_rows)
+    assert tables_equal(read_colfile(path), table)
+
+
+@given(ROWS, st.sampled_from(["a", "b", "c", "d"]))
+@settings(max_examples=40, deadline=None)
+def test_predicate_scan_equals_filter(tmp_path_factory, rows, value):
+    table = Table.from_rows(Schema(["x", "y"], "m"), rows)
+    path = tmp_path_factory.mktemp("colfile") / "t.col"
+    write_colfile(table, path, block_rows=3)
+    result = scan_colfile(path, dim_predicates={"x": value})
+    expected = [r for r in (table.decoded_row(i) for i in range(len(table)))
+                if r[0] == value]
+    assert [result.decoded_row(i) for i in range(len(result))] == expected

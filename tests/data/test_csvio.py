@@ -1,0 +1,58 @@
+"""Tests for CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataError
+from repro.data.csvio import read_csv, write_csv
+from repro.data.generators import flight_table
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_rows(self, tmp_path, flights):
+        path = tmp_path / "flights.csv"
+        write_csv(flights, path)
+        back = read_csv(path, measure="Delay")
+        assert back.schema == flights.schema
+        assert len(back) == len(flights)
+        for i in range(len(flights)):
+            assert back.decoded_row(i) == flights.decoded_row(i)
+
+    def test_explicit_dimension_subset(self, tmp_path, flights):
+        path = tmp_path / "flights.csv"
+        write_csv(flights, path)
+        back = read_csv(path, measure="Delay", dimensions=["Origin"])
+        assert back.schema.dimensions == ("Origin",)
+        np.testing.assert_array_equal(back.measure, flights.measure)
+
+
+class TestValidation:
+    def test_missing_measure_column(self, tmp_path, flights):
+        path = tmp_path / "flights.csv"
+        write_csv(flights, path)
+        with pytest.raises(DataError):
+            read_csv(path, measure="NoSuchColumn")
+
+    def test_missing_dimension_column(self, tmp_path, flights):
+        path = tmp_path / "flights.csv"
+        write_csv(flights, path)
+        with pytest.raises(DataError):
+            read_csv(path, measure="Delay", dimensions=["Nope"])
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            read_csv(path, measure="m")
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,m\nx,1\ny\n")
+        with pytest.raises(DataError):
+            read_csv(path, measure="m")
+
+    def test_non_numeric_measure(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,m\nx,notanumber\n")
+        with pytest.raises(DataError):
+            read_csv(path, measure="m")

@@ -1,0 +1,147 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.rule import Rule, WILDCARD
+from repro.data.generators import (
+    FLIGHT_ROWS,
+    SyntheticSpec,
+    flight_table,
+    gdelt_table,
+    generate,
+    income_table,
+    susy_table,
+    tlc_table,
+)
+
+
+class TestFlights:
+    def test_matches_thesis_table_1_1(self):
+        table = flight_table()
+        assert len(table) == 14
+        assert table.schema.dimensions == ("Day", "Origin", "Destination")
+        assert table.measure.sum() == pytest.approx(145.0)
+        assert table.decoded_row(0) == ("Fri", "SF", "London", 20.0)
+        assert len(FLIGHT_ROWS) == 14
+
+
+class TestSynthetic:
+    def test_deterministic_per_seed(self):
+        spec = SyntheticSpec(num_rows=100, cardinalities=[4, 4, 4])
+        a, _ = generate(spec, seed=9)
+        b, _ = generate(spec, seed=9)
+        for j in a.schema.dimensions:
+            np.testing.assert_array_equal(
+                a.dimension_column(j), b.dimension_column(j)
+            )
+        np.testing.assert_array_equal(a.measure, b.measure)
+
+    def test_different_seeds_differ(self):
+        spec = SyntheticSpec(num_rows=200, cardinalities=[10, 10])
+        a, _ = generate(spec, seed=1)
+        b, _ = generate(spec, seed=2)
+        assert not np.array_equal(a.measure, b.measure)
+
+    def test_planted_rules_shift_the_measure(self):
+        spec = SyntheticSpec(
+            num_rows=4000,
+            cardinalities=[5, 5, 5],
+            skew=0.0,
+            num_planted_rules=1,
+            planted_arity=1,
+            effect_scale=50.0,
+            noise_scale=0.1,
+        )
+        table, planted = generate(spec, seed=3)
+        conjunction, effect = planted[0]
+        values = [WILDCARD] * 3
+        for attr, code in conjunction.items():
+            values[attr] = code
+        mask = Rule(values).match_mask(table)
+        inside = table.measure[mask].mean()
+        outside = table.measure[~mask].mean()
+        assert inside - outside == pytest.approx(effect, rel=0.25)
+
+    def test_binary_measure_is_binary(self):
+        spec = SyntheticSpec(
+            num_rows=500,
+            cardinalities=[3, 3],
+            measure_kind="binary",
+            base_measure=0.3,
+        )
+        table, _ = generate(spec, seed=0)
+        assert set(np.unique(table.measure)) <= {0.0, 1.0}
+
+    def test_binary_base_rate_respected(self):
+        spec = SyntheticSpec(
+            num_rows=8000,
+            cardinalities=[3, 3],
+            measure_kind="binary",
+            base_measure=0.3,
+            num_planted_rules=0,
+        )
+        table, _ = generate(spec, seed=0)
+        assert table.measure.mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpec(num_rows=0, cardinalities=[3])
+        with pytest.raises(ConfigError):
+            SyntheticSpec(num_rows=5, cardinalities=[])
+        with pytest.raises(ConfigError):
+            SyntheticSpec(num_rows=5, cardinalities=[3], measure_kind="bogus")
+        with pytest.raises(ConfigError):
+            SyntheticSpec(
+                num_rows=5, cardinalities=[3], measure_kind="binary",
+                base_measure=2.0,
+            )
+        with pytest.raises(ConfigError):
+            SyntheticSpec(num_rows=5, cardinalities=[3], planted_arity=2)
+
+    def test_zipf_skew_orders_frequencies(self):
+        spec = SyntheticSpec(
+            num_rows=20_000, cardinalities=[10], skew=1.2,
+            num_planted_rules=0, planted_arity=1,
+        )
+        table, _ = generate(spec, seed=5)
+        counts = np.bincount(table.dimension_column("A0"), minlength=10)
+        assert counts[0] > counts[5]
+
+
+class TestDatasetShapes:
+    """Shape parity with thesis §5.1.2."""
+
+    def test_income_shape(self):
+        table = income_table(num_rows=300)
+        assert table.schema.arity == 9
+        assert set(np.unique(table.measure)) <= {0.0, 1.0}
+
+    def test_gdelt_shape(self):
+        table = gdelt_table(num_rows=300)
+        assert table.schema.arity == 9
+        assert table.measure.dtype == np.float64
+
+    def test_susy_shape_and_projections(self):
+        table = susy_table(num_rows=300)
+        assert table.schema.arity == 18
+        assert all(table.domain_size(d) == 3 for d in table.schema.dimensions)
+        projected = susy_table(num_rows=300, num_dimensions=10)
+        assert projected.schema.arity == 10
+        with pytest.raises(ValueError):
+            susy_table(num_rows=10, num_dimensions=0)
+
+    def test_tlc_shape(self):
+        table = tlc_table(num_rows=300)
+        assert table.schema.arity == 9
+
+    def test_relative_default_sizes(self):
+        from repro.data.generators.datasets import DEFAULT_ROWS
+
+        assert (
+            DEFAULT_ROWS["income"]
+            < DEFAULT_ROWS["gdelt"]
+            < DEFAULT_ROWS["susy"]
+            < DEFAULT_ROWS["tlc"]
+        )

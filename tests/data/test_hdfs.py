@@ -1,0 +1,65 @@
+"""Tests for the simulated HDFS block store."""
+
+import pytest
+
+from repro.common.errors import DataError
+from repro.data.hdfs import SimulatedHdfs
+
+
+class TestFiles:
+    def test_write_read_round_trip(self):
+        hdfs = SimulatedHdfs(block_size=100, replication=3)
+        hdfs.write("data.csv", 250, payload="hello")
+        f = hdfs.read("data.csv")
+        assert f.payload == "hello"
+        assert f.num_blocks == 3
+
+    def test_read_missing_raises(self):
+        with pytest.raises(DataError):
+            SimulatedHdfs().read("missing")
+
+    def test_delete_and_exists(self):
+        hdfs = SimulatedHdfs()
+        hdfs.write("a", 10)
+        assert hdfs.exists("a")
+        hdfs.delete("a")
+        assert not hdfs.exists("a")
+
+    def test_listing_sorted(self):
+        hdfs = SimulatedHdfs()
+        hdfs.write("b", 1)
+        hdfs.write("a", 1)
+        assert hdfs.listing() == ["a", "b"]
+
+
+class TestAccounting:
+    def test_writes_count_replicated_bytes(self):
+        hdfs = SimulatedHdfs(replication=3)
+        hdfs.write("a", 100)
+        assert hdfs.bytes_written == 300
+
+    def test_reads_count_single_copy(self):
+        hdfs = SimulatedHdfs(replication=3)
+        hdfs.write("a", 100)
+        hdfs.read("a")
+        assert hdfs.bytes_read == 100
+
+    def test_metadata_read_is_free(self):
+        hdfs = SimulatedHdfs()
+        hdfs.write("a", 100)
+        hdfs.read_metadata("a")
+        assert hdfs.bytes_read == 0
+
+    def test_reset_counters(self):
+        hdfs = SimulatedHdfs()
+        hdfs.write("a", 100)
+        hdfs.reset_counters()
+        assert hdfs.bytes_written == 0
+
+    def test_invalid_configs(self):
+        with pytest.raises(DataError):
+            SimulatedHdfs(block_size=0)
+        with pytest.raises(DataError):
+            SimulatedHdfs(replication=0)
+        with pytest.raises(DataError):
+            SimulatedHdfs().write("a", -1)

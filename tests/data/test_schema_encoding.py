@@ -1,0 +1,73 @@
+"""Tests for schemas and dictionary encoding."""
+
+import pytest
+
+from repro.common.errors import DataError
+from repro.data.encoding import DictionaryEncoder
+from repro.data.schema import Schema
+
+
+class TestSchema:
+    def test_basic_properties(self):
+        schema = Schema(["a", "b"], "m")
+        assert schema.arity == 2
+        assert schema.dimension_index("b") == 1
+
+    def test_duplicate_dimensions_rejected(self):
+        with pytest.raises(DataError):
+            Schema(["a", "a"], "m")
+
+    def test_measure_clash_rejected(self):
+        with pytest.raises(DataError):
+            Schema(["a"], "a")
+
+    def test_empty_dimensions_rejected(self):
+        with pytest.raises(DataError):
+            Schema([], "m")
+
+    def test_unknown_dimension_lookup(self):
+        with pytest.raises(DataError):
+            Schema(["a"], "m").dimension_index("zzz")
+
+    def test_project_keeps_order(self):
+        schema = Schema(["a", "b", "c"], "m")
+        projected = schema.project(["c", "a"])
+        assert projected.dimensions == ("c", "a")
+        assert projected.measure == "m"
+
+    def test_equality_and_hash(self):
+        assert Schema(["a"], "m") == Schema(["a"], "m")
+        assert hash(Schema(["a"], "m")) == hash(Schema(["a"], "m"))
+        assert Schema(["a"], "m") != Schema(["b"], "m")
+
+
+class TestDictionaryEncoder:
+    def test_first_seen_order(self):
+        enc = DictionaryEncoder()
+        assert enc.encode("x") == 0
+        assert enc.encode("y") == 1
+        assert enc.encode("x") == 0
+        assert len(enc) == 2
+
+    def test_decode_round_trip(self):
+        enc = DictionaryEncoder()
+        for value in ["red", "green", "blue"]:
+            code = enc.encode(value)
+            assert enc.decode(code) == value
+
+    def test_encode_existing_raises_on_unseen(self):
+        enc = DictionaryEncoder()
+        enc.encode("known")
+        with pytest.raises(DataError):
+            enc.encode_existing("unknown")
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(DataError):
+            DictionaryEncoder().decode(0)
+
+    def test_contains_and_values(self):
+        enc = DictionaryEncoder()
+        enc.encode("a")
+        assert "a" in enc
+        assert "b" not in enc
+        assert enc.values() == ["a"]

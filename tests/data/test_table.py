@@ -1,0 +1,108 @@
+"""Tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataError
+from repro.data.schema import Schema
+from repro.data.table import Table
+
+
+@pytest.fixture
+def schema():
+    return Schema(["color", "size"], "price")
+
+
+@pytest.fixture
+def table(schema):
+    rows = [
+        ("red", "S", 10.0),
+        ("blue", "M", 20.0),
+        ("red", "L", 30.0),
+        ("green", "S", 40.0),
+    ]
+    return Table.from_rows(schema, rows)
+
+
+class TestConstruction:
+    def test_from_rows_encodes_dimensions(self, table):
+        np.testing.assert_array_equal(
+            table.dimension_column("color"), [0, 1, 0, 2]
+        )
+        np.testing.assert_array_equal(table.measure, [10, 20, 30, 40])
+
+    def test_row_width_validated(self, schema):
+        with pytest.raises(DataError):
+            Table.from_rows(schema, [("red", 1.0)])
+
+    def test_decoded_row_round_trips(self, table):
+        assert table.decoded_row(1) == ("blue", "M", 20.0)
+
+    def test_columns_are_read_only(self, table):
+        with pytest.raises(ValueError):
+            table.measure[0] = 99.0
+
+    def test_iter_encoded(self, table):
+        rows = list(table.iter_encoded())
+        assert rows[0] == ((0, 0), 10.0)
+        assert len(rows) == 4
+
+
+class TestTransformations:
+    def test_take_reorders(self, table):
+        sub = table.take([2, 0])
+        assert sub.decoded_row(0) == ("red", "L", 30.0)
+        assert len(sub) == 2
+
+    def test_slice_is_contiguous(self, table):
+        sub = table.slice(1, 3)
+        assert len(sub) == 2
+        assert sub.decoded_row(0) == ("blue", "M", 20.0)
+
+    def test_sample_without_replacement(self, table, rng):
+        sub = table.sample(3, rng)
+        assert len(sub) == 3
+        originals = {table.decoded_row(i) for i in range(4)}
+        for i in range(3):
+            assert sub.decoded_row(i) in originals
+
+    def test_sample_too_large_rejected(self, table, rng):
+        with pytest.raises(DataError):
+            table.sample(5, rng)
+
+    def test_sample_fraction_bounds(self, table, rng):
+        with pytest.raises(DataError):
+            table.sample_fraction(0.0, rng)
+        assert len(table.sample_fraction(0.5, rng)) == 2
+
+    def test_project_keeps_measure(self, table):
+        sub = table.project(["size"])
+        assert sub.schema.dimensions == ("size",)
+        np.testing.assert_array_equal(sub.measure, table.measure)
+
+    def test_with_measure_replaces(self, table):
+        new = table.with_measure(np.array([1.0, 1.0, 1.0, 1.0]))
+        assert new.measure_sum() == pytest.approx(4.0)
+        assert len(new) == 4
+
+    def test_with_measure_length_checked(self, table):
+        with pytest.raises(DataError):
+            table.with_measure(np.ones(3))
+
+
+class TestAggregates:
+    def test_sums_and_means(self, table):
+        assert table.measure_sum() == pytest.approx(100.0)
+        assert table.measure_mean() == pytest.approx(25.0)
+
+    def test_mean_of_empty_rejected(self, schema):
+        empty = Table.from_rows(schema, [])
+        with pytest.raises(DataError):
+            empty.measure_mean()
+
+    def test_domain_size(self, table):
+        assert table.domain_size("color") == 3
+        assert table.domain_size("size") == 3
+
+    def test_estimated_bytes_positive(self, table):
+        assert table.estimated_bytes() > 0

@@ -1,0 +1,69 @@
+"""Tests for cluster specs and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.engine.cost import ClusterSpec, CostModel
+
+
+class TestClusterSpec:
+    def test_defaults_match_thesis_cluster(self):
+        spec = ClusterSpec()
+        assert spec.num_executors == 16
+        assert spec.executor_memory_bytes == 45 * 1024**3
+
+    def test_storage_pool_is_fraction_of_total(self):
+        spec = ClusterSpec(
+            num_executors=2,
+            executor_memory_bytes=100,
+            storage_fraction=0.6,
+        )
+        assert spec.total_storage_bytes == 120
+
+    def test_no_stragglers_by_default(self):
+        spec = ClusterSpec(num_executors=4)
+        np.testing.assert_array_equal(spec.straggler_factors, np.ones(4))
+
+    def test_straggler_factors_deterministic_per_seed(self):
+        a = ClusterSpec(num_executors=8, straggler_sigma=0.2, seed=3)
+        b = ClusterSpec(num_executors=8, straggler_sigma=0.2, seed=3)
+        np.testing.assert_array_equal(a.straggler_factors, b.straggler_factors)
+
+    def test_straggler_median_normalized(self):
+        spec = ClusterSpec(num_executors=9, straggler_sigma=0.3, seed=5)
+        assert np.median(spec.straggler_factors) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_executors": 0},
+            {"cores_per_executor": 0},
+            {"executor_memory_bytes": 0},
+            {"storage_fraction": 0.0},
+            {"storage_fraction": 1.5},
+            {"straggler_sigma": -1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ClusterSpec(**kwargs)
+
+
+class TestCostModel:
+    def test_task_seconds_combines_rates(self):
+        cost = CostModel(
+            op_seconds=1.0,
+            light_op_seconds=0.5,
+            record_seconds=2.0,
+            disk_byte_seconds=3.0,
+        )
+        assert cost.task_seconds(ops=2, records=3, disk_bytes=4,
+                                 light_ops=2) == pytest.approx(21.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(op_seconds=-1)
+
+    def test_zero_work_is_free(self):
+        assert CostModel().task_seconds(0, 0, 0) == 0.0

@@ -1,0 +1,248 @@
+"""Lazy RDD lineage, pipelining and fault recovery."""
+
+import pytest
+
+from repro.common.errors import EngineError
+from repro.core.miner import make_default_cluster
+from repro.engine.lazy import DAGScheduler, LazyRDD
+from repro.engine.rdd import RDD
+
+
+@pytest.fixture
+def ctx():
+    return make_default_cluster(num_executors=2, cores_per_executor=2)
+
+
+def parallelize(ctx, data, num_partitions=4):
+    return LazyRDD.parallelize(ctx, data, num_partitions)
+
+
+class TestLaziness:
+    def test_transformations_do_not_execute(self, ctx):
+        rdd = parallelize(ctx, range(100))
+        before = ctx.metrics.counter("stages")
+        rdd.map(lambda x: x + 1).filter(lambda x: x % 2 == 0)
+        assert ctx.metrics.counter("stages") == before
+
+    def test_action_triggers_execution(self, ctx):
+        rdd = parallelize(ctx, range(100)).map(lambda x: x + 1)
+        before = ctx.metrics.counter("stages")
+        rdd.collect()
+        assert ctx.metrics.counter("stages") > before
+
+    def test_collect_preserves_order(self, ctx):
+        assert parallelize(ctx, range(20)).collect() == list(range(20))
+
+    def test_count(self, ctx):
+        assert parallelize(ctx, range(33)).filter(lambda x: x < 10).count() == 10
+
+    def test_reduce(self, ctx):
+        assert parallelize(ctx, range(10)).reduce(lambda a, b: a + b) == 45
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(EngineError):
+            parallelize(ctx, []).reduce(lambda a, b: a + b)
+
+    def test_take(self, ctx):
+        assert parallelize(ctx, range(100)).take(3) == [0, 1, 2]
+
+
+class TestTransformations:
+    def test_map(self, ctx):
+        out = parallelize(ctx, range(5)).map(lambda x: x * x).collect()
+        assert out == [0, 1, 4, 9, 16]
+
+    def test_flat_map(self, ctx):
+        out = parallelize(ctx, [1, 2]).flat_map(lambda x: [x] * x).collect()
+        assert out == [1, 2, 2]
+
+    def test_filter(self, ctx):
+        out = parallelize(ctx, range(10)).filter(lambda x: x > 7).collect()
+        assert out == [8, 9]
+
+    def test_chained_narrow_ops(self, ctx):
+        out = (
+            parallelize(ctx, range(10))
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 2 == 0)
+            .map(lambda x: x * 10)
+            .collect()
+        )
+        assert out == [20, 40, 60, 80, 100]
+
+    def test_reduce_by_key(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4)]
+        out = dict(
+            parallelize(ctx, pairs).reduce_by_key(lambda a, b: a + b).collect()
+        )
+        assert out == {"a": 4, "b": 6}
+
+    def test_group_by_key(self, ctx):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        out = dict(parallelize(ctx, pairs).group_by_key().collect())
+        assert sorted(out["a"]) == [1, 2]
+        assert out["b"] == [3]
+
+    def test_broadcast_join(self, ctx):
+        pairs = [("x", 1), ("y", 2), ("z", 3)]
+        out = (
+            parallelize(ctx, pairs)
+            .broadcast_join({"x": "X", "z": "Z"})
+            .collect()
+        )
+        assert sorted(out) == [("x", (1, "X")), ("z", (3, "Z"))]
+
+    def test_union(self, ctx):
+        left = parallelize(ctx, [1, 2])
+        right = parallelize(ctx, [3, 4])
+        assert sorted(left.union(right).collect()) == [1, 2, 3, 4]
+
+    def test_union_across_clusters_rejected(self, ctx):
+        other = make_default_cluster(num_executors=1, cores_per_executor=1)
+        with pytest.raises(EngineError):
+            parallelize(ctx, [1]).union(parallelize(other, [2]))
+
+    def test_sample_is_deterministic(self, ctx):
+        rdd = parallelize(ctx, range(200))
+        first = rdd.sample(0.3, seed=5).collect()
+        second = rdd.sample(0.3, seed=5).collect()
+        assert first == second
+        assert 20 < len(first) < 120
+
+    def test_sample_fraction_validated(self, ctx):
+        with pytest.raises(EngineError):
+            parallelize(ctx, [1]).sample(0.0)
+
+
+class TestPipelining:
+    def test_narrow_chain_fuses_into_one_stage(self, ctx):
+        rdd = (
+            parallelize(ctx, range(50))
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 2 == 0)
+            .map(lambda x: x * 3)
+        )
+        before = ctx.metrics.counter("stages")
+        rdd.collect()
+        assert ctx.metrics.counter("stages") - before == 1
+
+    def test_wide_dependency_splits_stages(self, ctx):
+        rdd = (
+            parallelize(ctx, [("a", 1)] * 20)
+            .map(lambda kv: kv)
+            .reduce_by_key(lambda a, b: a + b)
+            .map(lambda kv: kv)
+        )
+        before = ctx.metrics.counter("stages")
+        rdd.collect()
+        # combine + reduce + one pipelined map stage after the shuffle.
+        # The map before the shuffle fuses into the combine's parent
+        # pipeline (one stage).
+        assert ctx.metrics.counter("stages") - before == 4
+
+    def test_lazy_charges_fewer_records_than_eager(self, ctx):
+        """Pipelining touches records once per stage, the eager layer
+        once per transformation — the lazy plan must be cheaper."""
+        data = list(range(400))
+
+        def dataflow_eager():
+            rdd = RDD.parallelize(ctx, data, 4)
+            return (
+                rdd.map(lambda x: x + 1)
+                .filter(lambda x: x % 2 == 0)
+                .map(lambda x: x * 3)
+                .collect()
+            )
+
+        def dataflow_lazy():
+            rdd = LazyRDD.parallelize(ctx, data, 4)
+            return (
+                rdd.map(lambda x: x + 1)
+                .filter(lambda x: x % 2 == 0)
+                .map(lambda x: x * 3)
+                .collect()
+            )
+
+        ctx.reset_metrics()
+        eager_out = dataflow_eager()
+        eager_seconds = ctx.metrics.simulated_seconds
+        ctx.reset_metrics()
+        lazy_out = dataflow_lazy()
+        lazy_seconds = ctx.metrics.simulated_seconds
+        assert lazy_out == eager_out
+        assert lazy_seconds < eager_seconds
+
+
+class TestPersistence:
+    def test_persist_reuses_partitions(self, ctx):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = parallelize(ctx, range(10)).map(spy).persist()
+        rdd.collect()
+        first = len(calls)
+        rdd.collect()
+        assert len(calls) == first  # no recomputation
+
+    def test_unpersisted_recomputes(self, ctx):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = parallelize(ctx, range(10)).map(spy)
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 20
+
+    def test_downstream_of_persisted_uses_cache(self, ctx):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        base = parallelize(ctx, range(10)).map(spy).persist()
+        base.map(lambda x: x + 1).collect()
+        base.map(lambda x: x + 2).collect()
+        assert len(calls) == 10
+
+    def test_unpersist_drops_partitions(self, ctx):
+        rdd = parallelize(ctx, range(10)).map(lambda x: x).persist()
+        rdd.collect()
+        assert rdd.is_materialized()
+        rdd.unpersist()
+        assert not rdd.is_materialized()
+
+
+class TestFaultRecovery:
+    def test_full_failure_recomputes_from_lineage(self, ctx):
+        rdd = parallelize(ctx, range(40)).map(lambda x: x * 2).persist()
+        expected = rdd.collect()
+        lost = rdd.fail_partitions()
+        assert lost == rdd.num_partitions
+        assert rdd.collect() == expected
+
+    def test_partial_failure_recomputes_only_holes(self, ctx):
+        rdd = parallelize(ctx, range(40)).map(lambda x: x * 2).persist()
+        expected = rdd.collect()
+        lost = rdd.fail_partitions(indices=[0, 2])
+        assert lost == 2
+        scheduler = DAGScheduler(ctx)
+        assert [x for part in scheduler.materialize(rdd) for x in part] == expected
+        assert scheduler.recomputed_partitions == 2
+
+    def test_failure_without_materialization_is_noop(self, ctx):
+        rdd = parallelize(ctx, range(4)).persist()
+        assert rdd.fail_partitions() == 0
+
+    def test_downstream_results_survive_failure(self, ctx):
+        base = parallelize(ctx, range(30)).map(lambda x: x + 1).persist()
+        downstream = base.filter(lambda x: x % 3 == 0)
+        expected = downstream.collect()
+        base.fail_partitions()
+        assert downstream.collect() == expected

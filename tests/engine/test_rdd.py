@@ -1,0 +1,134 @@
+"""Tests for the RDD layer."""
+
+import pytest
+
+from repro.common.errors import EngineError
+from repro.engine.cluster import ClusterContext
+from repro.engine.cost import ClusterSpec, CostModel
+from repro.engine.rdd import RDD
+
+
+@pytest.fixture
+def ctx():
+    return ClusterContext(
+        ClusterSpec(num_executors=2, cores_per_executor=2,
+                    executor_memory_bytes=1 << 20),
+        CostModel(task_launch_seconds=0.0, stage_overhead_seconds=0.0),
+    )
+
+
+class TestCreation:
+    def test_parallelize_splits_evenly(self, ctx):
+        rdd = RDD.parallelize(ctx, range(10), 4)
+        assert rdd.num_partitions == 4
+        assert rdd.collect() == list(range(10))
+
+    def test_invalid_partition_count(self, ctx):
+        with pytest.raises(EngineError):
+            RDD.parallelize(ctx, [1], 0)
+
+
+class TestTransformations:
+    def test_map(self, ctx):
+        rdd = RDD.parallelize(ctx, [1, 2, 3], 2)
+        assert rdd.map(lambda x: x * 10).collect() == [10, 20, 30]
+
+    def test_filter(self, ctx):
+        rdd = RDD.parallelize(ctx, range(10), 3)
+        assert rdd.filter(lambda x: x % 2 == 0).collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        rdd = RDD.parallelize(ctx, [1, 2], 1)
+        assert rdd.flat_map(lambda x: [x, x]).collect() == [1, 1, 2, 2]
+
+    def test_map_partitions(self, ctx):
+        rdd = RDD.parallelize(ctx, range(6), 2)
+        sums = rdd.map_partitions(lambda part: [sum(part)]).collect()
+        assert sums == [3, 12]
+
+    def test_count(self, ctx):
+        assert RDD.parallelize(ctx, range(17), 4).count() == 17
+
+    def test_union(self, ctx):
+        a = RDD.parallelize(ctx, [1], 1)
+        b = RDD.parallelize(ctx, [2], 1)
+        assert sorted(a.union(b).collect()) == [1, 2]
+
+    def test_union_rejects_foreign_cluster(self, ctx):
+        other = ClusterContext(
+            ClusterSpec(num_executors=1, cores_per_executor=1,
+                        executor_memory_bytes=1 << 20),
+            CostModel(),
+        )
+        a = RDD.parallelize(ctx, [1], 1)
+        b = RDD.parallelize(other, [2], 1)
+        with pytest.raises(EngineError):
+            a.union(b)
+
+    def test_sample_fraction_validated(self, ctx):
+        rdd = RDD.parallelize(ctx, range(10), 2)
+        with pytest.raises(EngineError):
+            rdd.sample(0.0)
+
+
+class TestWideTransformations:
+    def test_reduce_by_key(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("c", 5)]
+        rdd = RDD.parallelize(ctx, pairs, 3)
+        reduced = dict(rdd.reduce_by_key(lambda a, b: a + b).collect())
+        assert reduced == {"a": 4, "b": 6, "c": 5}
+
+    def test_reduce_by_key_charges_shuffle(self, ctx):
+        pairs = [(i % 5, 1) for i in range(100)]
+        rdd = RDD.parallelize(ctx, pairs, 4)
+        rdd.reduce_by_key(lambda a, b: a + b)
+        assert ctx.metrics.counter("shuffle_bytes") > 0
+
+    def test_group_by_key(self, ctx):
+        pairs = [("x", 1), ("x", 2), ("y", 3)]
+        rdd = RDD.parallelize(ctx, pairs, 2)
+        grouped = dict(rdd.group_by_key().collect())
+        assert sorted(grouped["x"]) == [1, 2]
+        assert grouped["y"] == [3]
+
+    def test_join(self, ctx):
+        left = RDD.parallelize(ctx, [("a", 1), ("b", 2)], 2)
+        right = RDD.parallelize(ctx, [("a", 10), ("c", 30)], 2)
+        joined = dict(left.join(right).collect())
+        assert joined == {"a": (1, 10)}
+
+    def test_broadcast_join_matches_shuffle_join(self, ctx):
+        left_pairs = [("k%d" % (i % 7), i) for i in range(30)]
+        small = {"k0": "x", "k3": "y"}
+        left = RDD.parallelize(ctx, left_pairs, 3)
+        via_broadcast = sorted(left.broadcast_join(small).collect())
+        right = RDD.parallelize(ctx, list(small.items()), 2)
+        via_shuffle = sorted(left.join(right).collect())
+        assert via_broadcast == via_shuffle
+
+    def test_broadcast_join_cheaper_than_shuffle_join(self, ctx):
+        # The §3.2 rationale for BJ SIRUM: broadcasting the small side
+        # beats repartitioning the big side.
+        big = [("k%d" % (i % 100), i) for i in range(3000)]
+        small = {"k%d" % i: i for i in range(100)}
+
+        left = RDD.parallelize(ctx, big, 4)
+        before = ctx.metrics.simulated_seconds
+        left.broadcast_join(small)
+        broadcast_cost = ctx.metrics.simulated_seconds - before
+
+        right = RDD.parallelize(ctx, list(small.items()), 4)
+        before = ctx.metrics.simulated_seconds
+        left.join(right)
+        shuffle_cost = ctx.metrics.simulated_seconds - before
+        assert broadcast_cost < shuffle_cost
+
+
+class TestCaching:
+    def test_cache_registers_partitions(self, ctx):
+        rdd = RDD.parallelize(ctx, range(100), 4).cache()
+        misses_before = ctx.cache.misses
+        rdd.count()
+        # All partitions were already cached by .cache().
+        assert ctx.cache.misses == misses_before
+        assert ctx.cache.hits >= 4

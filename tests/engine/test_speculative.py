@@ -1,0 +1,87 @@
+"""Speculative-execution scheduling (thesis §5.7.2 mitigation)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.engine.cluster import ClusterContext
+from repro.engine.cost import ClusterSpec, CostModel
+
+
+def make_ctx(sigma, speculative, executors=8, multiplier=1.5, seed=7):
+    spec = ClusterSpec(
+        num_executors=executors,
+        cores_per_executor=2,
+        executor_memory_bytes=64 * 1024**2,
+        straggler_sigma=sigma,
+        seed=seed,
+        speculative_execution=speculative,
+        speculation_multiplier=multiplier,
+    )
+    return ClusterContext(spec, CostModel())
+
+
+def run_uniform_stage(ctx, num_tasks=32, work=200):
+    def kernel(tc, _part):
+        tc.add_ops(work)
+        return None
+
+    return ctx.run_stage(kernel, [None] * num_tasks, name="uniform")
+
+
+class TestSpeculation:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterSpec(speculation_multiplier=1.0)
+
+    def test_no_stragglers_means_no_clones(self):
+        ctx = make_ctx(sigma=0.0, speculative=True)
+        run_uniform_stage(ctx)
+        assert ctx.metrics.counter("speculative_clones") == 0
+
+    def test_stragglers_trigger_clones(self):
+        # seed=7, sigma=1.0 draws one executor ~4.3x slower than the
+        # median — comfortably past the 1.5x speculation threshold.
+        ctx = make_ctx(sigma=1.0, speculative=True)
+        run_uniform_stage(ctx)
+        assert ctx.metrics.counter("speculative_clones") > 0
+
+    def test_speculation_shortens_makespan(self):
+        plain = make_ctx(sigma=1.0, speculative=False)
+        stage_plain = run_uniform_stage(plain)
+        clever = make_ctx(sigma=1.0, speculative=True)
+        stage_clever = run_uniform_stage(clever)
+        assert stage_clever.simulated_seconds < stage_plain.simulated_seconds
+
+    def test_speculation_never_hurts(self):
+        # Clone attempts take min(original, clone): makespan is bounded
+        # by the unmitigated schedule for every topology seed.
+        for seed in range(5):
+            plain = make_ctx(sigma=0.5, speculative=False, seed=seed)
+            clever = make_ctx(sigma=0.5, speculative=True, seed=seed)
+            t_plain = run_uniform_stage(plain).simulated_seconds
+            t_clever = run_uniform_stage(clever).simulated_seconds
+            assert t_clever <= t_plain + 1e-9
+
+    def test_outputs_unaffected(self):
+        ctx = make_ctx(sigma=0.8, speculative=True)
+
+        def kernel(tc, part):
+            tc.add_ops(10)
+            return part * 2
+
+        stage = ctx.run_stage(kernel, [1, 2, 3], name="x")
+        assert stage.outputs == [2, 4, 6]
+
+    def test_empty_stage(self):
+        ctx = make_ctx(sigma=0.8, speculative=True)
+        stage = ctx.run_stage(lambda tc, p: p, [], name="empty")
+        assert stage.simulated_seconds == 0.0
+
+    def test_higher_multiplier_clones_less(self):
+        eager = make_ctx(sigma=1.0, speculative=True, multiplier=1.2)
+        run_uniform_stage(eager)
+        lazy = make_ctx(sigma=1.0, speculative=True, multiplier=3.0)
+        run_uniform_stage(lazy)
+        assert lazy.metrics.counter("speculative_clones") <= (
+            eager.metrics.counter("speculative_clones")
+        )

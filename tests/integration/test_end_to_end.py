@@ -1,0 +1,128 @@
+"""Cross-module integration tests: the thesis's claims at test scale."""
+
+import numpy as np
+import pytest
+
+from repro.bench import dataset_by_name, make_cluster, run_variant
+from repro.core.miner import mine
+from repro.core.rule import Rule, WILDCARD
+from repro.data.generators import SyntheticSpec, generate
+
+
+class TestPlantedRuleRecovery:
+    def test_miner_recovers_strong_planted_rule(self):
+        spec = SyntheticSpec(
+            num_rows=3000,
+            cardinalities=[6, 6, 6, 6],
+            skew=0.3,
+            num_planted_rules=1,
+            planted_arity=2,
+            effect_scale=40.0,
+            noise_scale=0.5,
+        )
+        table, planted = generate(spec, seed=21)
+        conjunction, _ = planted[0]
+        result = mine(table, k=3, variant="optimized", sample_size=64,
+                      seed=3)
+        mined = [m.rule for m in result.rule_set]
+        # The planted conjunction (or an ancestor of it binding at least
+        # one of its attributes to the planted value) must be found.
+        hits = [
+            rule for rule in mined
+            if any(
+                rule.values[attr] == code
+                for attr, code in conjunction.items()
+            )
+        ]
+        assert hits, "no mined rule touches the planted conjunction"
+
+
+class TestOptimizationSpeedups:
+    """Simulated-time orderings the thesis's evaluation establishes."""
+
+    @pytest.fixture(scope="class")
+    def gdelt(self):
+        return dataset_by_name("gdelt", num_rows=3000)
+
+    @pytest.fixture(scope="class")
+    def results(self, gdelt):
+        out = {}
+        for variant in ("naive", "baseline", "rct", "fastpruning",
+                        "multirule", "optimized"):
+            out[variant] = run_variant(
+                gdelt, variant, k=8, sample_size=32, seed=3
+            )
+        return out
+
+    def test_baseline_beats_naive(self, results):
+        assert (
+            results["baseline"].simulated_seconds
+            < results["naive"].simulated_seconds
+        )
+
+    def test_rct_speeds_up_iterative_scaling(self, results):
+        assert (
+            results["rct"].iterative_scaling_seconds
+            < 0.8 * results["baseline"].iterative_scaling_seconds
+        )
+
+    def test_fast_pruning_speeds_up_pruning(self, results):
+        assert (
+            results["fastpruning"].phase_seconds("candidate_pruning")
+            < 0.8 * results["baseline"].phase_seconds("candidate_pruning")
+        )
+
+    def test_multirule_speeds_up_rule_generation(self, results):
+        assert (
+            results["multirule"].rule_generation_seconds
+            < 0.8 * results["baseline"].rule_generation_seconds
+        )
+
+    def test_optimized_is_fastest_overall(self, results):
+        fastest = min(r.simulated_seconds for r in results.values())
+        assert results["optimized"].simulated_seconds == pytest.approx(
+            fastest
+        )
+
+    def test_quality_equivalent_across_variants(self, results):
+        kls = [results[v].final_kl for v in ("naive", "baseline", "rct",
+                                             "fastpruning")]
+        assert max(kls) - min(kls) < 1e-9
+
+
+class TestColumnGroupingAtHighDimensions:
+    def test_fastancestor_reduces_emissions_on_susy(self):
+        susy = dataset_by_name("susy", num_rows=1500, num_dimensions=14)
+        base = run_variant(susy, "baseline", k=2, sample_size=16, seed=3)
+        fast = run_variant(susy, "fastancestor", k=2, sample_size=16, seed=3)
+        # Thesis Fig 5.8: column grouping cuts emitted ancestors.
+        assert fast.ancestors_emitted < base.ancestors_emitted
+        # And the candidate rules are identical (Appendix A).
+        assert [m.rule for m in fast.rule_set] == \
+            [m.rule for m in base.rule_set]
+
+
+class TestMemoryPressure:
+    def test_small_memory_forces_disk_reads(self):
+        gdelt = dataset_by_name("gdelt", num_rows=2000)
+        roomy = make_cluster(executor_memory_bytes=64 * 1024**2)
+        tight = make_cluster(executor_memory_bytes=16 * 1024)
+        fast = run_variant(gdelt, "baseline", cluster=roomy, k=2,
+                           sample_size=16, seed=3)
+        slow = run_variant(gdelt, "baseline", cluster=tight, k=2,
+                           sample_size=16, seed=3)
+        assert slow.metrics["counters"]["disk_read_bytes"] > \
+            fast.metrics["counters"]["disk_read_bytes"]
+        assert slow.simulated_seconds > fast.simulated_seconds
+
+
+class TestStrongScaling:
+    def test_more_executors_reduce_simulated_time(self):
+        tlc = dataset_by_name("tlc", num_rows=4000)
+        times = []
+        for executors in (2, 8):
+            cluster = make_cluster(num_executors=executors)
+            result = run_variant(tlc, "optimized", cluster=cluster, k=3,
+                                 sample_size=16, seed=3)
+            times.append(result.simulated_seconds)
+        assert times[1] < times[0]

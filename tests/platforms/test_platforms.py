@@ -1,0 +1,74 @@
+"""Tests for the platform simulators (thesis §2.6 / §5.2)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.platforms import (
+    PLATFORMS,
+    make_platform_cluster,
+    run_baseline_sirum,
+)
+from repro.data.generators import income_table
+
+
+class TestRegistry:
+    def test_all_platforms_registered(self):
+        assert set(PLATFORMS) == {"spark", "postgres", "hive", "sparksql"}
+
+    def test_unknown_platform(self):
+        with pytest.raises(ConfigError):
+            make_platform_cluster("oracle")
+
+    def test_postgres_is_single_core(self):
+        cluster = make_platform_cluster("postgres")
+        assert cluster.spec.num_executors == 1
+        assert cluster.spec.cores_per_executor == 1
+
+    def test_hive_pays_job_launch(self):
+        hive = make_platform_cluster("hive")
+        spark = make_platform_cluster("spark")
+        assert hive.cost.job_launch_seconds > spark.cost.job_launch_seconds
+
+    def test_sparksql_rates_scaled_up(self):
+        sql = make_platform_cluster("sparksql")
+        spark = make_platform_cluster("spark")
+        assert sql.cost.op_seconds > spark.cost.op_seconds
+
+
+class TestPlatformComparison:
+    """The §5.2 ordering: results identical, costs ranked."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        table = income_table(num_rows=600)
+        results = {}
+        for name in ("spark", "postgres", "hive", "sparksql"):
+            result, _cluster = run_baseline_sirum(
+                name, table, k=2, sample_size=16, num_executors=4, seed=0
+            )
+            results[name] = result
+        return results
+
+    def test_results_identical_across_platforms(self, runs):
+        reference = [m.rule for m in runs["spark"].rule_set]
+        for name, result in runs.items():
+            assert [m.rule for m in result.rule_set] == reference, name
+
+    def test_spark_beats_postgres(self, runs):
+        # Thesis Figure 5.1: PostgreSQL several times slower.
+        ratio = (
+            runs["postgres"].simulated_seconds
+            / runs["spark"].simulated_seconds
+        )
+        assert ratio > 2
+
+    def test_spark_beats_hive(self, runs):
+        # Thesis Figure 5.2: Hive several times slower again.
+        ratio = runs["hive"].simulated_seconds / runs["spark"].simulated_seconds
+        assert ratio > 2
+
+    def test_spark_beats_sparksql(self, runs):
+        assert (
+            runs["sparksql"].simulated_seconds
+            > runs["spark"].simulated_seconds
+        )

@@ -1,0 +1,43 @@
+"""Fixtures for the SQL engine tests."""
+
+import pytest
+
+from repro.sql import SqlEngine
+
+#: (Day, Origin, Destination, Delay) — thesis Table 1.1.
+FLIGHT_ROWS = [
+    ("Fri", "SF", "London", 20.0),
+    ("Fri", "London", "LA", 16.0),
+    ("Sun", "Tokyo", "Frankfurt", 10.0),
+    ("Sun", "Chicago", "London", 15.0),
+    ("Sat", "Beijing", "Frankfurt", 13.0),
+    ("Sat", "Frankfurt", "London", 19.0),
+    ("Tue", "Chicago", "LA", 5.0),
+    ("Wed", "London", "Chicago", 6.0),
+    ("Thu", "SF", "Frankfurt", 15.0),
+    ("Mon", "Beijing", "SF", 4.0),
+    ("Mon", "SF", "London", 7.0),
+    ("Mon", "SF", "Frankfurt", 5.0),
+    ("Mon", "Tokyo", "Beijing", 6.0),
+    ("Mon", "Frankfurt", "Tokyo", 4.0),
+]
+
+
+@pytest.fixture
+def engine():
+    """An engine with the flight table plus a small lookup relation."""
+    eng = SqlEngine()
+    eng.catalog.register_rows(
+        "flights", ["day", "origin", "dest", "delay"], FLIGHT_ROWS
+    )
+    eng.catalog.register_rows(
+        "regions",
+        ["city", "region"],
+        [("SF", "US"), ("London", "EU"), ("Frankfurt", "EU"), ("Tokyo", "ASIA")],
+    )
+    return eng
+
+
+@pytest.fixture
+def empty_engine():
+    return SqlEngine()

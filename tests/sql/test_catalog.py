@@ -1,0 +1,87 @@
+"""Catalog and relation registration."""
+
+import pytest
+
+from repro.data.generators import flight_table
+from repro.sql.catalog import Catalog, Relation
+from repro.sql.errors import SqlAnalysisError
+
+
+class TestRelation:
+    def test_rows_are_tuples(self):
+        relation = Relation(["a"], [["x"], ["y"]])
+        assert relation.rows == [("x",), ("y",)]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SqlAnalysisError):
+            Relation(["a", "A"], [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SqlAnalysisError):
+            Relation(["a", "b"], [("only-one",)])
+
+    def test_column_index_is_case_insensitive(self):
+        relation = Relation(["Day", "Origin"], [])
+        assert relation.column_index("day") == 0
+        assert relation.column_index("ORIGIN") == 1
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SqlAnalysisError):
+            Relation(["a"], []).column_index("b")
+
+
+class TestCatalog:
+    def test_lookup_is_case_insensitive(self):
+        catalog = Catalog()
+        catalog.register_rows("Flights", ["a"], [("x",)])
+        assert len(catalog.lookup("flights")) == 1
+        assert "FLIGHTS" in catalog
+
+    def test_register_replaces(self):
+        catalog = Catalog()
+        catalog.register_rows("t", ["a"], [("x",)])
+        catalog.register_rows("t", ["a"], [("x",), ("y",)])
+        assert len(catalog.lookup("t")) == 2
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SqlAnalysisError):
+            Catalog().lookup("missing")
+
+    def test_drop_is_idempotent(self):
+        catalog = Catalog()
+        catalog.register_rows("t", ["a"], [])
+        catalog.drop("t")
+        catalog.drop("t")
+        assert "t" not in catalog
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SqlAnalysisError):
+            Catalog().register("", Relation(["a"], []))
+
+    def test_names_sorted(self):
+        catalog = Catalog()
+        catalog.register_rows("zeta", ["a"], [])
+        catalog.register_rows("alpha", ["a"], [])
+        assert catalog.names() == ["alpha", "zeta"]
+
+
+class TestTableRegistration:
+    def test_columns_are_dims_then_measure(self):
+        catalog = Catalog()
+        catalog.register_table("f", flight_table())
+        relation = catalog.lookup("f")
+        assert relation.columns == ["Day", "Origin", "Destination", "Delay"]
+        assert len(relation) == 14
+
+    def test_values_are_decoded(self):
+        catalog = Catalog()
+        catalog.register_table("f", flight_table())
+        first = catalog.lookup("f").rows[0]
+        assert first == ("Fri", "SF", "London", 20.0)
+
+    def test_row_id_column(self):
+        catalog = Catalog()
+        catalog.register_table("f", flight_table(), row_id_column="flight_id")
+        relation = catalog.lookup("f")
+        assert relation.columns[0] == "flight_id"
+        assert [row[0] for row in relation.rows] == list(range(1, 15))

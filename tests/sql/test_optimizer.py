@@ -1,0 +1,142 @@
+"""Optimizer tests: rewrites preserve results and improve plan shape."""
+
+import pytest
+
+from repro.sql import SqlEngine
+from repro.sql import plan as p
+from repro.sql.optimizer import fold_expr, optimize
+
+from tests.sql.conftest import FLIGHT_ROWS
+
+
+def both_engines():
+    """An optimizing and a non-optimizing engine over the same data."""
+    engines = []
+    for flag in (True, False):
+        eng = SqlEngine(optimize_plans=flag)
+        eng.catalog.register_rows(
+            "flights", ["day", "origin", "dest", "delay"], FLIGHT_ROWS
+        )
+        engines.append(eng)
+    return engines
+
+
+EQUIVALENCE_QUERIES = [
+    "SELECT * FROM flights WHERE delay > 10",
+    "SELECT dest FROM flights WHERE origin = 'SF' ORDER BY dest",
+    "SELECT day, COUNT(*) c FROM flights GROUP BY day ORDER BY c DESC, day",
+    "SELECT dest, SUM(delay) FROM flights WHERE delay > 5 "
+    "GROUP BY CUBE(dest) ORDER BY 2 DESC",
+    "SELECT 1 + 2 * 3 x FROM flights LIMIT 1",
+    "SELECT upper(origin) u FROM flights WHERE delay BETWEEN 5 AND 15 "
+    "ORDER BY u LIMIT 4",
+    "SELECT DISTINCT day FROM flights WHERE NOT (delay < 6) ORDER BY day",
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("sql", EQUIVALENCE_QUERIES)
+    def test_optimized_matches_unoptimized(self, sql):
+        optimized, plain = both_engines()
+        assert optimized.query(sql).rows == plain.query(sql).rows
+
+
+class TestPredicatePushdown:
+    def test_filter_folds_into_scan(self, engine):
+        root = engine.plan("SELECT dest FROM flights WHERE delay > 10")
+        assert isinstance(root, p.Project)
+        scan = root.child
+        assert isinstance(scan, p.Scan)
+        assert scan.predicate is not None
+
+    def test_two_filters_conjoin(self, engine):
+        # WHERE a AND b arrives as one predicate; pushing twice through
+        # optimize() must not duplicate it (idempotency).
+        root = engine.plan(
+            "SELECT dest FROM flights WHERE delay > 10 AND origin = 'SF'"
+        )
+        again = optimize(root)
+        assert again.explain() == root.explain()
+
+
+class TestProjectionPruning:
+    def test_scan_narrows_to_used_columns(self, engine):
+        root = engine.plan("SELECT dest FROM flights")
+        scan = root.child
+        assert scan.column_slots == [2]
+
+    def test_predicate_columns_not_materialized(self, engine):
+        root = engine.plan("SELECT dest FROM flights WHERE delay > 10")
+        scan = root.child
+        assert scan.column_slots == [2]  # delay read but not emitted
+
+    def test_star_keeps_all_columns(self, engine):
+        root = engine.plan("SELECT * FROM flights")
+        assert root.child.column_slots == [0, 1, 2, 3]
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        assert fold_expr(("arith", "+", ("const", 1), ("const", 2))) == (
+            "const",
+            3,
+        )
+
+    def test_nested_folding(self):
+        expr = (
+            "arith",
+            "*",
+            ("arith", "+", ("const", 1), ("const", 2)),
+            ("const", 3),
+        )
+        assert fold_expr(expr) == ("const", 9)
+
+    def test_column_blocks_folding(self):
+        expr = ("arith", "+", ("col", 0), ("const", 2))
+        assert fold_expr(expr) == expr
+
+    def test_comparison_folds(self):
+        assert fold_expr(("cmp", "<", ("const", 1), ("const", 2))) == (
+            "const",
+            True,
+        )
+
+    def test_division_by_zero_not_folded(self):
+        # Folding must not turn a runtime error into a planner crash.
+        expr = ("arith", "/", ("const", 1), ("const", 0))
+        assert fold_expr(expr) == expr
+
+    def test_case_branches_fold(self):
+        expr = (
+            "case",
+            ((("cmp", "=", ("col", 0), ("const", 1)),
+              ("arith", "+", ("const", 1), ("const", 1))),),
+            ("const", 0),
+        )
+        folded = fold_expr(expr)
+        assert folded[1][0][1] == ("const", 2)
+
+    def test_folding_inside_plan(self, engine):
+        root = engine.plan("SELECT delay + (1 + 1) FROM flights")
+        assert root.exprs[0] == ("arith", "+", ("col", 0), ("const", 2))
+
+
+class TestIdempotency:
+    @pytest.mark.parametrize("sql", EQUIVALENCE_QUERIES)
+    def test_optimize_twice_is_stable(self, engine, sql):
+        once = engine.plan(sql)
+        twice = optimize(once)
+        assert twice.explain() == once.explain()
+
+
+class TestExplain:
+    def test_explain_shows_tree(self, engine):
+        text = engine.explain(
+            "SELECT dest, COUNT(*) FROM flights WHERE delay > 10 "
+            "GROUP BY dest ORDER BY 2 DESC LIMIT 3"
+        )
+        assert "Limit" in text
+        assert "Aggregate" in text
+        assert "Scan" in text
+        # Indentation encodes tree depth.
+        assert "  Sort" in text or "Sort" in text

@@ -1,0 +1,243 @@
+"""Parser tests: AST structure and syntax errors."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.errors import SqlSyntaxError
+from repro.sql.parser import parse
+
+
+class TestSelectList:
+    def test_star(self):
+        select = parse("SELECT * FROM t")
+        assert select.items == (ast.SelectItem(ast.Star()),)
+
+    def test_qualified_star(self):
+        select = parse("SELECT t.* FROM t")
+        assert select.items[0].expr == ast.Star(table="t")
+
+    def test_column_with_as_alias(self):
+        select = parse("SELECT a AS x FROM t")
+        assert select.items[0] == ast.SelectItem(ast.ColumnRef("a"), "x")
+
+    def test_column_with_bare_alias(self):
+        select = parse("SELECT a x FROM t")
+        assert select.items[0].alias == "x"
+
+    def test_multiple_items(self):
+        select = parse("SELECT a, b, c FROM t")
+        assert len(select.items) == 3
+
+    def test_qualified_column(self):
+        select = parse("SELECT t.a FROM t")
+        assert select.items[0].expr == ast.ColumnRef("a", table="t")
+
+    def test_distinct_flag(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+        assert not parse("SELECT ALL a FROM t").distinct
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse("SELECT %s FROM t" % text).items[0].expr
+
+    def test_precedence_mul_before_add(self):
+        assert self.expr("1 + 2 * 3") == ast.BinaryOp(
+            "+", ast.Literal(1), ast.BinaryOp("*", ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_parentheses_override_precedence(self):
+        assert self.expr("(1 + 2) * 3") == ast.BinaryOp(
+            "*", ast.BinaryOp("+", ast.Literal(1), ast.Literal(2)), ast.Literal(3)
+        )
+
+    def test_and_binds_tighter_than_or(self):
+        tree = self.expr("a OR b AND c")
+        assert isinstance(tree, ast.BinaryOp) and tree.op == "OR"
+        assert tree.right.op == "AND"
+
+    def test_not_precedence(self):
+        tree = self.expr("NOT a AND b")
+        assert tree.op == "AND"
+        assert isinstance(tree.left, ast.UnaryOp)
+
+    def test_unary_minus(self):
+        assert self.expr("-a") == ast.UnaryOp("-", ast.ColumnRef("a"))
+
+    def test_unary_plus_is_dropped(self):
+        assert self.expr("+5") == ast.Literal(5)
+
+    def test_comparison_normalizes_bang_equals(self):
+        assert self.expr("a != 1").op == "<>"
+
+    def test_is_null(self):
+        assert self.expr("a IS NULL") == ast.IsNull(ast.ColumnRef("a"))
+
+    def test_is_not_null(self):
+        assert self.expr("a IS NOT NULL").negated
+
+    def test_in_list(self):
+        tree = self.expr("a IN (1, 2)")
+        assert tree == ast.InList(
+            ast.ColumnRef("a"), (ast.Literal(1), ast.Literal(2))
+        )
+
+    def test_not_in(self):
+        assert self.expr("a NOT IN (1)").negated
+
+    def test_between(self):
+        tree = self.expr("a BETWEEN 1 AND 5")
+        assert tree == ast.Between(
+            ast.ColumnRef("a"), ast.Literal(1), ast.Literal(5)
+        )
+
+    def test_not_between(self):
+        assert self.expr("a NOT BETWEEN 1 AND 5").negated
+
+    def test_like_is_a_function_call(self):
+        tree = self.expr("a LIKE 'x%'")
+        assert tree == ast.FunctionCall(
+            "LIKE", [ast.ColumnRef("a"), ast.Literal("x%")]
+        )
+
+    def test_case_when(self):
+        tree = self.expr("CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END")
+        assert isinstance(tree, ast.Case)
+        assert len(tree.whens) == 1
+        assert tree.default == ast.Literal("lo")
+
+    def test_case_without_else(self):
+        assert self.expr("CASE WHEN a THEN 1 END").default is None
+
+    def test_cast(self):
+        assert self.expr("CAST(a AS INTEGER)") == ast.Cast(
+            ast.ColumnRef("a"), "INTEGER"
+        )
+
+    def test_function_call(self):
+        assert self.expr("LN(a)") == ast.FunctionCall("LN", [ast.ColumnRef("a")])
+
+    def test_count_star(self):
+        assert self.expr("COUNT(*)") == ast.FunctionCall("COUNT", [ast.Star()])
+
+    def test_count_distinct(self):
+        tree = self.expr("COUNT(DISTINCT a)")
+        assert tree.distinct
+
+    def test_string_concat(self):
+        assert self.expr("a || b").op == "||"
+
+    def test_null_true_false_literals(self):
+        assert self.expr("NULL") == ast.Literal(None)
+        assert self.expr("TRUE") == ast.Literal(True)
+        assert self.expr("FALSE") == ast.Literal(False)
+
+
+class TestClauses:
+    def test_where(self):
+        select = parse("SELECT a FROM t WHERE a > 1")
+        assert isinstance(select.where, ast.BinaryOp)
+
+    def test_group_by_plain(self):
+        group = parse("SELECT a FROM t GROUP BY a, b").group
+        assert group.mode == "plain"
+        assert len(group.exprs) == 2
+
+    def test_group_by_cube(self):
+        group = parse("SELECT a FROM t GROUP BY CUBE(a, b)").group
+        assert group.mode == "cube"
+
+    def test_group_by_rollup(self):
+        group = parse("SELECT a FROM t GROUP BY ROLLUP(a, b)").group
+        assert group.mode == "rollup"
+
+    def test_grouping_sets(self):
+        group = parse(
+            "SELECT a FROM t GROUP BY GROUPING SETS ((a), (b), ())"
+        ).group
+        assert group.mode == "sets"
+        assert len(group.sets) == 3
+        assert group.sets[2] == ()
+
+    def test_cube_grouping_sets_expansion(self):
+        group = parse("SELECT a FROM t GROUP BY CUBE(a, b)").group
+        sets = group.grouping_sets()
+        assert len(sets) == 4
+        assert (0, 1) in sets and () in sets
+
+    def test_rollup_expansion_order(self):
+        group = parse("SELECT a FROM t GROUP BY ROLLUP(a, b)").group
+        assert group.grouping_sets() == [(0, 1), (0,), ()]
+
+    def test_having(self):
+        select = parse("SELECT a FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert select.having is not None
+
+    def test_order_by_directions(self):
+        order = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC, a").order
+        assert [o.ascending for o in order] == [False, True, True]
+
+    def test_limit_and_offset(self):
+        select = parse("SELECT a FROM t LIMIT 5 OFFSET 2")
+        assert select.limit == 5
+        assert select.offset == 2
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t LIMIT -1")
+
+
+class TestJoins:
+    def test_inner_join_with_on(self):
+        source = parse("SELECT * FROM a JOIN b ON a.x = b.y").source
+        assert isinstance(source, ast.Join)
+        assert source.condition is not None
+
+    def test_inner_keyword_is_optional(self):
+        source = parse("SELECT * FROM a INNER JOIN b ON a.x = b.y").source
+        assert isinstance(source, ast.Join)
+
+    def test_cross_join(self):
+        source = parse("SELECT * FROM a CROSS JOIN b").source
+        assert source.condition is None
+
+    def test_chained_joins_are_left_deep(self):
+        source = parse(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        ).source
+        assert isinstance(source.left, ast.Join)
+        assert source.right == ast.TableRef("c")
+
+    def test_table_alias(self):
+        source = parse("SELECT * FROM flights f").source
+        assert source.alias == "f"
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP a",
+            "SELECT a FROM t trailing garbage",
+            "SELECT a FROM t ORDER a",
+            "SELECT CASE END FROM t",
+            "SELECT CAST(a AS BLOB) FROM t",
+            "SELECT a FROM t LIMIT 1.5",
+            "SELECT a NOT 5 FROM t",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(SqlSyntaxError):
+            parse(text)
+
+    def test_semicolon_terminator_accepted(self):
+        assert parse("SELECT a FROM t;") is not None
+
+    def test_error_reports_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse("SELECT a FROM t WHERE ???")
+        assert excinfo.value.position is not None

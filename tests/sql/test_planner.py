@@ -1,0 +1,146 @@
+"""Planner: plan shapes, name resolution and analysis errors."""
+
+import pytest
+
+from repro.sql import SqlEngine
+from repro.sql import plan as p
+from repro.sql.errors import SqlAnalysisError
+
+from tests.sql.conftest import FLIGHT_ROWS
+
+
+@pytest.fixture
+def engine():
+    eng = SqlEngine(optimize_plans=False)  # raw planner output
+    eng.catalog.register_rows(
+        "flights", ["day", "origin", "dest", "delay"], FLIGHT_ROWS
+    )
+    eng.catalog.register_rows("regions", ["city", "region"], [("SF", "US")])
+    return eng
+
+
+class TestPlanShapes:
+    def test_simple_select_is_project_over_scan(self, engine):
+        root = engine.plan("SELECT day FROM flights")
+        assert isinstance(root, p.Project)
+        assert isinstance(root.child, p.Scan)
+
+    def test_where_adds_filter(self, engine):
+        root = engine.plan("SELECT day FROM flights WHERE delay > 1")
+        assert isinstance(root.child, p.Filter)
+
+    def test_group_by_adds_aggregate(self, engine):
+        root = engine.plan("SELECT day, COUNT(*) FROM flights GROUP BY day")
+        assert isinstance(root, p.Project)
+        assert isinstance(root.child, p.Aggregate)
+        assert root.child.grouping_sets == [(0,)]
+
+    def test_cube_grouping_sets_count(self, engine):
+        root = engine.plan(
+            "SELECT day, dest, COUNT(*) FROM flights GROUP BY CUBE(day, dest)"
+        )
+        assert len(root.child.grouping_sets) == 4
+
+    def test_having_filters_above_aggregate(self, engine):
+        root = engine.plan(
+            "SELECT day FROM flights GROUP BY day HAVING COUNT(*) > 1"
+        )
+        assert isinstance(root, p.Project)
+        assert isinstance(root.child, p.Filter)
+        assert isinstance(root.child.child, p.Aggregate)
+
+    def test_equi_join_becomes_hash_join(self, engine):
+        root = engine.plan(
+            "SELECT * FROM flights f JOIN regions r ON f.dest = r.city"
+        )
+        join = root.child
+        assert isinstance(join, p.HashJoin)
+        assert join.left_keys == [("col", 2)]
+        assert join.right_keys == [("col", 0)]
+
+    def test_reversed_equi_condition_still_hash_join(self, engine):
+        root = engine.plan(
+            "SELECT * FROM flights f JOIN regions r ON r.city = f.dest"
+        )
+        assert isinstance(root.child, p.HashJoin)
+
+    def test_non_equi_join_becomes_cross_with_condition(self, engine):
+        root = engine.plan(
+            "SELECT * FROM flights f JOIN regions r ON f.delay > 10"
+        )
+        join = root.child
+        assert isinstance(join, p.CrossJoin)
+        assert join.condition is not None
+
+    def test_mixed_condition_keeps_residual(self, engine):
+        root = engine.plan(
+            "SELECT * FROM flights f JOIN regions r "
+            "ON f.dest = r.city AND f.delay > 10"
+        )
+        join = root.child
+        assert isinstance(join, p.HashJoin)
+        assert join.residual is not None
+
+    def test_limit_at_root(self, engine):
+        root = engine.plan("SELECT day FROM flights LIMIT 3")
+        assert isinstance(root, p.Limit)
+        assert root.limit == 3
+
+    def test_distinct_node(self, engine):
+        root = engine.plan("SELECT DISTINCT day FROM flights")
+        assert isinstance(root, p.Distinct)
+
+    def test_order_by_select_alias_reuses_slot(self, engine):
+        root = engine.plan("SELECT delay * 2 AS d2 FROM flights ORDER BY d2")
+        assert isinstance(root, p.Sort)
+        assert root.keys == [("col", 0)]
+
+    def test_hidden_sort_key_widens_then_trims(self, engine):
+        root = engine.plan("SELECT day FROM flights ORDER BY delay")
+        # Outermost Project trims back to the one visible column.
+        assert isinstance(root, p.Project)
+        assert root.names == ["day"]
+        assert isinstance(root.child, p.Sort)
+
+    def test_aggregate_dedupes_identical_calls(self, engine):
+        root = engine.plan(
+            "SELECT SUM(delay), SUM(delay) + 1 FROM flights"
+        )
+        assert len(root.child.agg_specs) == 1
+
+
+class TestAnalysisErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT nope FROM flights",
+            "SELECT flights.nope FROM flights",
+            "SELECT day FROM flights a CROSS JOIN flights b",  # ambiguous
+            "SELECT day, COUNT(*) FROM flights",  # ungrouped column
+            "SELECT SUM(MAX(delay)) FROM flights",  # nested aggregate
+            "SELECT GROUPING(day) FROM flights",  # GROUPING without GROUP BY
+            "SELECT day FROM flights WHERE SUM(delay) > 1",  # agg in WHERE
+            "SELECT MAX(*) FROM flights",  # star only valid for COUNT
+            "SELECT COUNT() FROM flights",
+            "SELECT SUM(delay, delay) FROM flights",
+            "SELECT * FROM missing_table",
+            "SELECT GROUPING(delay) FROM flights GROUP BY day",
+        ],
+    )
+    def test_rejected(self, engine, sql):
+        with pytest.raises(SqlAnalysisError):
+            engine.plan(sql)
+
+    def test_qualified_reference_disambiguates(self, engine):
+        root = engine.plan(
+            "SELECT a.day FROM flights a CROSS JOIN flights b"
+        )
+        assert isinstance(root, p.Project)
+
+    def test_star_expansion_uses_scope_order(self, engine):
+        root = engine.plan(
+            "SELECT * FROM flights f JOIN regions r ON f.dest = r.city"
+        )
+        assert root.names == [
+            "day", "origin", "dest", "delay", "city", "region",
+        ]

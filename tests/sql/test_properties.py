@@ -1,0 +1,143 @@
+"""Property-based tests of the SQL engine against Python references."""
+
+from collections import Counter, defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import SqlEngine
+
+#: Small categorical domains keep group counts interesting.
+DAY = st.sampled_from(["Mon", "Tue", "Wed", "Thu", "Fri"])
+CITY = st.sampled_from(["SF", "LA", "NY", "London"])
+MEASURE = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+ROWS = st.lists(st.tuples(DAY, CITY, MEASURE), min_size=1, max_size=60)
+
+
+def engine_for(rows):
+    engine = SqlEngine()
+    engine.catalog.register_rows("t", ["a", "b", "m"], rows)
+    return engine
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_group_by_matches_reference(rows):
+    result = engine_for(rows).query(
+        "SELECT a, COUNT(*) c, SUM(m) s FROM t GROUP BY a"
+    )
+    counts = Counter(r[0] for r in rows)
+    sums = defaultdict(float)
+    for a, _b, m in rows:
+        sums[a] += m
+    assert len(result) == len(counts)
+    for a, count, total in result.rows:
+        assert count == counts[a]
+        assert abs(total - sums[a]) < 1e-6
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_where_matches_reference(rows):
+    result = engine_for(rows).query("SELECT m FROM t WHERE m > 0")
+    expected = [m for _a, _b, m in rows if m > 0]
+    assert sorted(result.column("m")) == sorted(expected)
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_cube_level_sums_are_consistent(rows):
+    """Every grouping set of a CUBE partitions the data: each level's
+    SUM(m) totals must agree with the grand total (thesis §2.5 — each
+    lattice level covers all tuples)."""
+    result = engine_for(rows).query(
+        "SELECT a, b, SUM(m) s, GROUPING(a) ga, GROUPING(b) gb "
+        "FROM t GROUP BY CUBE(a, b)"
+    )
+    grand_total = sum(m for _a, _b, m in rows)
+    level_totals = defaultdict(float)
+    for _a, _b, s, ga, gb in result.rows:
+        level_totals[(ga, gb)] += s
+    assert len(level_totals) == 4
+    for total in level_totals.values():
+        assert abs(total - grand_total) < 1e-6
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_cube_finest_level_row_count(rows):
+    result = engine_for(rows).query(
+        "SELECT a, b, COUNT(*) c, GROUPING(a) ga, GROUPING(b) gb "
+        "FROM t GROUP BY CUBE(a, b)"
+    )
+    finest = [r for r in result.rows if r[3] == 0 and r[4] == 0]
+    assert len(finest) == len({(a, b) for a, b, _m in rows})
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_order_by_sorts(rows):
+    values = engine_for(rows).query("SELECT m FROM t ORDER BY m").column("m")
+    assert values == sorted(values)
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_distinct_removes_duplicates_only(rows):
+    values = engine_for(rows).query("SELECT DISTINCT a FROM t").column("a")
+    assert sorted(values) == sorted({a for a, _b, _m in rows})
+
+
+@given(ROWS, st.integers(min_value=0, max_value=10),
+       st.integers(min_value=0, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_limit_offset_slices(rows, limit, offset):
+    engine = engine_for(rows)
+    everything = engine.query("SELECT a, b, m FROM t ORDER BY m, a, b").rows
+    window = engine.query(
+        "SELECT a, b, m FROM t ORDER BY m, a, b LIMIT %d OFFSET %d"
+        % (limit, offset)
+    ).rows
+    assert window == everything[offset:offset + limit]
+
+
+@given(ROWS)
+@settings(max_examples=60, deadline=None)
+def test_avg_equals_sum_over_count(rows):
+    engine = engine_for(rows)
+    result = engine.query(
+        "SELECT b, AVG(m) a, SUM(m) s, COUNT(*) c FROM t GROUP BY b"
+    )
+    for _b, avg, total, count in result.rows:
+        assert abs(avg - total / count) < 1e-9
+
+
+@given(ROWS)
+@settings(max_examples=40, deadline=None)
+def test_optimizer_preserves_results(rows):
+    sql = (
+        "SELECT a, SUM(m) s FROM t WHERE m > -50 "
+        "GROUP BY a HAVING COUNT(*) >= 1 ORDER BY s DESC, a"
+    )
+    plain = SqlEngine(optimize_plans=False)
+    plain.catalog.register_rows("t", ["a", "b", "m"], rows)
+    assert engine_for(rows).query(sql).rows == plain.query(sql).rows
+
+
+@given(ROWS)
+@settings(max_examples=40, deadline=None)
+def test_join_matches_reference(rows):
+    engine = engine_for(rows)
+    engine.catalog.register_rows(
+        "names", ["city", "tag"], [("SF", 1), ("LA", 2), ("NY", 3)]
+    )
+    result = engine.query(
+        "SELECT t.b, names.tag FROM t JOIN names ON t.b = names.city"
+    )
+    lookup = {"SF": 1, "LA": 2, "NY": 3}
+    expected = sorted(
+        (b, lookup[b]) for _a, b, _m in rows if b in lookup
+    )
+    assert sorted(result.rows) == expected

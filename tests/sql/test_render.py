@@ -1,0 +1,134 @@
+"""AST -> SQL rendering: round trips through the parser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.render import render, render_expr
+
+ROUND_TRIP_QUERIES = [
+    "SELECT * FROM t",
+    "SELECT a, b AS x FROM t",
+    "SELECT DISTINCT a FROM t",
+    "SELECT a FROM t WHERE b > 1 AND c = 'x' OR NOT d < 2",
+    "SELECT a FROM t WHERE b IN (1, 2, 3)",
+    "SELECT a FROM t WHERE b NOT BETWEEN 1 AND 5",
+    "SELECT a FROM t WHERE b IS NOT NULL",
+    "SELECT a FROM t WHERE name LIKE 'x%'",
+    "SELECT a, COUNT(*), SUM(m) FROM t GROUP BY a HAVING COUNT(*) > 2",
+    "SELECT a, b FROM t GROUP BY CUBE (a, b)",
+    "SELECT a, b FROM t GROUP BY ROLLUP (a, b)",
+    "SELECT a FROM t GROUP BY GROUPING SETS ((a), (b), ())",
+    "SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2",
+    "SELECT t.a, u.b FROM t JOIN u ON t.k = u.k",
+    "SELECT * FROM t CROSS JOIN u",
+    "SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END FROM t",
+    "SELECT CAST(a AS FLOAT) FROM t",
+    "SELECT COUNT(DISTINCT a) FROM t",
+    "SELECT -a + 2 * (b - 1) FROM t",
+    "SELECT a || '-' || b FROM t",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("query", ROUND_TRIP_QUERIES)
+    def test_parse_render_parse_is_stable(self, query):
+        tree = parse(query)
+        rendered = render(tree)
+        assert parse(rendered) == tree
+
+    def test_rendered_text_is_reasonable(self):
+        tree = parse("SELECT a FROM t WHERE b > 1")
+        assert render(tree) == "SELECT a FROM t WHERE b > 1"
+
+    def test_keyword_identifiers_are_quoted(self):
+        tree = parse('SELECT "select" FROM t')
+        rendered = render(tree)
+        assert '"select"' in rendered
+        assert parse(rendered) == tree
+
+    def test_quoted_identifier_with_space(self):
+        tree = parse('SELECT "Event Base Code" FROM t')
+        assert parse(render(tree)) == tree
+
+
+class TestPrecedence:
+    def test_left_associative_subtraction(self):
+        # (1 - 2) - 3 must not re-render as 1 - (2 - 3).
+        tree = parse("SELECT 1 - 2 - 3 FROM t")
+        assert parse(render(tree)) == tree
+
+    def test_explicit_right_grouping_preserved(self):
+        tree = parse("SELECT 1 - (2 - 3) FROM t")
+        rendered = render(tree)
+        assert parse(rendered) == tree
+        assert "(" in rendered
+
+    def test_or_inside_and_parenthesized(self):
+        tree = parse("SELECT a FROM t WHERE (x OR y) AND z")
+        assert parse(render(tree)) == tree
+
+    def test_not_binds_tighter_than_and(self):
+        tree = parse("SELECT a FROM t WHERE NOT (x AND y)")
+        assert parse(render(tree)) == tree
+
+
+# ----------------------------------------------------------------------
+# Property-based: random expression trees round-trip
+# ----------------------------------------------------------------------
+
+NAMES = st.sampled_from(["a", "b", "c", "delay"])
+
+LEAVES = st.one_of(
+    st.integers(0, 99).map(ast.Literal),
+    st.sampled_from(["x", "it's"]).map(ast.Literal),
+    st.booleans().map(ast.Literal),
+    st.just(ast.Literal(None)),
+    NAMES.map(ast.ColumnRef),
+)
+
+
+def _exprs(children):
+    binary = st.tuples(
+        st.sampled_from(["+", "-", "*", "=", "<", "AND", "OR", "||"]),
+        children,
+        children,
+    ).map(lambda t: ast.BinaryOp(*t))
+    unary = st.tuples(st.sampled_from(["NOT", "-"]), children).map(
+        lambda t: ast.UnaryOp(*t)
+    )
+    isnull = st.tuples(children, st.booleans()).map(
+        lambda t: ast.IsNull(t[0], negated=t[1])
+    )
+    between = st.tuples(children, children, children, st.booleans()).map(
+        lambda t: ast.Between(*t)
+    )
+    call = st.tuples(st.sampled_from(["ABS", "LN", "UPPER"]), children).map(
+        lambda t: ast.FunctionCall(t[0], [t[1]])
+    )
+    return st.one_of(binary, unary, isnull, between, call)
+
+
+EXPRESSIONS = st.recursive(LEAVES, _exprs, max_leaves=12)
+
+
+@given(EXPRESSIONS)
+@settings(max_examples=150, deadline=None)
+def test_random_expressions_round_trip(expr):
+    select = ast.Select(
+        items=[ast.SelectItem(expr)], source=ast.TableRef("t")
+    )
+    rendered = render(select)
+    assert parse(rendered) == select
+
+
+@given(EXPRESSIONS, EXPRESSIONS)
+@settings(max_examples=80, deadline=None)
+def test_random_where_clauses_round_trip(select_expr, where_expr):
+    select = ast.Select(
+        items=[ast.SelectItem(select_expr)],
+        source=ast.TableRef("t"),
+        where=where_expr,
+    )
+    assert parse(render(select)) == select

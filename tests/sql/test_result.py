@@ -1,0 +1,70 @@
+"""ResultSet container behaviour."""
+
+import pytest
+
+from repro.sql.errors import SqlError
+from repro.sql.result import ResultSet
+
+
+@pytest.fixture
+def result():
+    return ResultSet(
+        ["day", "total"],
+        [("Mon", 26.0), ("Fri", 36.0), ("Sat", None)],
+    )
+
+
+class TestAccess:
+    def test_len_and_iter(self, result):
+        assert len(result) == 3
+        assert list(result)[0] == ("Mon", 26.0)
+
+    def test_indexing(self, result):
+        assert result[1] == ("Fri", 36.0)
+
+    def test_column_extraction(self, result):
+        assert result.column("total") == [26.0, 36.0, None]
+
+    def test_column_is_case_insensitive(self, result):
+        assert result.column("DAY") == ["Mon", "Fri", "Sat"]
+
+    def test_unknown_column_raises(self, result):
+        with pytest.raises(SqlError):
+            result.column("nope")
+
+    def test_to_dicts(self, result):
+        assert result.to_dicts()[0] == {"day": "Mon", "total": 26.0}
+
+
+class TestScalar:
+    def test_scalar_on_1x1(self):
+        assert ResultSet(["n"], [(14,)]).scalar() == 14
+
+    def test_scalar_rejects_multiple_rows(self, result):
+        with pytest.raises(SqlError):
+            result.scalar()
+
+    def test_scalar_rejects_multiple_columns(self):
+        with pytest.raises(SqlError):
+            ResultSet(["a", "b"], [(1, 2)]).scalar()
+
+
+class TestPretty:
+    def test_renders_header_and_rows(self, result):
+        text = result.pretty()
+        lines = text.splitlines()
+        assert "day" in lines[0] and "total" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "NULL" in text  # None rendering
+
+    def test_max_rows_truncation(self, result):
+        text = result.pretty(max_rows=1)
+        assert "2 more rows" in text
+
+    def test_float_formatting(self):
+        text = ResultSet(["x"], [(0.000123,)]).pretty()
+        assert "0.000123" in text
+
+    def test_empty_result(self):
+        text = ResultSet(["a"], []).pretty()
+        assert "a" in text

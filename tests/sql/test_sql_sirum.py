@@ -1,0 +1,92 @@
+"""SQL-expressed SIRUM: parity with the operator-based miner."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.miner import mine
+from repro.data.generators import flight_table, susy_table
+from repro.platforms.sql_sirum import SqlSirum
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return flight_table()
+
+
+@pytest.fixture(scope="module")
+def sql_result(flights):
+    return SqlSirum(k=3).mine(flights)
+
+
+class TestFlightExample:
+    def test_reproduces_thesis_table_1_2(self, flights, sql_result):
+        decoded = [mr.decode(flights) for mr in sql_result.rule_set]
+        assert decoded[0] == ("*", "*", "*")
+        assert decoded[1] == ("*", "*", "London")
+        assert decoded[2] == ("Fri", "*", "*")
+        assert decoded[3] == ("Sat", "*", "*")
+
+    def test_rule_aggregates_match_thesis(self, sql_result):
+        root, london, friday, saturday = list(sql_result.rule_set)
+        assert root.count == 14
+        assert root.avg_measure == pytest.approx(10.357, abs=1e-3)
+        assert london.count == 4
+        assert london.avg_measure == pytest.approx(15.25)
+        assert friday.count == 2
+        assert friday.avg_measure == pytest.approx(18.0)
+        assert saturday.avg_measure == pytest.approx(16.0)
+
+    def test_kl_trace_decreases(self, sql_result):
+        trace = sql_result.kl_trace
+        assert all(b <= a + 1e-12 for a, b in zip(trace, trace[1:]))
+
+    def test_gains_are_positive_and_decreasing_in_spirit(self, sql_result):
+        gains = [mr.gain for mr in sql_result.rule_set][1:]
+        assert all(g > 0 for g in gains)
+
+    def test_queries_were_issued(self, sql_result):
+        # One CUBE query plus one coverage query per mined rule.
+        assert sql_result.queries_issued == 2 * 3
+
+
+class TestParityWithOperatorMiner:
+    def test_same_rules_as_exhaustive_naive(self, flights, sql_result):
+        core = mine(flights, k=3, variant="naive", exhaustive=True)
+        assert [mr.rule for mr in sql_result.rule_set] == [
+            mr.rule for mr in core.rule_set
+        ]
+
+    def test_same_kl_trace(self, flights, sql_result):
+        core = mine(flights, k=3, variant="naive", exhaustive=True)
+        for sql_kl, core_kl in zip(sql_result.kl_trace, core.kl_trace):
+            assert sql_kl == pytest.approx(core_kl, rel=1e-9)
+
+    def test_parity_on_binary_measure(self):
+        table = susy_table(num_rows=120, num_dimensions=4, seed=3)
+        sql_result = SqlSirum(k=2).mine(table)
+        core = mine(table, k=2, variant="naive", exhaustive=True)
+        assert sql_result.final_kl == pytest.approx(core.final_kl, rel=1e-6)
+
+
+class TestConfig:
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigError):
+            SqlSirum(k=0)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ConfigError):
+            SqlSirum(epsilon=0)
+
+    def test_k_larger_than_informative_rules_stops_early(self, flights):
+        # With a huge k the miner stops once no candidate has positive
+        # gain; it must not loop forever or crash.
+        result = SqlSirum(k=40, epsilon=1e-6).mine(flights)
+        assert len(result.rule_set) <= 41
+
+    def test_metered_run_charges_cluster(self, flights):
+        from repro.core.miner import make_default_cluster
+
+        cluster = make_default_cluster()
+        result = SqlSirum(k=2, cluster=cluster).mine(flights)
+        assert cluster.metrics.simulated_seconds > 0
+        assert result.simulated_seconds > 0

@@ -1,0 +1,118 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.sql.errors import SqlSyntaxError
+from repro.sql.tokens import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_are_case_insensitive(self):
+        assert values("select SELECT SeLeCt") == ["SELECT"] * 3
+
+    def test_identifiers_keep_their_spelling(self):
+        assert values("Origin dest_2") == ["Origin", "dest_2"]
+
+    def test_identifier_with_underscore_prefix(self):
+        assert values("_hidden") == ["_hidden"]
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("SELECT")[-1].kind == "EOF"
+
+    def test_whitespace_and_newlines_are_skipped(self):
+        assert values("a\n\t b") == ["a", "b"]
+
+    def test_line_comments_are_skipped(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_comment_at_end_without_newline(self):
+        assert values("a -- trailing") == ["a"]
+
+
+class TestLiterals:
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind == "NUMBER"
+        assert token.value == 42
+        assert isinstance(token.value, int)
+
+    def test_float_literal(self):
+        assert tokenize("3.25")[0].value == 3.25
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_scientific_notation(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+        assert tokenize("1E+2")[0].value == 100.0
+
+    def test_number_followed_by_identifier(self):
+        assert values("1e") == [1, "e"]
+
+    def test_string_literal(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind == "STRING"
+        assert token.value == "hello"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    def test_multi_char_operators(self):
+        assert values("<= >= <> != ||") == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_single_char_operators(self):
+        assert values("( ) , + - * / % . ; < > =") == list("(),+-*/%.;<>=")
+
+    def test_operator_adjacent_to_identifier(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+
+
+class TestQuotedIdentifiers:
+    def test_double_quoted_identifier(self):
+        token = tokenize('"Event Base Code"')[0]
+        assert token.kind == "IDENT"
+        assert token.value == "Event Base Code"
+
+    def test_quoted_keyword_becomes_identifier(self):
+        assert tokenize('"select"')[0].kind == "IDENT"
+
+    def test_unterminated_quoted_identifier_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"oops')
+
+    def test_empty_quoted_identifier_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('""')
+
+
+class TestErrors:
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+    def test_full_statement_tokenizes(self):
+        text = (
+            "SELECT day, SUM(delay) FROM flights "
+            "WHERE origin = 'SF' GROUP BY CUBE(day) LIMIT 3"
+        )
+        assert kinds(text)[-1] == "EOF"

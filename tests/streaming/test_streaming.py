@@ -1,0 +1,170 @@
+"""Tests for streaming SIRUM (thesis §7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, DataError
+from repro.core.config import SirumConfig
+from repro.core.rule import Rule, WILDCARD
+from repro.data.generators import SyntheticSpec, generate
+from repro.streaming import (
+    IncrementalSirum,
+    MicroBatchStream,
+    ReservoirSample,
+)
+
+
+def _stream_table(num_rows=1200, seed=5, effect=30.0, planted_attr=0,
+                  planted_code=0):
+    spec = SyntheticSpec(
+        num_rows=num_rows,
+        cardinalities=[5, 5, 5],
+        skew=0.2,
+        num_planted_rules=0,
+        planted_arity=1,
+        effect_scale=1.0,
+        noise_scale=0.5,
+        base_measure=10.0,
+    )
+    table, _ = generate(spec, seed=seed)
+    measure = table.measure.copy()
+    mask = table.dimension_columns()[planted_attr] == planted_code
+    measure[mask] += effect
+    return table.with_measure(measure)
+
+
+class TestMicroBatchStream:
+    def test_from_table_splits_evenly(self, flights):
+        stream = MicroBatchStream.from_table(flights, 5)
+        assert len(stream) == 3
+        assert stream.total_rows == 14
+
+    def test_schema_mismatch_rejected(self, flights, small_income):
+        with pytest.raises(DataError):
+            MicroBatchStream.from_tables([flights, small_income])
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(DataError):
+            MicroBatchStream([])
+
+    def test_invalid_batch_size(self, flights):
+        with pytest.raises(DataError):
+            MicroBatchStream.from_table(flights, 0)
+
+
+class TestReservoir:
+    def test_fills_to_capacity(self):
+        reservoir = ReservoirSample(5, seed=1)
+        for i in range(3):
+            reservoir.offer((i,))
+        assert len(reservoir) == 3
+        for i in range(10):
+            reservoir.offer((i,))
+        assert len(reservoir) == 5
+        assert reservoir.seen == 13
+
+    def test_sample_is_subset_of_stream(self):
+        reservoir = ReservoirSample(8, seed=2)
+        offered = [(i, i % 3) for i in range(100)]
+        for row in offered:
+            reservoir.offer(row)
+        assert all(row in offered for row in reservoir.rows())
+
+    def test_roughly_uniform_inclusion(self):
+        # Each item should be kept with probability capacity/seen;
+        # check the first item's inclusion frequency over trials.
+        hits = 0
+        trials = 300
+        for seed in range(trials):
+            reservoir = ReservoirSample(10, seed=seed)
+            for i in range(100):
+                reservoir.offer((i,))
+            if (0,) in reservoir.rows():
+                hits += 1
+        assert 0.04 < hits / trials < 0.22   # expect ~0.10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            ReservoirSample(0)
+
+
+class TestIncrementalSirum:
+    def _miner(self, **kwargs):
+        config = SirumConfig(k=3, sample_size=32, num_partitions=4)
+        kwargs.setdefault("seed", 1)
+        return IncrementalSirum(config=config, **kwargs)
+
+    def test_first_batch_mines(self):
+        table = _stream_table()
+        stream = MicroBatchStream.from_table(table, 400)
+        miner = self._miner()
+        snapshot = miner.process(next(iter(stream)))
+        assert snapshot.remined
+        assert snapshot.rules
+        assert snapshot.rules[0].is_root()
+
+    def test_stable_stream_does_not_remine(self):
+        table = _stream_table()
+        stream = MicroBatchStream.from_table(table, 300)
+        miner = self._miner(drift_factor=2.0)
+        snapshots = miner.run(stream)
+        assert snapshots[0].remined
+        assert not any(s.remined for s in snapshots[1:])
+
+    def test_concept_drift_triggers_remine(self):
+        # First half: effect on attribute 0; second half: the effect
+        # moves to attribute 1 — the old rules stop explaining the data.
+        first = _stream_table(num_rows=800, seed=5, planted_attr=0)
+        second = _stream_table(num_rows=800, seed=9, planted_attr=1,
+                               effect=60.0)
+        batches = (
+            list(MicroBatchStream.from_table(first, 400))
+            + list(MicroBatchStream.from_table(second, 400))
+        )
+        miner = self._miner(drift_factor=1.2, window_batches=2)
+        snapshots = [miner.process(batch) for batch in batches]
+        assert any(s.remined for s in snapshots[2:])
+        # After adapting, some rule binds the new driving attribute.
+        final_rules = snapshots[-1].rules
+        assert any(
+            rule.values[1] != WILDCARD for rule in final_rules
+        )
+
+    def test_scheduled_remine(self):
+        table = _stream_table()
+        stream = MicroBatchStream.from_table(table, 200)
+        miner = self._miner(drift_factor=100.0, remine_interval=2)
+        snapshots = miner.run(stream)
+        remines = [s.remined for s in snapshots]
+        assert remines[0]
+        assert any(remines[1:])
+
+    def test_window_limits_working_set(self):
+        table = _stream_table(num_rows=900)
+        stream = MicroBatchStream.from_table(table, 300)
+        miner = self._miner(window_batches=1)
+        snapshots = miner.run(stream)
+        assert all(s.total_rows == 300 for s in snapshots)
+
+    def test_refit_keeps_constraints(self):
+        table = _stream_table()
+        stream = MicroBatchStream.from_table(table, 400)
+        miner = self._miner(drift_factor=50.0)
+        snapshots = miner.run(stream)
+        # KL stays finite and positive; rules persist across batches.
+        for snapshot in snapshots:
+            assert np.isfinite(snapshot.kl)
+        assert snapshots[-1].rules
+
+    def test_empty_batch_rejected(self, flights):
+        miner = self._miner()
+        with pytest.raises(DataError):
+            miner.process(flights.slice(0, 0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            IncrementalSirum(drift_factor=0.5)
+        with pytest.raises(ConfigError):
+            IncrementalSirum(remine_interval=0)
+        with pytest.raises(ConfigError):
+            IncrementalSirum(window_batches=0)

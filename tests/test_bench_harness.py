@@ -1,0 +1,63 @@
+"""Tests for the benchmark harness helpers."""
+
+import pytest
+
+from repro.bench import (
+    dataset_by_name,
+    make_cluster,
+    print_table,
+    run_variant,
+    speedup,
+)
+from repro.common.errors import ConfigError
+
+
+class TestDatasetRegistry:
+    @pytest.mark.parametrize("name", ["income", "gdelt", "susy", "tlc"])
+    def test_known_datasets(self, name):
+        table = dataset_by_name(name, num_rows=200)
+        assert len(table) == 200
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigError):
+            dataset_by_name("enron")
+
+    def test_kwargs_forwarded(self):
+        table = dataset_by_name("susy", num_rows=100, num_dimensions=12)
+        assert table.schema.arity == 12
+
+
+class TestRunVariant:
+    def test_runs_on_fresh_cluster_by_default(self):
+        table = dataset_by_name("gdelt", num_rows=400)
+        result = run_variant(table, "baseline", k=2, sample_size=8, seed=1)
+        assert result.simulated_seconds > 0
+
+    def test_explicit_cluster_accumulates(self):
+        table = dataset_by_name("gdelt", num_rows=400)
+        cluster = make_cluster(num_executors=2)
+        run_variant(table, "baseline", cluster=cluster, k=1,
+                    sample_size=8, seed=1)
+        after_first = cluster.metrics.simulated_seconds
+        run_variant(table, "baseline", cluster=cluster, k=1,
+                    sample_size=8, seed=1)
+        assert cluster.metrics.simulated_seconds > after_first
+
+
+class TestHelpers:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(10.0, 0.0) == float("inf")
+
+    def test_print_table_renders(self, capsys):
+        print_table(
+            "Demo", ["a", "b"], [[1, 2.5], ["x", 0.0001]], note="shape"
+        )
+        out = capsys.readouterr().out
+        assert "== Demo ==" in out
+        assert "shape" in out
+        assert "0.0001" in out
+
+    def test_print_table_empty_rows(self, capsys):
+        print_table("Empty", ["col"], [])
+        assert "Empty" in capsys.readouterr().out

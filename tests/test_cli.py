@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.data.csvio import write_csv
+from repro.data.generators import SyntheticSpec, flight_table, generate
+
+
+@pytest.fixture
+def flights_csv(tmp_path):
+    path = tmp_path / "flights.csv"
+    write_csv(flight_table(), path)
+    return str(path)
+
+
+@pytest.fixture
+def dirty_csv(tmp_path):
+    spec = SyntheticSpec(
+        num_rows=400,
+        cardinalities=[4, 4],
+        measure_kind="binary",
+        base_measure=0.2,
+        num_planted_rules=1,
+        planted_arity=1,
+        effect_scale=3.0,
+        measure_name="dirty",
+    )
+    table, _ = generate(spec, seed=3)
+    path = tmp_path / "dirty.csv"
+    write_csv(table, path)
+    return str(path)
+
+
+class TestMine:
+    def test_prints_rule_table(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["mine", flights_csv, "--measure", "Delay", "--k", "2",
+             "--variant", "baseline", "--sample-size", "14", "--seed", "1"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "AVG(Delay)" in text
+        assert "London" in text
+        assert "kl_divergence:" in text
+
+    def test_dimension_subset(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["mine", flights_csv, "--measure", "Delay", "--k", "1",
+             "--dimensions", "Destination", "--sample-size", "14"],
+            out=out,
+        )
+        assert code == 0
+        assert "Destination" in out.getvalue()
+
+    def test_missing_measure_is_reported(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["mine", flights_csv, "--measure", "Nope"], out=out
+        )
+        assert code == 2
+        assert "error:" in out.getvalue()
+
+
+class TestExplore:
+    def test_explore_with_prior(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["explore", flights_csv, "--measure", "Delay", "--k", "2",
+             "--prior", "Day"],
+            out=out,
+        )
+        assert code == 0
+        assert "information_gain:" in out.getvalue()
+
+
+class TestClean:
+    def test_clean_lists_deviations(self, dirty_csv):
+        out = io.StringIO()
+        code = main(
+            ["clean", dirty_csv, "--measure", "dirty", "--k", "3",
+             "--variant", "baseline", "--sample-size", "32"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "top deviations" in text
+        assert "rate=" in text
+
+    def test_clean_rejects_numeric_measure(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["clean", flights_csv, "--measure", "Delay"], out=out
+        )
+        assert code == 2
+
+
+class TestSql:
+    def test_query_prints_result_table(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["sql", flights_csv, "--measure", "Delay", "--query",
+             "SELECT Destination, COUNT(*) c FROM data "
+             "GROUP BY Destination ORDER BY c DESC LIMIT 2"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "Destination" in text
+        assert "(2 rows)" in text
+
+    def test_cube_query(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["sql", flights_csv, "--measure", "Delay", "--query",
+             "SELECT Day, SUM(Delay) s FROM data GROUP BY ROLLUP(Day) "
+             "ORDER BY s DESC LIMIT 1"],
+            out=out,
+        )
+        assert code == 0
+        assert "145" in out.getvalue()  # the grand-total row wins
+
+    def test_explain_prints_plan(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["sql", flights_csv, "--measure", "Delay", "--explain",
+             "--query", "SELECT Day FROM data WHERE Delay > 10"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "Scan" in text
+        assert "filtered" in text
+
+    def test_sql_error_reported(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["sql", flights_csv, "--measure", "Delay",
+             "--query", "SELECT missing_column FROM data"],
+            out=out,
+        )
+        assert code == 2
+        assert "error:" in out.getvalue()
+
+    def test_syntax_error_reported(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["sql", flights_csv, "--measure", "Delay",
+             "--query", "SELEKT * FROM data"],
+            out=out,
+        )
+        assert code == 2
