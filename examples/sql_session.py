@@ -38,6 +38,19 @@ def main():
     print(cube_query)
     print(engine.query(cube_query).pretty())
 
+    print("\n-- Prepared statements and the plan cache --------------------")
+    statement = engine.prepare(
+        "SELECT COUNT(*) AS late FROM flights WHERE Delay > 10"
+    )
+    for _ in range(5):
+        late = statement.execute().scalar()
+    print("late flights: %d (statement planned once, executed 5x)" % late)
+    for _ in range(3):  # identical text -> the engine-level plan cache
+        engine.query("SELECT COUNT(*) AS late FROM flights WHERE Delay > 10")
+    info = engine.plan_cache_info
+    print("plan cache: %d hits / %d misses across the session"
+          % (info["hits"], info["misses"]))
+
     print("\n-- The optimizer at work --------------------------------------")
     explain_query = (
         "SELECT Destination FROM flights WHERE Delay > 10"

@@ -17,6 +17,16 @@ Computation is identical across platforms (results match exactly);
 only the metered costs differ.
 """
 
-from repro.platforms.base import PLATFORMS, make_platform_cluster, run_baseline_sirum
+from repro.platforms.base import (
+    PLATFORMS,
+    make_platform_cluster,
+    make_sql_engine,
+    run_baseline_sirum,
+)
 
-__all__ = ["PLATFORMS", "make_platform_cluster", "run_baseline_sirum"]
+__all__ = [
+    "PLATFORMS",
+    "make_platform_cluster",
+    "make_sql_engine",
+    "run_baseline_sirum",
+]

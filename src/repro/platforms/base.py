@@ -32,6 +32,22 @@ def make_platform_cluster(name, num_executors=16, **kwargs):
     return factory(num_executors=num_executors, **kwargs)
 
 
+def make_sql_engine(platform, num_executors=16, vectorized=True,
+                    **cluster_kwargs):
+    """A :class:`~repro.sql.engine.SqlEngine` metered as platform ``name``.
+
+    Returns ``(engine, cluster)``: every SQL operator the engine runs
+    charges the platform's cost regime per batch, so ad-hoc SQL
+    workloads are directly comparable with the §5.2 SIRUM runs.
+    """
+    from repro.sql.engine import SqlEngine
+
+    cluster = make_platform_cluster(
+        platform, num_executors=num_executors, **cluster_kwargs
+    )
+    return SqlEngine(cluster=cluster, vectorized=vectorized), cluster
+
+
 def run_baseline_sirum(platform, table, k=10, sample_size=16,
                        num_executors=16, seed=0, **cluster_kwargs):
     """Run Baseline (BJ) SIRUM on a named platform (the §5.2 setup).

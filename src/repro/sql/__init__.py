@@ -13,19 +13,34 @@ surface those platforms provide, end to end:
 - :mod:`repro.sql.planner` / :mod:`repro.sql.optimizer` — translation
   to a logical plan and rule-based rewrites (predicate pushdown,
   projection pruning, constant folding);
-- :mod:`repro.sql.executor` — a vectorized physical executor over the
-  columnar tables, metered through the cluster cost model when run via
-  a platform simulator.
+- :mod:`repro.sql.vectorized` — the default physical executor: every
+  operator runs over NumPy column batches with NULLs as validity
+  masks, metered per batch through the cluster cost model when run via
+  a platform simulator;
+- :mod:`repro.sql.executor` — the row-at-a-time reference interpreter
+  (``SqlEngine(vectorized=False)``), which defines the semantics the
+  vectorized path must reproduce exactly;
+- :class:`repro.sql.engine.SqlEngine` — the facade, with a
+  statement-level LRU plan cache and a ``prepare()`` /
+  ``execute_prepared()`` API so repeated statements skip
+  parse → plan → optimize.
 
 ``GROUP BY CUBE(A1, ..., Ad)`` computes exactly the candidate-rule
 aggregates of thesis §3.1 — each output row is an element of the cube
 lattice (§2.5) with wildcards surfaced as SQL NULLs.
 """
 
-from repro.sql.engine import SqlEngine
+from repro.sql.engine import PreparedStatement, SqlEngine
 from repro.sql.errors import SqlError
 from repro.sql.parser import parse
 from repro.sql.render import render
 from repro.sql.result import ResultSet
 
-__all__ = ["SqlEngine", "SqlError", "ResultSet", "parse", "render"]
+__all__ = [
+    "SqlEngine",
+    "PreparedStatement",
+    "SqlError",
+    "ResultSet",
+    "parse",
+    "render",
+]

@@ -1,4 +1,10 @@
-"""Physical execution of bound logical plans.
+"""Row-at-a-time physical execution of bound logical plans.
+
+This is the *reference* interpreter: it defines the engine's SQL
+semantics and stays available as the ``SqlEngine(vectorized=False)``
+fallback, while :mod:`repro.sql.vectorized` is the default execution
+path over NumPy column batches.  The parity suite asserts both paths
+produce identical results.
 
 The executor interprets a plan bottom-up over materialized row lists.
 Rows are plain tuples; NULL is ``None``.  Three-valued logic follows
@@ -28,7 +34,7 @@ class Executor:
     def run(self, node):
         """Execute ``node``; returns (rows, names)."""
         rows = self._execute(node)
-        names = _output_names(node)
+        names = output_names(node)
         return rows, names
 
     def _execute(self, node):
@@ -382,12 +388,17 @@ def _sort_key(value, ascending):
     return _NullLast(value, value is None)
 
 
-def _output_names(node):
+def output_names(node):
+    """Output column names of a plan subtree (shared by both executors)."""
     if isinstance(node, plan_nodes.Project):
         return list(node.names)
     if isinstance(node, plan_nodes.Scan):
         return [node.relation.columns[i] for i in node.column_slots]
     children = node.children()
     if children:
-        return _output_names(children[0])
+        return output_names(children[0])
     return []
+
+
+#: Backwards-compatible alias (pre-vectorization name).
+_output_names = output_names

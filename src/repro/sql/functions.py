@@ -10,6 +10,8 @@ NULL for everything except COUNT, which yields 0.
 
 import math
 
+import numpy as np
+
 from repro.sql.errors import SqlAnalysisError, SqlExecutionError
 
 
@@ -228,6 +230,65 @@ AGGREGATE_FACTORIES = {
 
 def is_aggregate_name(name):
     return name in AGGREGATE_FACTORIES
+
+
+# ----------------------------------------------------------------------
+# Vectorized aggregate kernels
+# ----------------------------------------------------------------------
+#
+# Used by :mod:`repro.sql.vectorized` when an aggregate's input column
+# has a numeric/bool dtype.  Each kernel takes the per-row group codes
+# (``0 .. num_groups-1``) plus the input values restricted to valid
+# (non-NULL) lanes, and returns ``(results, valid)`` arrays with one
+# lane per group.  Accumulation happens in row order, so float results
+# are bit-identical to feeding the accumulator classes row by row.
+
+#: Aggregates with a vectorized kernel; everything else (DISTINCT,
+#: VARIANCE/STDDEV, object-dtype inputs) runs through the accumulators.
+VECTORIZED_AGGREGATES = frozenset(["COUNT", "SUM", "AVG", "MIN", "MAX"])
+
+
+def group_count(codes, num_groups):
+    """COUNT over already-valid lanes (pass all codes for COUNT(*))."""
+    counts = np.bincount(codes, minlength=num_groups).astype(np.int64)
+    return counts, None
+
+
+def group_sum(codes, values, num_groups):
+    """SUM; NULL (not 0) for groups with no non-NULL input."""
+    counts = np.bincount(codes, minlength=num_groups)
+    if values.dtype == np.float64:
+        totals = np.bincount(codes, weights=values, minlength=num_groups)
+    else:
+        totals = np.zeros(num_groups, dtype=np.int64)
+        np.add.at(totals, codes, values.astype(np.int64))
+    return totals, counts > 0
+
+
+def group_avg(codes, values, num_groups):
+    """AVG = float sum / count; NULL for all-NULL groups."""
+    counts = np.bincount(codes, minlength=num_groups)
+    totals = np.bincount(
+        codes, weights=values.astype(np.float64), minlength=num_groups
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        means = totals / counts
+    return means, counts > 0
+
+
+def group_min_max(codes, values, num_groups, largest):
+    """MIN/MAX via a stable sort by group plus a segmented reduce."""
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    sorted_values = values[order]
+    present, starts = np.unique(sorted_codes, return_index=True)
+    reducer = np.maximum if largest else np.minimum
+    out = np.zeros(num_groups, dtype=values.dtype)
+    valid = np.zeros(num_groups, dtype=bool)
+    if len(starts):
+        out[present] = reducer.reduceat(sorted_values, starts)
+        valid[present] = True
+    return out, valid
 
 
 def make_aggregate(name, count_rows=False, distinct=False):

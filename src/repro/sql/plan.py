@@ -1,9 +1,16 @@
 """Logical plan nodes.
 
 The planner compiles an AST into a tree of these operators; the
-optimizer rewrites the tree; the executor interprets it bottom-up.
+optimizer rewrites the tree; an executor interprets it bottom-up —
+either over row tuples (:mod:`repro.sql.executor`) or over NumPy
+column batches (:mod:`repro.sql.vectorized`, the default).  Plan trees
+are immutable once optimized, which is what makes the engine's
+statement plan cache safe: a cached tree can be re-executed by either
+executor any number of times.
+
 Expressions inside plan nodes are *bound* expressions — column
-references resolved to integer slots of the child's output row — so
+references resolved to integer slots of the child's output row (or
+batch column indices; the two executors share the slot space) — so
 execution never does name lookup per row.
 
 Bound expression forms (tuples, cheap to build and match on):
@@ -15,7 +22,8 @@ Bound expression forms (tuples, cheap to build and match on):
     ("cmp",    op, left, right)          op in = <> < <= > >=
     ("arith",  op, left, right)          op in + - * / % ||
     ("isnull", expr, negated)
-    ("in",     expr, frozenset_of_consts) or ("in_exprs", expr, exprs, negated)
+    ("in",     expr, frozenset_of_consts, negated)
+    ("in_exprs", expr, exprs, negated)
     ("between", expr, low, high, negated)
     ("case",   ((cond, result), ...), default)
     ("cast",   expr, type_name)

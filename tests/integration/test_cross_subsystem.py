@@ -16,6 +16,9 @@ from repro.data.generators import flight_table, susy_table
 from repro.platforms.sql_sirum import SqlSirum
 from repro.sql import SqlEngine
 
+#: Long-running suite: excluded from the fast loop (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def flights():

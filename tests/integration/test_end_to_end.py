@@ -8,6 +8,9 @@ from repro.core.miner import mine
 from repro.core.rule import Rule, WILDCARD
 from repro.data.generators import SyntheticSpec, generate
 
+#: Long-running suite: excluded from the fast loop (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 
 class TestPlantedRuleRecovery:
     def test_miner_recovers_strong_planted_rule(self):

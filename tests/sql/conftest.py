@@ -23,10 +23,14 @@ FLIGHT_ROWS = [
 ]
 
 
-@pytest.fixture
-def engine():
-    """An engine with the flight table plus a small lookup relation."""
-    eng = SqlEngine()
+@pytest.fixture(params=["vectorized", "rows"])
+def engine(request):
+    """An engine with the flight table plus a small lookup relation.
+
+    Parametrized over both execution paths, so every engine-level test
+    doubles as a vectorized/row-interpreter parity check.
+    """
+    eng = SqlEngine(vectorized=request.param == "vectorized")
     eng.catalog.register_rows(
         "flights", ["day", "origin", "dest", "delay"], FLIGHT_ROWS
     )

@@ -1,0 +1,110 @@
+"""Statement-level plan cache and the prepare()/execute_prepared() API."""
+
+import pytest
+
+from repro.sql import SqlEngine
+from repro.sql.errors import SqlAnalysisError
+
+
+@pytest.fixture
+def engine():
+    eng = SqlEngine()
+    eng.catalog.register_rows(
+        "t", ["a", "m"], [("x", 1.0), ("y", 2.0), ("x", 3.0)]
+    )
+    return eng
+
+
+class TestPlanCache:
+    def test_repeated_query_hits_cache(self, engine):
+        sql = "SELECT a, SUM(m) FROM t GROUP BY a ORDER BY a"
+        first = engine.query(sql)
+        assert engine.plan_cache_info["misses"] == 1
+        second = engine.query(sql)
+        assert engine.plan_cache_info["hits"] == 1
+        assert second.rows == first.rows
+
+    def test_distinct_statements_cached_separately(self, engine):
+        engine.query("SELECT COUNT(*) FROM t")
+        engine.query("SELECT SUM(m) FROM t")
+        assert engine.plan_cache_info["size"] == 2
+        assert engine.plan_cache_info["misses"] == 2
+
+    def test_register_table_invalidates(self, engine):
+        sql = "SELECT COUNT(*) FROM t"
+        assert engine.query(sql).scalar() == 3
+        engine.catalog.register_rows("t", ["a", "m"], [("z", 9.0)])
+        # The cached plan holds the old relation; the version bump must
+        # force a replan so the new data is visible.
+        assert engine.query(sql).scalar() == 1
+        assert engine.plan_cache_info["misses"] == 2
+
+    def test_unrelated_registration_also_invalidates(self, engine):
+        sql = "SELECT COUNT(*) FROM t"
+        engine.query(sql)
+        engine.catalog.register_rows("other", ["x"], [(1,)])
+        engine.query(sql)
+        # Coarse-grained (catalog-wide) invalidation: correct, if
+        # conservative — a replan, never a stale result.
+        assert engine.plan_cache_info["hits"] == 0
+
+    def test_drop_invalidates(self, engine):
+        engine.query("SELECT COUNT(*) FROM t")
+        engine.catalog.drop("t")
+        with pytest.raises(SqlAnalysisError):
+            engine.query("SELECT COUNT(*) FROM t")
+
+    def test_lru_eviction(self):
+        eng = SqlEngine(plan_cache_size=2)
+        eng.catalog.register_rows("t", ["a"], [(1,)])
+        eng.query("SELECT a FROM t")
+        eng.query("SELECT a + 1 FROM t")
+        eng.query("SELECT a + 2 FROM t")
+        assert eng.plan_cache_info["size"] == 2
+        eng.query("SELECT a FROM t")  # evicted: misses again
+        assert eng.plan_cache_info["misses"] == 4
+
+    def test_cache_disabled(self):
+        eng = SqlEngine(plan_cache_size=0)
+        eng.catalog.register_rows("t", ["a"], [(1,)])
+        eng.query("SELECT a FROM t")
+        eng.query("SELECT a FROM t")
+        assert eng.plan_cache_info["size"] == 0
+        assert eng.plan_cache_info["misses"] == 2
+
+    def test_clear_plan_cache(self, engine):
+        engine.query("SELECT COUNT(*) FROM t")
+        engine.clear_plan_cache()
+        assert engine.plan_cache_info["size"] == 0
+        engine.query("SELECT COUNT(*) FROM t")
+        assert engine.plan_cache_info["misses"] == 2
+
+
+class TestPreparedStatements:
+    def test_execute_repeatedly(self, engine):
+        statement = engine.prepare("SELECT SUM(m) FROM t")
+        assert statement.execute().scalar() == 6.0
+        assert statement.execute().scalar() == 6.0
+        # Planned once at prepare(); executions replan nothing.
+        assert engine.plan_cache_info["misses"] == 1
+
+    def test_invalid_sql_raises_at_prepare(self, engine):
+        with pytest.raises(SqlAnalysisError):
+            engine.prepare("SELECT nope FROM t")
+
+    def test_replans_after_reregistration(self, engine):
+        statement = engine.prepare("SELECT COUNT(*) FROM t")
+        assert statement.execute().scalar() == 3
+        engine.catalog.register_rows("t", ["a", "m"], [("z", 9.0)])
+        assert statement.execute().scalar() == 1
+
+    def test_execute_prepared_entry_point(self, engine):
+        statement = engine.prepare("SELECT COUNT(*) FROM t")
+        assert engine.execute_prepared(statement).scalar() == 3
+
+    def test_explain_matches_engine_explain(self, engine):
+        sql = "SELECT a FROM t WHERE m > 1"
+        assert engine.prepare(sql).explain() == engine.explain(sql)
+
+    def test_repr_mentions_sql(self, engine):
+        assert "SELECT" in repr(engine.prepare("SELECT COUNT(*) FROM t"))

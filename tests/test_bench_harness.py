@@ -11,6 +11,9 @@ from repro.bench import (
 )
 from repro.common.errors import ConfigError
 
+#: Long-running suite: excluded from the fast loop (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 
 class TestDatasetRegistry:
     @pytest.mark.parametrize("name", ["income", "gdelt", "susy", "tlc"])

@@ -13,6 +13,10 @@ from pathlib import Path
 
 import pytest
 
+#: Long-running suite: excluded from the fast loop (-m 'not slow').
+pytestmark = pytest.mark.slow
+
+
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 #: (script, fragments its output must contain)
