@@ -1,17 +1,27 @@
 """Benchmark harness helpers: dataset registry, runners, table output."""
 
 from repro.bench.harness import (
+    build_service_workload,
     dataset_by_name,
+    latency_summary,
     make_cluster,
     print_table,
+    run_serial_reference,
+    run_service_workload,
     run_variant,
+    service_results_match,
     speedup,
 )
 
 __all__ = [
+    "build_service_workload",
     "dataset_by_name",
+    "latency_summary",
     "make_cluster",
     "print_table",
+    "run_serial_reference",
+    "run_service_workload",
     "run_variant",
+    "service_results_match",
     "speedup",
 ]

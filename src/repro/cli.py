@@ -7,12 +7,18 @@ Usage::
     python -m repro.cli clean data.csv --measure is_dirty --k 5
     python -m repro.cli sql data.csv --measure delay \
         --query "SELECT day, AVG(delay) FROM data GROUP BY day"
+    python -m repro.cli serve data.csv --measure delay \
+        --clients 8 --requests 32
 
 The mining subcommands read a CSV with a header row, treat every
 non-measure column as a dimension attribute (unless ``--dimensions``
 narrows them), and print the mined rule set as a markdown table plus
 quality metrics.  The ``sql`` subcommand registers the CSV as a table
 named ``data`` and runs one query against the bundled SQL engine.
+The ``serve`` subcommand stands up the concurrent mining service and
+drives a scripted mixed mining + SQL workload from N client threads,
+printing throughput, latency percentiles and cache/coalescing
+statistics.
 """
 
 import argparse
@@ -77,6 +83,35 @@ def build_parser():
                      help="rows to print (default 50)")
     sql.add_argument("--explain", action="store_true",
                      help="print the optimized plan instead of executing")
+    serve = subparsers.add_parser(
+        "serve",
+        help="run a scripted concurrent workload through the mining service",
+    )
+    serve.add_argument("csv", help="input CSV file with a header row")
+    serve.add_argument("--measure", required=True,
+                       help="name of the numeric measure column")
+    serve.add_argument(
+        "--dimensions",
+        help="comma-separated dimension columns (default: all others)",
+    )
+    serve.add_argument("--clients", type=int, default=8,
+                       help="concurrent client threads (default 8)")
+    serve.add_argument("--requests", type=int, default=32,
+                       help="total requests in the scripted workload")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="service worker threads (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded admission queue depth (default 64)")
+    serve.add_argument("--k", type=int, default=3,
+                       help="rules per mining request (default 3)")
+    serve.add_argument("--sample-size", type=int, default=16,
+                       help="candidate-pruning sample size |s|")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--compare-serial", action="store_true",
+        help="also run the workload serially and uncached, and print "
+             "the throughput ratio",
+    )
     return parser
 
 
@@ -95,12 +130,78 @@ def _print_result(table, result, out):
     out.write("simulated_cluster_seconds: %.3f\n" % result.simulated_seconds)
 
 
+def _run_serve(args, table, out):
+    from repro.bench.harness import (
+        build_service_workload,
+        latency_summary,
+        run_serial_reference,
+        run_service_workload,
+        service_results_match,
+    )
+    from repro.service import RuleMiningService, ServiceConfig
+
+    requests = build_service_workload(
+        "data", list(table.schema.dimensions), table.schema.measure,
+        num_requests=args.requests, k=args.k,
+        sample_size=args.sample_size, seed=args.seed,
+    )
+    service = RuleMiningService(ServiceConfig(
+        num_workers=args.workers, max_queue_depth=args.queue_depth,
+    ))
+    try:
+        service.register_dataset("data", table)
+        run = run_service_workload(
+            service, "data", requests, num_clients=args.clients
+        )
+        stats = service.stats()
+    finally:
+        service.close()
+    summary = latency_summary(run["latencies"])
+    out.write(
+        "served %d requests from %d clients in %.3fs (%.1f req/s)\n" % (
+            len(requests), args.clients, run["wall_seconds"],
+            run["throughput_rps"],
+        )
+    )
+    out.write(
+        "latency: mean=%.4fs p50=%.4fs p95=%.4fs max=%.4fs\n" % (
+            summary["mean"], summary["p50"], summary["p95"], summary["max"],
+        )
+    )
+    out.write(
+        "cache: %d hits / %d misses; coalesced: %d; rejected: %d\n" % (
+            stats["cache"]["hits"], stats["cache"]["misses"],
+            stats["coalesce_hits"], stats["queue"]["rejections"],
+        )
+    )
+    out.write(
+        "jobs: %d submitted, %d executed, %d failed\n" % (
+            stats["jobs"]["submitted"], stats["jobs"]["completed"],
+            stats["jobs"]["failed"],
+        )
+    )
+    if args.compare_serial:
+        serial = run_serial_reference(table, "data", requests)
+        match = service_results_match(run["results"], serial["results"])
+        out.write(
+            "serial uncached: %.3fs (%.1f req/s); speedup %.2fx; "
+            "results identical: %s\n" % (
+                serial["wall_seconds"], serial["throughput_rps"],
+                serial["wall_seconds"] / run["wall_seconds"]
+                if run["wall_seconds"] > 0 else float("inf"),
+                match,
+            )
+        )
+
+
 def main(argv=None, out=None):
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
     try:
         table = _load(args)
-        if args.command == "sql":
+        if args.command == "serve":
+            _run_serve(args, table, out)
+        elif args.command == "sql":
             engine = SqlEngine()
             engine.register_table("data", table)
             if args.explain:

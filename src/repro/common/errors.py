@@ -23,3 +23,19 @@ class EngineError(ReproError):
 
 class ConvergenceError(ReproError):
     """Iterative scaling failed to converge within its iteration budget."""
+
+
+class ServiceError(ReproError):
+    """The concurrent mining service was used incorrectly or failed."""
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded admission queue rejected a new job."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A job missed its deadline before it could start executing."""
+
+
+class ServiceClosedError(ServiceError):
+    """A job was submitted to a service that has been shut down."""

@@ -101,7 +101,7 @@ class Sirum:
     # ------------------------------------------------------------------
 
     def mine(self, table, cluster=None, prior_rules=None,
-             sample_rows=None):
+             sample_rows=None, dataset_state=None):
         """Mine informative rules from ``table``.
 
         Parameters
@@ -120,6 +120,12 @@ class Sirum:
             Encoded dimension tuples to use as the candidate-pruning
             sample s instead of drawing one from the table (streaming
             SIRUM supplies its reservoir here).
+        dataset_state:
+            Optional object with ``table``, ``codec`` and ``transform``
+            attributes (e.g. the mining service's dataset handle).
+            When its table *is* the mined table, the precomputed codec
+            and measure transform are reused instead of being refit —
+            two O(n) passes saved per repeated job on a dataset.
         """
         wall = Stopwatch().start()
         cfg = self.config
@@ -130,7 +136,14 @@ class Sirum:
         if cfg.sample_data_fraction is not None and cfg.sample_data_fraction < 1.0:
             mined_table = table.sample_fraction(cfg.sample_data_fraction, rng)
 
-        session = MiningSession(cluster, mined_table, cfg.num_partitions)
+        codec = transform = None
+        if dataset_state is not None and dataset_state.table is mined_table:
+            codec = dataset_state.codec
+            transform = dataset_state.transform
+        session = MiningSession(
+            cluster, mined_table, cfg.num_partitions,
+            codec=codec, transform=transform,
+        )
         self._load(session)
 
         arity = mined_table.schema.arity

@@ -32,9 +32,16 @@ class DataPartition:
 
 
 class MiningSession:
-    """Partitioned dataset + mining state bound to a cluster."""
+    """Partitioned dataset + mining state bound to a cluster.
 
-    def __init__(self, cluster, table, num_partitions=None):
+    ``codec`` and ``transform`` may be supplied precomputed — both are
+    pure functions of the table, so a caller that mines the same
+    dataset repeatedly (the concurrent mining service) computes them
+    once per dataset version and skips two O(n) passes per job.
+    """
+
+    def __init__(self, cluster, table, num_partitions=None, codec=None,
+                 transform=None):
         if len(table) == 0:
             raise EngineError("cannot mine an empty table")
         self.cluster = cluster
@@ -64,8 +71,11 @@ class MiningSession:
             )
         #: Packed-row codec for the table's dimension domains; the
         #: candidate pipeline runs on packed int64 keys when it fits.
-        self.codec = RowCodec.from_table(table)
-        self.transform = MeasureTransform.fit(table.measure)
+        self.codec = codec if codec is not None else RowCodec.from_table(table)
+        self.transform = (
+            transform if transform is not None
+            else MeasureTransform.fit(table.measure)
+        )
         #: Transformed measure (max-ent preconditioned).
         self.measure = self.transform.transformed
         #: Current per-tuple estimates in transformed space.

@@ -33,19 +33,26 @@ def make_platform_cluster(name, num_executors=16, **kwargs):
 
 
 def make_sql_engine(platform, num_executors=16, vectorized=True,
-                    **cluster_kwargs):
+                    catalog=None, **cluster_kwargs):
     """A :class:`~repro.sql.engine.SqlEngine` metered as platform ``name``.
 
     Returns ``(engine, cluster)``: every SQL operator the engine runs
     charges the platform's cost regime per batch, so ad-hoc SQL
     workloads are directly comparable with the §5.2 SIRUM runs.
+
+    Pass ``catalog`` to meter queries over relations registered
+    elsewhere (e.g. a mining service's shared catalog) without
+    re-registering them — the engine is cheap, the catalog is not.
     """
     from repro.sql.engine import SqlEngine
 
     cluster = make_platform_cluster(
         platform, num_executors=num_executors, **cluster_kwargs
     )
-    return SqlEngine(cluster=cluster, vectorized=vectorized), cluster
+    engine = SqlEngine(
+        catalog=catalog, cluster=cluster, vectorized=vectorized
+    )
+    return engine, cluster
 
 
 def run_baseline_sirum(platform, table, k=10, sample_size=16,

@@ -1,0 +1,52 @@
+"""Request fingerprints: canonical keys for coalescing and caching.
+
+Two requests coalesce (and share cache entries) exactly when their
+fingerprints match, so fingerprints must be *canonical* — insensitive
+to spelling differences that cannot change the answer — and *total* —
+every semantically distinct request maps to a distinct key.
+
+Mining requests canonicalize through the resolved
+:class:`~repro.core.config.SirumConfig`: variant presets and explicit
+overrides that land on the same configuration (e.g. ``variant="rct"``
+vs ``variant="baseline", use_rct=True``) fingerprint identically.
+
+SQL requests canonicalize through parse → render: whitespace, keyword
+case and redundant parentheses disappear, while identifier spelling is
+preserved (the engine itself is case-insensitive on names, but keeping
+the analyst's spelling makes fingerprints debuggable).  Text the parser
+rejects falls back to whitespace-normalized form — such requests still
+coalesce with byte-identical duplicates, and all of them fail with the
+same syntax error.
+"""
+
+from repro.core.config import variant_config
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse
+from repro.sql.render import render
+
+
+def mining_fingerprint(variant="optimized", engine="operators",
+                       platform=None, **config_overrides):
+    """Canonical hashable key for one mining request.
+
+    ``engine`` selects the execution architecture (``"operators"`` for
+    the Spark-style miner, ``"sql"`` for the §2.6.1 SQL-driven miner);
+    ``platform`` optionally names a metered platform sim.  All
+    remaining keyword arguments are :class:`SirumConfig` overrides.
+    """
+    config = variant_config(variant, **config_overrides)
+    if engine == "sql":
+        # The SQL-architecture miner only consumes k and epsilon, so
+        # variant flags must not split otherwise-identical requests.
+        fields = (("epsilon", config.epsilon), ("k", config.k))
+    else:
+        fields = tuple(sorted(config.__dict__.items()))
+    return (("engine", engine), ("platform", platform)) + fields
+
+
+def sql_fingerprint(sql_text):
+    """Canonical form of ``sql_text`` (see module docstring)."""
+    try:
+        return render(parse(sql_text))
+    except SqlError:
+        return " ".join(sql_text.split())

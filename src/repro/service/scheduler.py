@@ -1,0 +1,175 @@
+"""Job scheduler: a worker pool behind a bounded priority queue.
+
+Admission is bounded — when ``max_queue_depth`` jobs are already
+waiting, :meth:`JobScheduler.submit` raises
+:class:`~repro.common.errors.QueueFullError` instead of buffering
+without limit (back-pressure, not collapse).  Queued jobs are ordered
+by ``(priority, submission)``: smaller priority numbers run first, FIFO
+within a priority level.
+
+Deadlines are *start* deadlines.  A job that is still queued when its
+deadline passes is failed with
+:class:`~repro.common.errors.DeadlineExceededError`; a job that has
+started is never interrupted (Python threads cannot be safely killed,
+and the underlying engines are not cancellable mid-pass).
+
+``close()`` drains: already-admitted jobs still run, new submissions
+raise :class:`~repro.common.errors.ServiceClosedError`.
+"""
+
+import heapq
+import itertools
+import threading
+import time
+
+from repro.common.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+)
+
+
+class JobScheduler:
+    """Runs :class:`~repro.service.jobs.Job` objects on worker threads."""
+
+    def __init__(self, num_workers=4, max_queue_depth=64,
+                 name="mining-service"):
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        self.num_workers = num_workers
+        self.max_queue_depth = max_queue_depth
+        self._heap = []  # (priority, seq, job)
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.jobs_started = 0
+        self.jobs_finished = 0
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name="%s-worker-%d" % (name, i),
+                daemon=True,
+            )
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, job):
+        """Admit ``job``; raises typed errors on overflow/shutdown."""
+        expired = []
+        try:
+            with self._not_empty:
+                if self._closed:
+                    raise ServiceClosedError(
+                        "scheduler is closed; job %r rejected" % job.label
+                    )
+                if len(self._heap) >= self.max_queue_depth:
+                    # Dead weight must not cause rejections: sweep
+                    # queued jobs that already missed their deadline
+                    # (or were completed by a waiting caller) before
+                    # declaring the queue full.
+                    expired = self._prune_dead_locked()
+                if len(self._heap) >= self.max_queue_depth:
+                    raise QueueFullError(
+                        "admission queue is full (%d queued, max %d); "
+                        "job %r rejected"
+                        % (len(self._heap), self.max_queue_depth, job.label)
+                    )
+                heapq.heappush(
+                    self._heap, (job.priority, next(self._seq), job)
+                )
+                self._not_empty.notify()
+        finally:
+            # Fail expired jobs outside the queue lock: their on_done
+            # callbacks may take other locks.
+            for dead in expired:
+                dead.fail(DeadlineExceededError(
+                    "job %r waited %.3fs in queue, past its deadline"
+                    % (dead.label, dead.queue_wait_seconds)
+                ))
+        return job
+
+    def _prune_dead_locked(self):
+        """Remove expired/already-done queued jobs; returns the expired."""
+        now = time.monotonic()
+        keep, expired = [], []
+        for entry in self._heap:
+            job = entry[2]
+            if job.done():
+                continue  # completed by a waiter; drop silently
+            if job.deadline is not None and now > job.deadline:
+                expired.append(job)
+            else:
+                keep.append(entry)
+        if len(keep) != len(self._heap):
+            self._heap = keep
+            heapq.heapify(self._heap)
+        return expired
+
+    @property
+    def queue_depth(self):
+        """Jobs admitted but not yet started."""
+        with self._lock:
+            return len(self._heap)
+
+    # -- workers -------------------------------------------------------
+
+    def _worker_loop(self):
+        while True:
+            with self._not_empty:
+                while not self._heap and not self._closed:
+                    self._not_empty.wait()
+                if not self._heap:
+                    return  # closed and drained
+                _, _, job = heapq.heappop(self._heap)
+                self.jobs_started += 1
+            if job.done():
+                # Completed while queued (a waiter enforced the
+                # deadline); nothing left to run.
+                with self._lock:
+                    self.jobs_finished += 1
+                continue
+            if job.deadline is not None and time.monotonic() > job.deadline:
+                job.fail(DeadlineExceededError(
+                    "job %r waited %.3fs in queue, past its deadline"
+                    % (job.label, job.queue_wait_seconds)
+                ))
+                with self._lock:
+                    self.jobs_finished += 1
+                continue
+            job.started_at = time.monotonic()
+            try:
+                job.finish(job.fn())
+            except BaseException as exc:  # surfaces via JobHandle.result()
+                job.fail(exc)
+            with self._lock:
+                self.jobs_finished += 1
+
+    # -- shutdown ------------------------------------------------------
+
+    def close(self, wait=True):
+        """Stop admissions; optionally wait for queued jobs to drain."""
+        with self._not_empty:
+            if self._closed:
+                return
+            self._closed = True
+            self._not_empty.notify_all()
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -1,0 +1,374 @@
+"""`RuleMiningService`: concurrent serving façade over the SIRUM engines.
+
+The paper frames informative rule mining as an *interactive* workload —
+analysts re-issue overlapping mining and SQL requests against the same
+datasets — so the service optimizes for exactly that shape:
+
+1. **Admission** — a bounded priority queue in front of a worker pool
+   (:mod:`repro.service.scheduler`); overflow rejects with
+   :class:`~repro.common.errors.QueueFullError` rather than buffering
+   unboundedly.
+2. **Coalescing** — identical in-flight requests (same dataset version
+   and canonical fingerprint, :mod:`repro.service.fingerprint`) share
+   one execution; duplicates get extra handles onto the same job.
+3. **Versioned result cache** — completed results live in a TTL + LRU
+   cache (:mod:`repro.service.cache`) keyed by the catalog/dataset
+   version counter, so re-registering a dataset structurally
+   invalidates every cached result computed from its old contents.
+
+Requests resolve to the existing engines: mining runs the operator
+miner (:class:`~repro.core.miner.Sirum`) or the SQL-driven miner
+(:class:`~repro.platforms.sql_sirum.SqlSirum`), optionally metered as a
+named platform sim; SQL queries run on one shared thread-safe
+:class:`~repro.sql.engine.SqlEngine`.  Per-job queue-wait and run-time
+aggregate into a :class:`~repro.engine.metrics.MetricsRegistry`
+(phases ``"queue_wait"`` / ``"execute"`` plus counters), surfaced by
+:meth:`RuleMiningService.stats`.
+"""
+
+import threading
+
+from repro.common.errors import ServiceClosedError, ServiceError
+from repro.core.codec import RowCodec
+from repro.core.config import variant_config
+from repro.core.measure import MeasureTransform
+from repro.core.miner import Sirum, make_default_cluster
+from repro.engine.metrics import MetricsRegistry
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import mining_fingerprint, sql_fingerprint
+from repro.service.jobs import PRIORITY_NORMAL, Job, JobHandle
+from repro.service.scheduler import JobScheduler
+from repro.sql.engine import SqlEngine
+
+#: Mining execution architectures the service can route to.
+MINING_ENGINES = ("operators", "sql")
+
+
+class ServiceConfig:
+    """Tunables for :class:`RuleMiningService`."""
+
+    def __init__(self, num_workers=4, max_queue_depth=64,
+                 cache_capacity=256, cache_ttl_seconds=None,
+                 default_priority=PRIORITY_NORMAL,
+                 default_deadline_seconds=None):
+        if num_workers < 1:
+            raise ServiceError("num_workers must be at least 1")
+        if max_queue_depth < 1:
+            raise ServiceError("max_queue_depth must be at least 1")
+        self.num_workers = num_workers
+        self.max_queue_depth = max_queue_depth
+        self.cache_capacity = cache_capacity
+        self.cache_ttl_seconds = cache_ttl_seconds
+        self.default_priority = default_priority
+        self.default_deadline_seconds = default_deadline_seconds
+
+
+class DatasetHandle:
+    """One registered dataset version: table plus reusable derived state.
+
+    ``version`` is the catalog version at registration — re-registering
+    a name produces a *new* handle with a higher version, which is what
+    keys (and therefore invalidates) cached results.  The row codec and
+    measure transform are pure functions of the table, computed lazily
+    once and shared by every mining job on this version (see
+    ``Sirum.mine(dataset_state=...)``).
+    """
+
+    def __init__(self, name, table, version):
+        self.name = name
+        self.table = table
+        self.version = version
+        self._codec = None
+        self._transform = None
+        self._lock = threading.Lock()
+
+    @property
+    def codec(self):
+        with self._lock:
+            if self._codec is None:
+                self._codec = RowCodec.from_table(self.table)
+            return self._codec
+
+    @property
+    def transform(self):
+        with self._lock:
+            if self._transform is None:
+                self._transform = MeasureTransform.fit(self.table.measure)
+            return self._transform
+
+    def __repr__(self):
+        return "DatasetHandle(%r, version=%d, rows=%d)" % (
+            self.name, self.version, len(self.table)
+        )
+
+
+class RuleMiningService:
+    """Multiplexes concurrent mining and SQL requests over one engine set.
+
+    Parameters
+    ----------
+    config:
+        A :class:`ServiceConfig`; defaults are sized for tests/examples.
+    make_cluster:
+        Zero-argument factory for the simulated cluster each operator
+        mining job runs on (fresh per job so metrics don't interleave).
+    """
+
+    def __init__(self, config=None, make_cluster=None):
+        self.config = config or ServiceConfig()
+        self.engine = SqlEngine()
+        self.catalog = self.engine.catalog
+        self._make_cluster = make_cluster or make_default_cluster
+        self._scheduler = JobScheduler(
+            num_workers=self.config.num_workers,
+            max_queue_depth=self.config.max_queue_depth,
+        )
+        self._cache = ResultCache(
+            capacity=self.config.cache_capacity,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self._datasets = {}
+        self._inflight = {}  # key -> Job
+        self._lock = threading.Lock()
+        self._metrics = MetricsRegistry()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+
+    def register_dataset(self, name, table, row_id_column=None):
+        """Register (or replace) dataset ``name``; returns its handle.
+
+        Replacement bumps the catalog version: in-flight jobs against
+        the old version finish against the old table object (their
+        results are *not* cached into the new version), and every
+        cached result for the old version is evicted.
+        """
+        with self._lock:
+            # Same-name registrations serialize here, so the versioned
+            # lookup below pairs *our* relation with a version that is
+            # current for it (different-name registrations may inflate
+            # the number, which keys just as uniquely).
+            self.engine.register_table(
+                name, table, row_id_column=row_id_column
+            )
+            _, version = self.catalog.lookup_with_version(name)
+            handle = DatasetHandle(name, table, version)
+            replacing = name in self._datasets
+            self._datasets[name] = handle
+            self._metrics.increment("datasets_registered")
+        if replacing:
+            self._cache.invalidate_dataset(name)
+        return handle
+
+    def dataset(self, name):
+        """The current :class:`DatasetHandle` for ``name``."""
+        with self._lock:
+            try:
+                return self._datasets[name]
+            except KeyError:
+                raise ServiceError(
+                    "unknown dataset %r; register_dataset() it first" % name
+                ) from None
+
+    def datasets(self):
+        """Registered dataset names with their current versions."""
+        with self._lock:
+            return {
+                name: handle.version
+                for name, handle in sorted(self._datasets.items())
+            }
+
+    # ------------------------------------------------------------------
+    # Asynchronous API
+    # ------------------------------------------------------------------
+
+    def submit_mine(self, dataset, k=10, variant="optimized",
+                    priority=None, deadline_seconds=None,
+                    engine="operators", platform=None, **config_overrides):
+        """Enqueue a mining request; returns a :class:`JobHandle`.
+
+        ``engine="operators"`` runs :class:`Sirum` on a fresh simulated
+        cluster; ``engine="sql"`` runs the §2.6.1 SQL-architecture
+        miner.  ``platform`` names a platform sim (``"postgres"``,
+        ``"hive"``, ...) to meter the job's cluster as.  Remaining
+        keyword arguments override :class:`SirumConfig` fields.
+        """
+        if engine not in MINING_ENGINES:
+            raise ServiceError(
+                "unknown mining engine %r; choose from %s"
+                % (engine, ", ".join(MINING_ENGINES))
+            )
+        handle = self.dataset(dataset)
+        fingerprint = mining_fingerprint(
+            variant=variant, engine=engine, platform=platform,
+            k=k, **config_overrides
+        )
+        key = ("mine", dataset, handle.version, fingerprint)
+
+        def runner():
+            cluster = self._job_cluster(platform, metered=engine == "operators")
+            if engine == "sql":
+                from repro.platforms.sql_sirum import SqlSirum
+
+                config = variant_config(variant, k=k, **config_overrides)
+                return SqlSirum(
+                    k=config.k, epsilon=config.epsilon, cluster=cluster
+                ).mine(handle.table)
+            config = variant_config(variant, k=k, **config_overrides)
+            return Sirum(config).mine(
+                handle.table, cluster=cluster, dataset_state=handle
+            )
+
+        def version_current():
+            # Called with the service lock held (from on_done).
+            return self._datasets.get(dataset) is handle
+
+        return self._submit(
+            key, runner, "mine:%s" % dataset, priority, deadline_seconds,
+            version_current,
+        )
+
+    def submit_query(self, sql_text, priority=None, deadline_seconds=None):
+        """Enqueue a SQL request against the shared engine/catalog.
+
+        Cached results key on the *catalog-wide* version (a query may
+        read any number of tables), so any registration invalidates
+        them — the same conservative rule as the engine's plan cache.
+        """
+        version = self.catalog.version
+        key = ("sql", version, sql_fingerprint(sql_text))
+
+        def runner():
+            return self.engine.query(sql_text)
+
+        def version_current():
+            return self.catalog.version == version
+
+        return self._submit(
+            key, runner, "sql", priority, deadline_seconds, version_current,
+        )
+
+    # ------------------------------------------------------------------
+    # Synchronous wrappers
+    # ------------------------------------------------------------------
+
+    def mine(self, dataset, timeout=None, **kwargs):
+        """Submit a mining request and wait for its result."""
+        return self.submit_mine(dataset, **kwargs).result(timeout)
+
+    def query(self, sql_text, timeout=None, **kwargs):
+        """Submit a SQL request and wait for its :class:`ResultSet`."""
+        return self.submit_query(sql_text, **kwargs).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Shared submission path
+    # ------------------------------------------------------------------
+
+    def _job_cluster(self, platform, metered=True):
+        if platform is not None:
+            from repro.platforms.base import make_platform_cluster
+
+            return make_platform_cluster(platform)
+        return self._make_cluster() if metered else None
+
+    def _submit(self, key, runner, label, priority, deadline_seconds,
+                version_current):
+        if priority is None:
+            priority = self.config.default_priority
+        if deadline_seconds is None:
+            deadline_seconds = self.config.default_deadline_seconds
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            self._metrics.increment("jobs_submitted")
+            hit, value = self._cache.get(key)
+            if hit:
+                self._metrics.increment("cache_hits")
+                return JobHandle.completed(value, cache_hit=True)
+            self._metrics.increment("cache_misses")
+            leader = self._inflight.get(key)
+            if leader is not None:
+                self._metrics.increment("coalesce_hits")
+                return JobHandle(leader, coalesced=True)
+
+            def on_done(job, key=key):
+                with self._lock:
+                    # Publish to the cache *before* retiring the
+                    # in-flight entry, inside one locked section:
+                    # a duplicate submission therefore always sees
+                    # either the in-flight leader or the cached result,
+                    # never a gap in which it would re-execute.
+                    if job.exception is None and version_current():
+                        self._cache.put(key, job.result)
+                    self._inflight.pop(key, None)
+                    self._charge_phase("queue_wait", job.queue_wait_seconds)
+                    self._charge_phase("execute", job.run_seconds)
+                    if job.exception is None:
+                        self._metrics.increment("jobs_completed")
+                    else:
+                        self._metrics.increment("jobs_failed")
+
+            job = Job(
+                runner, label=label, priority=priority,
+                deadline_seconds=deadline_seconds, on_done=on_done,
+            )
+            self._inflight[key] = job
+        try:
+            self._scheduler.submit(job)
+        except ServiceError:
+            with self._lock:
+                self._inflight.pop(key, None)
+                self._metrics.increment("queue_rejections")
+            raise
+        return JobHandle(job)
+
+    def _charge_phase(self, phase, seconds):
+        # MetricsRegistry's phase stack is not thread-safe; callers
+        # hold the service lock, making push/charge/pop atomic here.
+        self._metrics.push_phase(phase)
+        self._metrics.charge(seconds)
+        self._metrics.pop_phase()
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        """One dict with job, queue, cache and timing statistics."""
+        with self._lock:
+            counters = dict(self._metrics.counters)
+            phases = dict(self._metrics.phase_seconds)
+            inflight = len(self._inflight)
+        return {
+            "jobs": {
+                "submitted": counters.get("jobs_submitted", 0),
+                "completed": counters.get("jobs_completed", 0),
+                "failed": counters.get("jobs_failed", 0),
+                "inflight": inflight,
+            },
+            "queue": {
+                "depth": self._scheduler.queue_depth,
+                "max_depth": self.config.max_queue_depth,
+                "workers": self.config.num_workers,
+                "rejections": counters.get("queue_rejections", 0),
+            },
+            "cache": self._cache.info,
+            "coalesce_hits": counters.get("coalesce_hits", 0),
+            "phase_seconds": phases,
+            "plan_cache": self.engine.plan_cache_info,
+            "datasets": self.datasets(),
+        }
+
+    def close(self, wait=True):
+        """Stop admissions and (by default) drain queued jobs."""
+        with self._lock:
+            self._closed = True
+        self._scheduler.close(wait=wait)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -17,7 +17,16 @@ The catalog carries a monotonically increasing :attr:`Catalog.version`,
 bumped by every ``register_*`` / ``drop``: bound plans reference
 relations directly, so the engine's plan cache uses the version to
 invalidate stale plans.
+
+The catalog is safe to share across threads: registration, drops and
+the versioned lookups hold an internal lock, and
+:meth:`Catalog.lookup_with_version` returns a relation *together with*
+the version it was read under, so a ``register_table`` racing an
+in-flight query can never pair a new relation with a stale version
+number (or vice versa) in a caller's versioned result cache.
 """
+
+import threading
 
 import numpy as np
 
@@ -117,13 +126,18 @@ class Catalog:
         #: Bumped on every registration/drop; consumed by the engine's
         #: plan cache to invalidate plans bound to stale relations.
         self.version = 0
+        # Serializes mutation and versioned reads.  A plain attribute
+        # read of ``version`` stays lock-free (it is a monotonic int);
+        # use lookup_with_version() when the pairing matters.
+        self._lock = threading.Lock()
 
     def register(self, name, relation):
         """Register (or replace) relation ``name``."""
         if not name or not isinstance(name, str):
             raise SqlAnalysisError("table name must be a non-empty string")
-        self._relations[name.lower()] = relation
-        self.version += 1
+        with self._lock:
+            self._relations[name.lower()] = relation
+            self.version += 1
 
     def register_rows(self, name, columns, rows):
         """Convenience: build a :class:`Relation` from columns + rows."""
@@ -163,14 +177,26 @@ class Catalog:
 
     def drop(self, name):
         """Remove relation ``name``; missing names are ignored."""
-        if self._relations.pop(name.lower(), None) is not None:
-            self.version += 1
+        with self._lock:
+            if self._relations.pop(name.lower(), None) is not None:
+                self.version += 1
 
     def lookup(self, name):
         try:
             return self._relations[name.lower()]
         except KeyError:
             raise SqlAnalysisError("unknown table %r" % name) from None
+
+    def lookup_with_version(self, name):
+        """Atomically return ``(relation, version)`` for table ``name``.
+
+        A concurrent ``register``/``drop`` either happens entirely
+        before this read (new relation, new version) or entirely after
+        it (old relation, old version) — never a mix, which is what a
+        versioned result cache needs to stay coherent.
+        """
+        with self._lock:
+            return self.lookup(name), self.version
 
     def names(self):
         return sorted(self._relations)

@@ -23,7 +23,16 @@ references to the relations they scan.  For explicit reuse:
 Pass a :class:`~repro.engine.cluster.ClusterContext` to meter execution
 through a platform cost regime (how the §5.2 PostgreSQL/Hive
 comparisons are reproduced); each operator charges its cost per batch.
+
+One engine may be shared across threads (the concurrent mining service
+does): the plan cache, its statistics and prepared-statement rebinding
+are guarded by an internal lock, so planning is serialized while
+execution itself runs fully in parallel.  Metered engines (``cluster``
+set) still assume one caller at a time — the cluster's phase stack is
+not thread-safe.
 """
+
+import threading
 
 from collections import OrderedDict
 
@@ -93,6 +102,9 @@ class SqlEngine:
         self._plan_cache_size = plan_cache_size
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        # Guards the plan cache, its statistics and prepared-statement
+        # rebinding so one engine can serve many worker threads.
+        self._lock = threading.RLock()
 
     def register_table(self, name, table, row_id_column=None):
         """Register a SIRUM columnar table under ``name``."""
@@ -111,35 +123,45 @@ class SqlEngine:
         return logical
 
     def _cached_plan(self, sql_text):
-        """The optimized plan for ``sql_text``, via the LRU plan cache."""
-        version = self.catalog.version
-        entry = self._plan_cache.get(sql_text)
-        if entry is not None and entry[0] == version:
-            self._plan_cache.move_to_end(sql_text)
-            self.plan_cache_hits += 1
-            return entry[1]
-        self.plan_cache_misses += 1
-        logical = self.plan(sql_text)
-        if self._plan_cache_size > 0:
-            self._plan_cache[sql_text] = (version, logical)
-            self._plan_cache.move_to_end(sql_text)
-            while len(self._plan_cache) > self._plan_cache_size:
-                self._plan_cache.popitem(last=False)
-        return logical
+        """The optimized plan for ``sql_text``, via the LRU plan cache.
+
+        Holds the engine lock for the whole lookup-or-plan step: the
+        catalog version is read under the lock, so a concurrent
+        ``register_table`` cannot interleave between the version read
+        and the cache insert and leave a fresh plan filed under a stale
+        version (or the reverse).
+        """
+        with self._lock:
+            version = self.catalog.version
+            entry = self._plan_cache.get(sql_text)
+            if entry is not None and entry[0] == version:
+                self._plan_cache.move_to_end(sql_text)
+                self.plan_cache_hits += 1
+                return entry[1]
+            self.plan_cache_misses += 1
+            logical = self.plan(sql_text)
+            if self._plan_cache_size > 0:
+                self._plan_cache[sql_text] = (version, logical)
+                self._plan_cache.move_to_end(sql_text)
+                while len(self._plan_cache) > self._plan_cache_size:
+                    self._plan_cache.popitem(last=False)
+            return logical
 
     def clear_plan_cache(self):
         """Drop every cached plan (statistics are kept)."""
-        self._plan_cache.clear()
+        with self._lock:
+            self._plan_cache.clear()
 
     @property
     def plan_cache_info(self):
         """Cache statistics: hits, misses, current size, capacity."""
-        return {
-            "hits": self.plan_cache_hits,
-            "misses": self.plan_cache_misses,
-            "size": len(self._plan_cache),
-            "max_size": self._plan_cache_size,
-        }
+        with self._lock:
+            return {
+                "hits": self.plan_cache_hits,
+                "misses": self.plan_cache_misses,
+                "size": len(self._plan_cache),
+                "max_size": self._plan_cache_size,
+            }
 
     def explain(self, sql_text):
         """EXPLAIN-style text for the optimized plan of ``sql_text``."""
@@ -168,11 +190,12 @@ class SqlEngine:
         return self._run(self._plan_for(statement))
 
     def _plan_for(self, statement):
-        version = self.catalog.version
-        if statement._plan is None or statement._catalog_version != version:
-            statement._plan = self._cached_plan(statement.sql_text)
-            statement._catalog_version = version
-        return statement._plan
+        with self._lock:
+            version = self.catalog.version
+            if statement._plan is None or statement._catalog_version != version:
+                statement._plan = self._cached_plan(statement.sql_text)
+                statement._catalog_version = version
+            return statement._plan
 
     def _run(self, logical):
         if self._vectorized:

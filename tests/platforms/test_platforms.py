@@ -72,3 +72,26 @@ class TestPlatformComparison:
             runs["sparksql"].simulated_seconds
             > runs["spark"].simulated_seconds
         )
+
+
+class TestSharedCatalogEngine:
+    def test_make_sql_engine_accepts_existing_catalog(self):
+        from repro.platforms import make_sql_engine
+        from repro.sql.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.register_rows("t", ["a", "m"], [("x", 1.0), ("y", 2.0)])
+        engine, cluster = make_sql_engine(
+            "postgres", num_executors=1, catalog=catalog
+        )
+        assert engine.catalog is catalog
+        assert engine.query("SELECT SUM(m) FROM t").scalar() == 3.0
+        # The query was metered through the platform's cost regime.
+        assert cluster.metrics.simulated_seconds > 0
+
+    def test_fresh_catalog_by_default(self):
+        from repro.platforms import make_sql_engine
+
+        engine_a, _ = make_sql_engine("postgres", num_executors=1)
+        engine_b, _ = make_sql_engine("postgres", num_executors=1)
+        assert engine_a.catalog is not engine_b.catalog

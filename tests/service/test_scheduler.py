@@ -1,0 +1,232 @@
+"""Tests for the job scheduler: priorities, bounds, deadlines, drain."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.service import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    Job,
+    JobHandle,
+    JobScheduler,
+)
+
+
+class Blocker:
+    """Occupies a worker until released, deterministically."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.running = threading.Event()
+
+    def __call__(self):
+        self.running.set()
+        self.release.wait(30.0)
+        return "unblocked"
+
+
+def submit(scheduler, fn, **kwargs):
+    job = Job(fn, **kwargs)
+    scheduler.submit(job)
+    return JobHandle(job)
+
+
+class TestExecution:
+    def test_runs_a_job_and_returns_its_result(self, deadline):
+        with JobScheduler(num_workers=2) as scheduler:
+            handle = submit(scheduler, lambda: 21 * 2)
+            assert handle.result(deadline.remaining()) == 42
+
+    def test_exceptions_reraise_in_caller(self, deadline):
+        def boom():
+            raise ValueError("exploded")
+
+        with JobScheduler(num_workers=1) as scheduler:
+            handle = submit(scheduler, boom)
+            with pytest.raises(ValueError, match="exploded"):
+                handle.result(deadline.remaining())
+
+    def test_priority_orders_queued_jobs(self, deadline):
+        blocker = Blocker()
+        order = []
+        with JobScheduler(num_workers=1, max_queue_depth=8) as scheduler:
+            submit(scheduler, blocker)
+            assert blocker.running.wait(deadline.remaining())
+            low = submit(
+                scheduler, lambda: order.append("low"),
+                priority=PRIORITY_LOW,
+            )
+            normal = submit(
+                scheduler, lambda: order.append("normal"),
+                priority=PRIORITY_NORMAL,
+            )
+            high = submit(
+                scheduler, lambda: order.append("high"),
+                priority=PRIORITY_HIGH,
+            )
+            blocker.release.set()
+            for handle in (low, normal, high):
+                handle.result(deadline.remaining())
+        assert order == ["high", "normal", "low"]
+
+
+class TestBoundedAdmission:
+    def test_queue_overflow_raises_typed_error(self, deadline):
+        blocker = Blocker()
+        scheduler = JobScheduler(num_workers=1, max_queue_depth=2)
+        try:
+            submit(scheduler, blocker)
+            assert blocker.running.wait(deadline.remaining())
+            submit(scheduler, lambda: None)
+            submit(scheduler, lambda: None)
+            with pytest.raises(QueueFullError) as excinfo:
+                submit(scheduler, lambda: None)
+            # Typed: catchable as the service family or the library base.
+            assert isinstance(excinfo.value, ServiceError)
+            assert isinstance(excinfo.value, ReproError)
+        finally:
+            blocker.release.set()
+            scheduler.close()
+
+    def test_queue_depth_reports_waiting_jobs(self, deadline):
+        blocker = Blocker()
+        scheduler = JobScheduler(num_workers=1, max_queue_depth=8)
+        try:
+            submit(scheduler, blocker)
+            assert blocker.running.wait(deadline.remaining())
+            assert scheduler.queue_depth == 0
+            submit(scheduler, lambda: None)
+            assert scheduler.queue_depth == 1
+        finally:
+            blocker.release.set()
+            scheduler.close()
+
+
+class TestDeadlines:
+    def test_job_past_deadline_fails_instead_of_running(self, deadline):
+        blocker = Blocker()
+        ran = []
+        scheduler = JobScheduler(num_workers=1, max_queue_depth=8)
+        try:
+            submit(scheduler, blocker)
+            assert blocker.running.wait(deadline.remaining())
+            doomed = submit(
+                scheduler, lambda: ran.append(True),
+                deadline_seconds=0.01,
+            )
+            import time
+            time.sleep(0.05)  # let the start deadline lapse while queued
+            blocker.release.set()
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(deadline.remaining())
+            assert ran == []
+        finally:
+            blocker.release.set()
+            scheduler.close()
+
+    def test_started_jobs_are_not_interrupted(self, deadline):
+        # Deadlines gate the *start*; a running job always completes.
+        with JobScheduler(num_workers=1) as scheduler:
+            handle = submit(scheduler, lambda: "done", deadline_seconds=60.0)
+            assert handle.result(deadline.remaining()) == "done"
+
+
+class TestShutdown:
+    def test_close_drains_queued_jobs(self, deadline):
+        results = []
+        scheduler = JobScheduler(num_workers=2, max_queue_depth=16)
+        handles = [
+            submit(scheduler, lambda i=i: results.append(i))
+            for i in range(8)
+        ]
+        scheduler.close(wait=True)
+        for handle in handles:
+            handle.result(deadline.remaining())
+        assert sorted(results) == list(range(8))
+
+    def test_submit_after_close_raises_typed_error(self):
+        scheduler = JobScheduler(num_workers=1)
+        scheduler.close()
+        with pytest.raises(ServiceClosedError):
+            submit(scheduler, lambda: None)
+
+    def test_close_is_idempotent(self):
+        scheduler = JobScheduler(num_workers=1)
+        scheduler.close()
+        scheduler.close()
+
+
+class TestJobMetrics:
+    def test_handle_metrics_report_wait_and_run(self, deadline):
+        with JobScheduler(num_workers=1) as scheduler:
+            handle = submit(scheduler, lambda: None)
+            handle.result(deadline.remaining())
+        metrics = handle.metrics()
+        assert metrics.queue_wait_seconds >= 0.0
+        assert metrics.run_seconds >= 0.0
+        assert metrics.cache_hit is False
+        assert metrics.coalesced is False
+        snapshot = metrics.snapshot()
+        assert snapshot["job_id"] == handle.job_id
+
+
+class TestDeadlineEnforcement:
+    def test_waiter_is_released_at_the_deadline_not_at_pop(self, deadline):
+        """result() must not block until a worker frees up."""
+        import time
+
+        blocker = Blocker()
+        scheduler = JobScheduler(num_workers=1, max_queue_depth=8)
+        try:
+            submit(scheduler, blocker)
+            assert blocker.running.wait(deadline.remaining())
+            doomed = submit(
+                scheduler, lambda: None, deadline_seconds=0.05,
+            )
+            started = time.monotonic()
+            with pytest.raises(DeadlineExceededError):
+                # The worker stays blocked the whole time; only the
+                # waiter-side deadline can release this call.
+                doomed.result(deadline.remaining())
+            assert time.monotonic() - started < 5.0
+        finally:
+            blocker.release.set()
+            scheduler.close()
+
+    def test_expired_queued_jobs_do_not_cause_queue_full(self, deadline):
+        import time
+
+        blocker = Blocker()
+        scheduler = JobScheduler(num_workers=1, max_queue_depth=2)
+        try:
+            submit(scheduler, blocker)
+            assert blocker.running.wait(deadline.remaining())
+            dead_a = submit(scheduler, lambda: None, deadline_seconds=0.01)
+            dead_b = submit(scheduler, lambda: None, deadline_seconds=0.01)
+            time.sleep(0.05)
+            # Queue is nominally full, but both occupants are expired:
+            # admission sweeps them instead of rejecting.
+            alive = submit(scheduler, lambda: "ran")
+            for handle in (dead_a, dead_b):
+                with pytest.raises(DeadlineExceededError):
+                    handle.result(deadline.remaining())
+        finally:
+            blocker.release.set()
+        assert alive.result(deadline.remaining()) == "ran"
+        scheduler.close()
+
+    def test_completion_is_once_only(self):
+        job = Job(lambda: None)
+        assert job.fail(ValueError("first")) is True
+        assert job.finish("late") is False
+        assert isinstance(job.exception, ValueError)
+        assert job.result is None

@@ -85,3 +85,67 @@ class TestTableRegistration:
         relation = catalog.lookup("f")
         assert relation.columns[0] == "flight_id"
         assert [row[0] for row in relation.rows] == list(range(1, 15))
+
+
+class TestVersionedLookup:
+    def test_lookup_with_version_pairs_relation_and_version(self):
+        catalog = Catalog()
+        catalog.register_rows("t", ["a"], [("x",)])
+        relation, version = catalog.lookup_with_version("t")
+        assert relation is catalog.lookup("t")
+        assert version == catalog.version == 1
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SqlAnalysisError):
+            Catalog().lookup_with_version("nope")
+
+    def test_relation_never_pairs_with_stale_version(self):
+        """Hammer register against versioned lookups.
+
+        The pair returned by lookup_with_version must always be
+        consistent: the relation registered at (or after) the returned
+        version — never a new relation with an old version or vice
+        versa.  Relations record their own registration version in a
+        single-column name so readers can check the pairing.
+        """
+        import threading
+
+        catalog = Catalog()
+        catalog.register_rows("t", ["v0"], [])
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            for i in range(1, 300):
+                # The registered version of this relation will be
+                # catalog.version + 1 at the moment register() commits.
+                catalog.register("t", Relation(["v%d" % i], []))
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                relation, version = catalog.lookup_with_version("t")
+                born = int(relation.columns[0][1:])
+                # 'born' is the writer's iteration; the relation was
+                # registered at version born + 1 (one initial
+                # registration precedes the loop).  A consistent pair
+                # must satisfy version >= born + 1, and the version
+                # cannot have advanced past the *next* registration
+                # without the relation changing too -- re-read and
+                # check monotonicity instead of exact equality.
+                if version < born + 1:
+                    errors.append((born, version))
+                    return
+
+        writer_thread = threading.Thread(target=writer, daemon=True)
+        readers = [
+            threading.Thread(target=reader, daemon=True) for _ in range(4)
+        ]
+        for thread in readers:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join(30.0)
+        for thread in readers:
+            thread.join(30.0)
+        assert errors == []
+        assert catalog.version == 300

@@ -108,3 +108,68 @@ class TestPreparedStatements:
 
     def test_repr_mentions_sql(self, engine):
         assert "SELECT" in repr(engine.prepare("SELECT COUNT(*) FROM t"))
+
+
+class TestThreadSafety:
+    def test_shared_engine_serves_concurrent_queries(self):
+        """One engine, many threads: results correct, cache uncorrupted."""
+        import threading
+
+        engine = SqlEngine(plan_cache_size=4)
+        engine.catalog.register_rows(
+            "t", ["a", "m"],
+            [("x", 1.0), ("y", 2.0), ("x", 3.0), ("z", 4.0)],
+        )
+        queries = [
+            ("SELECT SUM(m) FROM t", 10.0),
+            ("SELECT COUNT(*) FROM t", 4),
+            ("SELECT SUM(m) FROM t WHERE a = 'x'", 4.0),
+            ("SELECT MAX(m) FROM t", 4.0),
+            ("SELECT MIN(m) FROM t", 1.0),  # 5 queries > capacity 4
+        ]
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(40):
+                    sql, expected = queries[(offset + i) % len(queries)]
+                    assert engine.query(sql).scalar() == expected
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(j,), daemon=True)
+            for j in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert errors == []
+        info = engine.plan_cache_info
+        assert info["size"] <= 4
+        assert info["hits"] + info["misses"] == 8 * 40
+
+    def test_shared_prepared_statement_across_threads(self):
+        import threading
+
+        engine = SqlEngine()
+        engine.catalog.register_rows("t", ["m"], [(1.0,), (2.0,)])
+        statement = engine.prepare("SELECT SUM(m) FROM t")
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    assert statement.execute().scalar() == 3.0
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, daemon=True) for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert errors == []

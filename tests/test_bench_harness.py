@@ -64,3 +64,62 @@ class TestHelpers:
     def test_print_table_empty_rows(self, capsys):
         print_table("Empty", ["col"], [])
         assert "Empty" in capsys.readouterr().out
+
+
+class TestServiceWorkload:
+    def test_build_workload_alternates_and_repeats(self):
+        from repro.bench import build_service_workload
+
+        requests = build_service_workload(
+            "d", ["A", "B", "C"], "m", num_requests=12,
+            distinct_mine_configs=2, distinct_queries=2,
+        )
+        assert len(requests) == 12
+        kinds = [kind for kind, _ in requests]
+        assert kinds == ["mine", "sql"] * 6
+        # The script repeats itself: far fewer distinct payloads than
+        # requests (that repetition is what the service caches).
+        distinct = {
+            (kind, tuple(sorted(p.items())) if isinstance(p, dict) else p)
+            for kind, p in requests
+        }
+        assert len(distinct) == 4
+
+    def test_latency_summary(self):
+        from repro.bench import latency_summary
+
+        summary = latency_summary([0.3, 0.1, 0.2, 0.4])
+        assert summary["p50"] == 0.3
+        assert summary["max"] == 0.4
+        assert summary["mean"] == pytest.approx(0.25)
+        assert latency_summary([])["p95"] == 0.0
+
+    def test_serial_reference_and_results_match(self):
+        from repro.bench import (
+            build_service_workload,
+            run_serial_reference,
+            service_results_match,
+        )
+        from repro.data.generators import flight_table
+
+        table = flight_table()
+        requests = build_service_workload(
+            "d", list(table.schema.dimensions), table.schema.measure,
+            num_requests=4, k=1, sample_size=8,
+        )
+        first = run_serial_reference(table, "d", requests)
+        second = run_serial_reference(table, "d", requests)
+        assert service_results_match(first["results"], second["results"])
+        assert first["throughput_rps"] > 0
+
+    def test_results_match_rejects_differences(self):
+        from repro.bench import service_results_match
+        from repro.core.miner import mine
+        from repro.data.generators import flight_table
+
+        table = flight_table()
+        a = mine(table, k=1, variant="baseline", sample_size=8, seed=0)
+        b = mine(table, k=2, variant="baseline", sample_size=8, seed=0)
+        assert service_results_match([a], [a])
+        assert not service_results_match([a], [b])
+        assert not service_results_match([a], [a, a])

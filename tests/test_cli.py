@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _print_result, build_parser, main
 from repro.data.csvio import write_csv
 from repro.data.generators import SyntheticSpec, flight_table, generate
 
@@ -32,6 +32,83 @@ def dirty_csv(tmp_path):
     path = tmp_path / "dirty.csv"
     write_csv(table, path)
     return str(path)
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        import argparse
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        assert set(subparsers.choices) == {
+            "mine", "explore", "clean", "sql", "serve"
+        }
+
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(
+            ["mine", "data.csv", "--measure", "delay"]
+        )
+        assert args.command == "mine"
+        assert args.k == 10
+        assert args.variant == "optimized"
+        assert args.sample_size == 64
+        assert args.seed == 0
+        assert args.dimensions is None
+
+    def test_explore_accepts_prior(self):
+        args = build_parser().parse_args(
+            ["explore", "data.csv", "--measure", "delay",
+             "--prior", "day,origin"]
+        )
+        assert args.prior == "day,origin"
+
+    def test_sql_requires_query(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sql", "data.csv", "--measure", "m"])
+        assert "--query" in capsys.readouterr().err
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "data.csv", "--measure", "delay"]
+        )
+        assert args.clients == 8
+        assert args.requests == 32
+        assert args.workers == 4
+        assert args.queue_depth == 64
+        assert args.compare_serial is False
+
+    def test_measure_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "data.csv"])
+        assert "--measure" in capsys.readouterr().err
+
+    def test_unknown_variant_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "data.csv", "--measure", "m",
+                 "--variant", "turbo"]
+            )
+
+
+class TestPrintResult:
+    def test_formats_rule_table_and_metrics(self):
+        table = flight_table()
+        from repro.core.miner import mine as mine_fn
+
+        result = mine_fn(table, k=1, variant="baseline", sample_size=8,
+                         seed=0)
+        out = io.StringIO()
+        _print_result(table, result, out)
+        text = out.getvalue()
+        assert text.startswith("| ")  # markdown rule table first
+        assert "AVG(Delay)" in text
+        assert "rules: %d\n" % len(result.rule_set) in text
+        assert "kl_divergence:" in text
+        assert "information_gain:" in text
+        assert "simulated_cluster_seconds:" in text
 
 
 class TestMine:
@@ -155,3 +232,20 @@ class TestSql:
             out=out,
         )
         assert code == 2
+
+
+class TestServe:
+    def test_scripted_workload_reports_stats(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["serve", flights_csv, "--measure", "Delay",
+             "--clients", "4", "--requests", "12", "--workers", "2",
+             "--k", "2", "--sample-size", "8", "--compare-serial"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "served 12 requests from 4 clients" in text
+        assert "latency: mean=" in text
+        assert "cache:" in text
+        assert "results identical: True" in text

@@ -23,6 +23,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXPECTED = {
     "quickstart.py": ["Informative rule set", "London"],
     "sql_session.py": ["CUBE", "rule set (thesis Table 1.2)"],
+    "service_session.py": ["cache hits", "coalesced", "service drained"],
     "cube_algorithms.py": ["Iceberg pruning", "[ok]"],
     "cleaning_comparison.py": ["Data Auditor", "aggregator7"],
     "data_cleaning.py": [],
