@@ -51,6 +51,7 @@ def explore_cube(
     prior_dimensions=None,
     variant="optimized",
     cluster=None,
+    parallelism=None,
     **overrides,
 ):
     """Recommend the k most informative unexplored cells.
@@ -72,4 +73,8 @@ def explore_cube(
         prior.extend(group_by_rules(table, name))
     overrides.setdefault("exhaustive", True)
     config = variant_config(variant, k=k, **overrides)
+    if cluster is None:
+        from repro.core.miner import make_default_cluster
+
+        cluster = make_default_cluster(parallelism=parallelism)
     return Sirum(config).mine(table, cluster=cluster, prior_rules=prior)

@@ -53,8 +53,14 @@ def make_cluster(
     storage_fraction=0.6,
     straggler_sigma=0.0,
     seed=7,
+    parallelism=None,
 ):
-    """The benchmarks' default cluster (a scaled-down thesis cluster)."""
+    """The benchmarks' default cluster (a scaled-down thesis cluster).
+
+    ``parallelism`` sets the real worker-thread count partition kernels
+    run on (None defers to ``REPRO_PARALLELISM``); simulated metrics
+    are identical across settings, only wall-clock changes.
+    """
     spec = ClusterSpec(
         num_executors=num_executors,
         cores_per_executor=cores_per_executor,
@@ -63,16 +69,19 @@ def make_cluster(
         straggler_sigma=straggler_sigma,
         seed=seed,
     )
-    return ClusterContext(spec, CostModel())
+    return ClusterContext(spec, CostModel(), parallelism=parallelism)
 
 
-def run_variant(table, variant, cluster=None, prior_rules=None, **overrides):
+def run_variant(table, variant, cluster=None, prior_rules=None,
+                parallelism=None, **overrides):
     """Mine ``table`` with a Table 4.2 variant on a fresh cluster.
 
     Returns the :class:`~repro.core.result.MiningResult`; its
     ``simulated_seconds`` / phase breakdowns are the benchmark metrics.
+    ``parallelism`` configures the fresh cluster's worker threads
+    (ignored when an explicit ``cluster`` is passed).
     """
-    cluster = cluster or make_cluster()
+    cluster = cluster or make_cluster(parallelism=parallelism)
     config = variant_config(variant, **overrides)
     return Sirum(config).mine(table, cluster=cluster, prior_rules=prior_rules)
 

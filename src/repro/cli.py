@@ -61,6 +61,12 @@ def build_parser():
         sub.add_argument("--sample-size", type=int, default=64,
                          help="candidate-pruning sample size |s|")
         sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--parallelism", type=int, default=None,
+            help="worker threads running partition kernels (default: "
+                 "REPRO_PARALLELISM or serial); results are identical "
+                 "across settings",
+        )
         if name == "explore":
             sub.add_argument(
                 "--prior",
@@ -108,6 +114,12 @@ def build_parser():
                        help="candidate-pruning sample size |s|")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
+        "--parallelism", type=int, default=None,
+        help="worker threads inside each mining job's cluster engine "
+             "(intra-request parallelism; default: REPRO_PARALLELISM "
+             "or serial)",
+    )
+    serve.add_argument(
         "--compare-serial", action="store_true",
         help="also run the workload serially and uncached, and print "
              "the throughput ratio",
@@ -147,6 +159,7 @@ def _run_serve(args, table, out):
     )
     service = RuleMiningService(ServiceConfig(
         num_workers=args.workers, max_queue_depth=args.queue_depth,
+        engine_parallelism=args.parallelism,
     ))
     try:
         service.register_dataset("data", table)
@@ -214,6 +227,7 @@ def main(argv=None, out=None):
             result = mine(
                 table, k=args.k, variant=args.variant,
                 sample_size=args.sample_size, seed=args.seed,
+                parallelism=args.parallelism,
             )
             _print_result(table, result, out)
         elif args.command == "explore":
@@ -223,12 +237,14 @@ def main(argv=None, out=None):
             result = explore_cube(
                 table, k=args.k, prior_dimensions=prior,
                 variant=args.variant, seed=args.seed,
+                parallelism=args.parallelism,
             )
             _print_result(table, result, out)
         else:
             result, findings = diagnose_dirty_records(
                 table, k=args.k, variant=args.variant,
                 sample_size=args.sample_size, seed=args.seed,
+                parallelism=args.parallelism,
             )
             _print_result(table, result, out)
             out.write("\ntop deviations from the overall dirty rate:\n")

@@ -65,8 +65,14 @@ def make_default_cluster(
     straggler_sigma=0.0,
     seed=7,
     cost_model=None,
+    parallelism=None,
 ):
-    """A small local cluster suitable for tests and examples."""
+    """A small local cluster suitable for tests and examples.
+
+    ``parallelism`` sets the number of real worker threads partition
+    kernels execute on (None defers to ``REPRO_PARALLELISM``); results
+    and simulated metrics are identical across settings.
+    """
     spec = ClusterSpec(
         num_executors=num_executors,
         cores_per_executor=cores_per_executor,
@@ -74,19 +80,24 @@ def make_default_cluster(
         straggler_sigma=straggler_sigma,
         seed=seed,
     )
-    return ClusterContext(spec, cost_model or CostModel())
+    return ClusterContext(spec, cost_model or CostModel(),
+                          parallelism=parallelism)
 
 
 def mine(table, k=10, variant="optimized", cluster=None, prior_rules=None,
-         **config_overrides):
+         parallelism=None, **config_overrides):
     """One-call mining API.
 
     >>> result = mine(flight_table(), k=3, variant="optimized")
 
     ``variant`` is a Table 4.2 preset name; extra keyword arguments
-    override any :class:`SirumConfig` field.
+    override any :class:`SirumConfig` field.  ``parallelism`` sets the
+    real worker-thread count of the default cluster (ignored when an
+    explicit ``cluster`` is passed).
     """
     config = variant_config(variant, k=k, **config_overrides)
+    if cluster is None:
+        cluster = make_default_cluster(parallelism=parallelism)
     return Sirum(config).mine(table, cluster=cluster, prior_rules=prior_rules)
 
 

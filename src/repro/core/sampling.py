@@ -39,9 +39,11 @@ PAIR_BASE_UNITS = 8
 
 def draw_sample_rows(table, size, rng):
     """Draw the pruning sample s, returned as encoded dimension tuples."""
-    size = min(size, len(table))
+    if len(table) == 0:
+        raise DataError("cannot draw a sample from an empty table")
     if size <= 0:
         raise DataError("sample size must be positive")
+    size = min(size, len(table))
     sample = table.sample(size, rng)
     return [sample.encoded_row(i) for i in range(len(sample))]
 

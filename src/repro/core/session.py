@@ -13,22 +13,11 @@ from repro.common.errors import EngineError
 from repro.core.codec import RowCodec
 from repro.core.measure import MeasureTransform
 from repro.core.rct import BitMatrix
+from repro.data.table import TableBlock
 
-
-class DataPartition:
-    """One partition's view of the session state (a task's input)."""
-
-    def __init__(self, index, columns, measure, start, stop, size_bytes):
-        self.index = index
-        self.columns = columns
-        self.measure = measure
-        self.start = start
-        self.stop = stop
-        self.size_bytes = size_bytes
-
-    @property
-    def num_rows(self):
-        return self.stop - self.start
+#: A partition kernel's input: one contiguous block of the table as
+#: NumPy column views (see :meth:`repro.data.table.Table.partition_blocks`).
+DataPartition = TableBlock
 
 
 class MiningSession:
@@ -51,24 +40,11 @@ class MiningSession:
                 cluster.spec.num_executors * cluster.spec.cores_per_executor
             )
         num_partitions = max(1, min(num_partitions, len(table)))
-        self.num_partitions = num_partitions
+        #: Zero-copy contiguous blocks of the table; partition kernels
+        #: receive these and vectorize over their own column views.
+        self.partitions = table.partition_blocks(num_partitions)
+        self.num_partitions = len(self.partitions)
         n = len(table)
-        bounds = [n * i // num_partitions for i in range(num_partitions + 1)]
-        columns = table.dimension_columns()
-        bytes_per_row = max(1, table.estimated_bytes() // n)
-        self.partitions = []
-        for i in range(num_partitions):
-            start, stop = bounds[i], bounds[i + 1]
-            self.partitions.append(
-                DataPartition(
-                    index=i,
-                    columns=[col[start:stop] for col in columns],
-                    measure=table.measure[start:stop],
-                    start=start,
-                    stop=stop,
-                    size_bytes=(stop - start) * bytes_per_row,
-                )
-            )
         #: Packed-row codec for the table's dimension domains; the
         #: candidate pipeline runs on packed int64 keys when it fits.
         self.codec = codec if codec is not None else RowCodec.from_table(table)

@@ -13,6 +13,31 @@ from repro.data.encoding import DictionaryEncoder
 from repro.data.schema import Schema
 
 
+class TableBlock:
+    """One contiguous row range of a table, as zero-copy NumPy views.
+
+    Blocks are what the engine hands to partition kernels: ``columns``
+    and ``measure`` are slices of the parent table's arrays (views, not
+    row lists), so partitioning costs nothing and kernels vectorize
+    over their block directly.
+    """
+
+    __slots__ = ("index", "columns", "measure", "start", "stop",
+                 "size_bytes")
+
+    def __init__(self, index, columns, measure, start, stop, size_bytes):
+        self.index = index
+        self.columns = columns
+        self.measure = measure
+        self.start = start
+        self.stop = stop
+        self.size_bytes = size_bytes
+
+    @property
+    def num_rows(self):
+        return self.stop - self.start
+
+
 class Table:
     """Columnar relation matching a :class:`~repro.data.schema.Schema`.
 
@@ -167,6 +192,33 @@ class Table:
         if len(measure_column) != len(self):
             raise DataError("replacement measure column length mismatch")
         return Table(self.schema, self._dims, measure_column, self._encoders)
+
+    def partition_blocks(self, num_blocks):
+        """Split the table into ``num_blocks`` contiguous row blocks.
+
+        Returns a list of :class:`TableBlock` whose columns and measure
+        are views of this table's arrays.  ``num_blocks`` is clamped to
+        ``[1, len(self)]``; row counts differ by at most one across
+        blocks.  This is the partitioning every engine stage runs over.
+        """
+        n = len(self)
+        if n == 0:
+            raise DataError("cannot partition an empty table")
+        num_blocks = max(1, min(int(num_blocks), n))
+        bounds = [n * i // num_blocks for i in range(num_blocks + 1)]
+        bytes_per_row = max(1, self.estimated_bytes() // n)
+        blocks = []
+        for i in range(num_blocks):
+            start, stop = bounds[i], bounds[i + 1]
+            blocks.append(TableBlock(
+                index=i,
+                columns=[col[start:stop] for col in self._dims],
+                measure=self._measure[start:stop],
+                start=start,
+                stop=stop,
+                size_bytes=(stop - start) * bytes_per_row,
+            ))
+        return blocks
 
     # ------------------------------------------------------------------
     # Aggregates used across the library

@@ -7,10 +7,31 @@ process) and report their work through a
 stage's simulated duration by placing tasks on executor cores (longest
 processing time first), applying per-executor straggler factors, and
 adding task-launch, shuffle and stage overheads.
+
+``parallelism`` selects the *real* execution mode: 1 (the default)
+runs partition kernels serially on the driver thread; N > 1 runs them
+concurrently on a thread pool of N workers.  The two modes are
+bit-compatible — outputs, counters and simulated seconds are identical
+— because kernels must be pure per-partition functions and all shared
+accounting happens on the driver in partition order:
+
+- each task charges its own :class:`TaskContext` (exclusive, no locks);
+- partition-cache accesses are *deferred* in parallel mode and replayed
+  in partition order once every task has finished, so the LRU hit/miss
+  sequence matches the serial one exactly;
+- task durations, stage charges and counter merges are computed from
+  the per-task contexts in partition order on the driver thread.
+
+The default parallelism is read from the ``REPRO_PARALLELISM``
+environment variable (unset/empty means serial), so a whole test run
+can exercise the parallel mode without touching call sites.
 """
 
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 import heapq
+import os
+import threading
 
 from repro.common.errors import EngineError
 from repro.data.hdfs import SimulatedHdfs
@@ -18,6 +39,22 @@ from repro.engine.cost import ClusterSpec, CostModel
 from repro.engine.memory import CacheManager
 from repro.engine.metrics import MetricsRegistry
 from repro.engine.task import TaskContext
+
+
+def default_parallelism():
+    """Worker count from ``REPRO_PARALLELISM`` (1 when unset/empty)."""
+    value = os.environ.get("REPRO_PARALLELISM", "").strip()
+    if not value:
+        return 1
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise EngineError(
+            "REPRO_PARALLELISM must be an integer, got %r" % value
+        ) from None
+    if parsed < 1:
+        raise EngineError("REPRO_PARALLELISM must be at least 1")
+    return parsed
 
 
 class Broadcast:
@@ -38,14 +75,72 @@ class StageResult:
 
 
 class ClusterContext:
-    """A simulated cluster: run stages, broadcast values, cache data."""
+    """A simulated cluster: run stages, broadcast values, cache data.
 
-    def __init__(self, spec=None, cost_model=None, hdfs=None):
+    ``parallelism`` is the number of real worker threads partition
+    kernels run on (see the module docstring); ``None`` resolves from
+    the ``REPRO_PARALLELISM`` environment variable.
+    """
+
+    def __init__(self, spec=None, cost_model=None, hdfs=None,
+                 parallelism=None):
         self.spec = spec or ClusterSpec()
         self.cost = cost_model or CostModel()
         self.hdfs = hdfs or SimulatedHdfs()
         self.metrics = MetricsRegistry()
         self.cache = CacheManager(self.spec.total_storage_bytes, self.metrics)
+        if parallelism is None:
+            parallelism = default_parallelism()
+        if parallelism < 1:
+            raise EngineError("parallelism must be at least 1")
+        self.parallelism = int(parallelism)
+        self._pool = None
+        self._sample_epoch = 0
+        self._sample_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Worker pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _worker_pool(self):
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.parallelism,
+                thread_name_prefix="repro-stage",
+            )
+        return self._pool
+
+    def close(self):
+        """Shut down the worker pool (idempotent; serial mode is a no-op)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __del__(self):
+        try:
+            pool = self._pool
+        except AttributeError:  # interpreter teardown / failed __init__
+            return
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def next_sample_seed(self):
+        """A deterministic per-call seed for sampling operators.
+
+        Successive calls yield distinct seeds (so repeated ``sample``
+        calls draw different rows) while the sequence itself is a pure
+        function of the cluster spec's seed — reruns reproduce.
+        Thread-safe, like the cluster's other shared state.
+        """
+        with self._sample_lock:
+            self._sample_epoch += 1
+            return int(self.spec.seed) * 1_000_003 + self._sample_epoch
 
     # ------------------------------------------------------------------
     # Phase attribution
@@ -90,7 +185,10 @@ class ClusterContext:
         ----------
         kernel:
             Callable receiving a :class:`TaskContext` and one partition
-            object; its return value becomes the task output.
+            object; its return value becomes the task output.  With
+            ``parallelism`` > 1 kernels run concurrently and must be
+            pure per-partition functions (no shared mutable state
+            beyond their own task context).
         partitions:
             Sequence of partition objects (one task each).
         shuffle_output:
@@ -98,17 +196,37 @@ class ClusterContext:
             at the shuffle byte rate (a wide dependency follows).
 
         Returns a :class:`StageResult` whose ``outputs`` are in
-        partition order.
+        partition order; outputs, counters and simulated seconds do
+        not depend on the execution mode.
         """
         partitions = list(partitions)
         if not partitions:
             return StageResult([], 0.0, [])
-        outputs = []
-        tasks = []
-        for i, part in enumerate(partitions):
-            tc = TaskContext(task_id=i, partition_id=i)
-            outputs.append(kernel(tc, part))
-            tasks.append(tc)
+        workers = min(self.parallelism, len(partitions))
+        if workers > 1:
+            tasks = [
+                TaskContext(task_id=i, partition_id=i, defer_cache=True)
+                for i in range(len(partitions))
+            ]
+            outputs = list(
+                self._worker_pool().map(
+                    lambda pair: kernel(*pair), zip(tasks, partitions)
+                )
+            )
+            # Replay deferred cache accesses in partition order: the
+            # hit/miss sequence (and resulting disk charges) is then
+            # exactly what the serial loop would have produced.
+            for tc in tasks:
+                for key, size_bytes in tc.cache_requests:
+                    tc.add_disk_bytes(self.cache.access(key, size_bytes))
+                tc.cache_requests = []
+        else:
+            outputs = []
+            tasks = []
+            for i, part in enumerate(partitions):
+                tc = TaskContext(task_id=i, partition_id=i)
+                outputs.append(kernel(tc, part))
+                tasks.append(tc)
         durations = [
             self.cost.task_seconds(
                 tc.ops, tc.records, tc.disk_bytes, tc.light_ops
@@ -199,9 +317,14 @@ class ClusterContext:
 
         On a cache hit this is free; on a miss the task is charged a
         disk read of the partition's size (HDFS re-read / recompute, as
-        in thesis §4.5).
+        in thesis §4.5).  In a parallel stage the access is deferred
+        and replayed by the driver in partition order, so the charge
+        lands on ``tc`` after the kernel returns rather than inline.
         """
-        tc.add_disk_bytes(self.cache.access(key, size_bytes))
+        if tc.defer_cache:
+            tc.request_cache_access(key, size_bytes)
+        else:
+            tc.add_disk_bytes(self.cache.access(key, size_bytes))
 
     def reset_metrics(self):
         """Start a fresh metrics registry (cache contents are kept)."""

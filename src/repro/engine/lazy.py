@@ -95,9 +95,17 @@ class LazyRDD:
 
         return self.map_partitions(kernel, label="flat_map")
 
-    def sample(self, fraction, seed=0):
+    def sample(self, fraction, seed=None):
+        """Per-partition Bernoulli sample (lineage-recomputable).
+
+        ``seed=None`` derives a per-call seed from the cluster context;
+        the resolved seed is stored in the lineage node, so fault
+        recovery recomputes exactly the same sample.
+        """
         if not 0.0 < fraction <= 1.0:
             raise EngineError("sample fraction must be in (0, 1]")
+        if seed is None:
+            seed = self.ctx.next_sample_seed()
         return LazyRDD(
             self.ctx, "sample", (fraction, seed), [self], self.num_partitions
         )

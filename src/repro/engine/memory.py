@@ -9,16 +9,27 @@ charged a disk read of the partition's bytes), and a timeline of cached
 bytes is recorded for the Figure 4.3/4.4 memory plots.
 """
 
+import threading
+
 from collections import OrderedDict
 
 
 class CacheManager:
-    """LRU cache over named partitions with byte-level accounting."""
+    """LRU cache over named partitions with byte-level accounting.
+
+    Mutations take an internal lock so a cluster shared by concurrent
+    jobs stays consistent.  Within one parallel stage the engine never
+    touches the cache from worker threads — kernels *defer* their
+    accesses and the driver replays them in partition order — so the
+    hit/miss sequence (and the LRU state it leaves behind) is identical
+    to a serial run.
+    """
 
     def __init__(self, capacity_bytes, metrics):
         self.capacity_bytes = int(capacity_bytes)
         self._metrics = metrics
         self._entries = OrderedDict()  # key -> size_bytes, LRU order
+        self._lock = threading.RLock()
         self.cached_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -27,15 +38,16 @@ class CacheManager:
     def access(self, key, size_bytes):
         """Access partition ``key``; return disk bytes to charge (0 on hit)."""
         size_bytes = int(size_bytes)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            self._metrics.increment("cache_hits")
-            return 0
-        self.misses += 1
-        self._metrics.increment("cache_misses")
-        self._insert(key, size_bytes)
-        return size_bytes
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._metrics.increment("cache_hits")
+                return 0
+            self.misses += 1
+            self._metrics.increment("cache_misses")
+            self._insert(key, size_bytes)
+            return size_bytes
 
     def _insert(self, key, size_bytes):
         if size_bytes > self.capacity_bytes:
@@ -53,9 +65,10 @@ class CacheManager:
         return key in self._entries
 
     def invalidate(self, key):
-        size = self._entries.pop(key, None)
-        if size is not None:
-            self.cached_bytes -= size
+        with self._lock:
+            size = self._entries.pop(key, None)
+            if size is not None:
+                self.cached_bytes -= size
 
     def record_timeline(self):
         """Append the current cached-bytes level to the metrics timeline."""

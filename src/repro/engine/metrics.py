@@ -5,7 +5,16 @@ The miner labels stages with a *phase* (``"candidate_pruning"``,
 so benchmarks can break simulated time down the way thesis Figures 3.1
 and 3.2 do.  The memory timeline records (simulated time, cached bytes)
 pairs for the Figure 4.3/4.4 plots.
+
+Accumulation is thread-safe: ``charge`` / ``increment`` / ``merge``
+take an internal lock so a registry shared across threads (a cluster
+reused by concurrent service jobs) never loses updates.  The *phase
+stack* stays driver-owned — stage kernels never push or pop phases;
+all stage-level charges are applied on the driver thread in partition
+order, which is what keeps parallel and serial runs bit-identical.
 """
+
+import threading
 
 from collections import OrderedDict
 
@@ -19,14 +28,17 @@ class MetricsRegistry:
         self.counters = OrderedDict()
         self.memory_timeline = []
         self._phase_stack = []
+        self._lock = threading.RLock()
 
     # -- phases --------------------------------------------------------
 
     def push_phase(self, name):
-        self._phase_stack.append(name)
+        with self._lock:
+            self._phase_stack.append(name)
 
     def pop_phase(self):
-        self._phase_stack.pop()
+        with self._lock:
+            self._phase_stack.pop()
 
     @property
     def current_phase(self):
@@ -34,14 +46,18 @@ class MetricsRegistry:
 
     def charge(self, seconds):
         """Advance simulated time, attributing it to the current phase."""
-        self.simulated_seconds += seconds
-        phase = self.current_phase
-        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        with self._lock:
+            self.simulated_seconds += seconds
+            phase = self.current_phase
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0) + seconds
+            )
 
     # -- counters ------------------------------------------------------
 
     def increment(self, name, amount=1):
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def counter(self, name):
         return self.counters.get(name, 0)
@@ -49,7 +65,8 @@ class MetricsRegistry:
     # -- memory timeline -----------------------------------------------
 
     def record_memory(self, cached_bytes):
-        self.memory_timeline.append((self.simulated_seconds, cached_bytes))
+        with self._lock:
+            self.memory_timeline.append((self.simulated_seconds, cached_bytes))
 
     # -- views -----------------------------------------------------------
 
@@ -58,17 +75,22 @@ class MetricsRegistry:
 
     def snapshot(self):
         """Immutable copy of all metrics, for diffing before/after."""
-        return {
-            "simulated_seconds": self.simulated_seconds,
-            "phase_seconds": dict(self.phase_seconds),
-            "counters": dict(self.counters),
-        }
+        with self._lock:
+            return {
+                "simulated_seconds": self.simulated_seconds,
+                "phase_seconds": dict(self.phase_seconds),
+                "counters": dict(self.counters),
+            }
 
     def merge(self, other):
         """Fold another registry's totals into this one."""
-        self.simulated_seconds += other.simulated_seconds
-        for name, seconds in other.phase_seconds.items():
-            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
-        for name, amount in other.counters.items():
-            self.counters[name] = self.counters.get(name, 0) + amount
+        theirs = other.snapshot()
+        with self._lock:
+            self.simulated_seconds += theirs["simulated_seconds"]
+            for name, seconds in theirs["phase_seconds"].items():
+                self.phase_seconds[name] = (
+                    self.phase_seconds.get(name, 0.0) + seconds
+                )
+            for name, amount in theirs["counters"].items():
+                self.counters[name] = self.counters.get(name, 0) + amount
         return self

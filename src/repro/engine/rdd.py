@@ -210,12 +210,34 @@ class RDD:
         )
         return sum(stage.outputs)
 
-    def sample(self, fraction, seed=0):
-        """Bernoulli sample of elements, one decision per element."""
+    def sample(self, fraction, seed=None):
+        """Bernoulli sample of elements, one decision per element.
+
+        ``seed=None`` (the default) derives a fresh per-call seed from
+        the cluster context, so repeated samples draw different rows
+        while whole-run reruns still reproduce.  Pass an explicit seed
+        to pin one draw.  Decisions use one independent RNG per
+        partition (seeded by ``(seed, partition_index)``), making the
+        sample independent of task execution order — serial and
+        parallel stages keep the same rows.
+        """
         if not 0.0 < fraction <= 1.0:
             raise EngineError("sample fraction must be in (0, 1]")
-        rng = make_rng(seed)
-        return self.filter(lambda _x: bool(rng.random() < fraction))
+        if seed is None:
+            seed = self.ctx.next_sample_seed()
+        indexed = list(enumerate(self._partitions))
+
+        def kernel(tc, item):
+            index, part = item
+            self._access_partition(tc, index)
+            tc.add_records(len(part))
+            rng = make_rng((seed, index))
+            result = [x for x in part if rng.random() < fraction]
+            tc.add_ops(len(result))
+            return result
+
+        stage = self.ctx.run_stage(kernel, indexed, name="sample")
+        return RDD(self.ctx, stage.outputs)
 
     def union(self, other):
         if other.ctx is not self.ctx:

@@ -4,13 +4,21 @@ A kernel receives a :class:`TaskContext` and reports the work it did:
 elementary operations (comparisons, lookups, emitted pairs), records
 touched and bytes read from disk.  The scheduler turns these into the
 task's simulated duration via the cost model.
+
+Each task owns its context exclusively, so kernels may charge it
+without synchronization even when the stage executes on a thread pool.
+The one piece of *shared* state a kernel can touch — the cluster's
+partition cache — is deferred in parallel mode: the context records the
+access requests and the driver replays them in partition order after
+all tasks finish, so cache hits/misses (and the simulated seconds they
+produce) are identical to a serial run.
 """
 
 
 class TaskContext:
     """Mutable counters for a single simulated task."""
 
-    def __init__(self, task_id, partition_id):
+    def __init__(self, task_id, partition_id, defer_cache=False):
         self.task_id = task_id
         self.partition_id = partition_id
         self.ops = 0
@@ -18,6 +26,10 @@ class TaskContext:
         self.records = 0
         self.disk_bytes = 0
         self.output_bytes = 0
+        #: When true, cache accesses are queued instead of applied; the
+        #: driver replays them deterministically (see module docstring).
+        self.defer_cache = defer_cache
+        self.cache_requests = []
 
     def add_ops(self, n):
         """Charge ``n`` dataset-proportional operations.
@@ -49,3 +61,7 @@ class TaskContext:
     def add_output_bytes(self, n):
         """Declare ``n`` bytes of task output (shuffled or collected)."""
         self.output_bytes += int(n)
+
+    def request_cache_access(self, key, size_bytes):
+        """Queue a partition-cache access for deterministic replay."""
+        self.cache_requests.append((key, int(size_bytes)))

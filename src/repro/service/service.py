@@ -50,17 +50,24 @@ class ServiceConfig:
     def __init__(self, num_workers=4, max_queue_depth=64,
                  cache_capacity=256, cache_ttl_seconds=None,
                  default_priority=PRIORITY_NORMAL,
-                 default_deadline_seconds=None):
+                 default_deadline_seconds=None,
+                 engine_parallelism=None):
         if num_workers < 1:
             raise ServiceError("num_workers must be at least 1")
         if max_queue_depth < 1:
             raise ServiceError("max_queue_depth must be at least 1")
+        if engine_parallelism is not None and engine_parallelism < 1:
+            raise ServiceError("engine_parallelism must be at least 1")
         self.num_workers = num_workers
         self.max_queue_depth = max_queue_depth
         self.cache_capacity = cache_capacity
         self.cache_ttl_seconds = cache_ttl_seconds
         self.default_priority = default_priority
         self.default_deadline_seconds = default_deadline_seconds
+        #: Worker threads of each mining job's simulated-cluster engine
+        #: (intra-request parallelism, on top of the worker pool's
+        #: cross-request concurrency).  None defers to REPRO_PARALLELISM.
+        self.engine_parallelism = engine_parallelism
 
 
 class DatasetHandle:
@@ -118,7 +125,13 @@ class RuleMiningService:
         self.config = config or ServiceConfig()
         self.engine = SqlEngine()
         self.catalog = self.engine.catalog
-        self._make_cluster = make_cluster or make_default_cluster
+        if make_cluster is None:
+            parallelism = self.config.engine_parallelism
+
+            def make_cluster():
+                return make_default_cluster(parallelism=parallelism)
+
+        self._make_cluster = make_cluster
         self._scheduler = JobScheduler(
             num_workers=self.config.num_workers,
             max_queue_depth=self.config.max_queue_depth,

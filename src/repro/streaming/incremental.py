@@ -29,6 +29,95 @@ from repro.core.scaling import iterative_scale
 from repro.data.table import Table
 
 
+class _WorkingSet:
+    """Amortized working-set buffer for the streaming miner.
+
+    The naive approach — re-concatenating every retained batch's
+    columns on every ``process()`` call — is O(stream²) over a run.
+    This buffer keeps one growable array per column: appending a batch
+    copies only that batch's rows (capacity doubles when exhausted) and
+    sliding the window forward just advances a start offset, so the
+    whole run is amortized O(total rows).  The assembled working
+    :class:`Table` is cached and rebuilt only after an append or slide.
+
+    Snapshots stay valid: appends write past ``stop``, slides only move
+    ``start``, and growth reallocates fresh buffers, so column views
+    handed out earlier are never mutated underneath a caller.
+    """
+
+    def __init__(self, window_batches=None):
+        self.window_batches = window_batches
+        self._schema = None
+        self._encoders = None
+        self._dims = None
+        self._measure = None
+        self._start = 0
+        self._stop = 0
+        self._batch_lengths = []
+        self._cached = None
+
+    def __len__(self):
+        return self._stop - self._start
+
+    @property
+    def num_batches(self):
+        return len(self._batch_lengths)
+
+    def append(self, batch):
+        """Add one batch; slides the window if it is now over-full."""
+        if self._schema is None:
+            self._schema = batch.schema
+            self._encoders = batch.encoders()
+            capacity = max(2 * len(batch), 1)
+            self._dims = [
+                np.empty(capacity, dtype=np.int64)
+                for _ in batch.schema.dimensions
+            ]
+            self._measure = np.empty(capacity, dtype=np.float64)
+        n = len(batch)
+        self._ensure_capacity(n)
+        for buf, col in zip(self._dims, batch.dimension_columns()):
+            buf[self._stop:self._stop + n] = col
+        self._measure[self._stop:self._stop + n] = batch.measure
+        self._stop += n
+        self._batch_lengths.append(n)
+        if self.window_batches is not None:
+            while len(self._batch_lengths) > self.window_batches:
+                self._start += self._batch_lengths.pop(0)
+        self._cached = None
+
+    def _ensure_capacity(self, extra):
+        capacity = self._measure.size
+        if self._stop + extra <= capacity:
+            return
+        live = self._stop - self._start
+        # Size off the *live* window, not the old capacity: a bounded
+        # sliding window then keeps a bounded buffer (~2x the window)
+        # instead of doubling forever as dead prefix accumulates.
+        new_capacity = max(2 * (live + extra), 1)
+        new_dims = [np.empty(new_capacity, dtype=np.int64)
+                    for _ in self._dims]
+        new_measure = np.empty(new_capacity, dtype=np.float64)
+        for new, old in zip(new_dims, self._dims):
+            new[:live] = old[self._start:self._stop]
+        new_measure[:live] = self._measure[self._start:self._stop]
+        self._dims = new_dims
+        self._measure = new_measure
+        self._start = 0
+        self._stop = live
+
+    def table(self):
+        """The working table over the live window (cached between
+        mutations; columns are zero-copy views of the buffer)."""
+        if self._cached is None:
+            dims = [buf[self._start:self._stop] for buf in self._dims]
+            self._cached = Table.from_columns(
+                self._schema, dims,
+                self._measure[self._start:self._stop], self._encoders,
+            )
+        return self._cached
+
+
 class StreamSnapshot:
     """State reported after each processed batch."""
 
@@ -80,7 +169,7 @@ class IncrementalSirum:
         self.window_batches = window_batches
         self.cluster = cluster or make_default_cluster()
         self._reservoir = None
-        self._batches = []
+        self._working_set = _WorkingSet(window_batches=window_batches)
         self._rules = []
         self._lambdas = None
         self._baseline_kl = None
@@ -99,9 +188,7 @@ class IncrementalSirum:
         if len(batch) == 0:
             raise DataError("cannot process an empty batch")
         self._batch_index += 1
-        self._batches.append(batch)
-        if self.window_batches is not None:
-            self._batches = self._batches[-self.window_batches:]
+        self._working_set.append(batch)
         if self._reservoir is None:
             self._reservoir = ReservoirSample(
                 self.config.sample_size, seed=self._seed
@@ -115,7 +202,12 @@ class IncrementalSirum:
             remined = True
         else:
             kl = self._refit(working)
-            if self._should_remine(kl):
+            if kl is None:
+                # Degenerate refit (the window slid past every
+                # informative rule's support): fall back to a re-mine.
+                kl = self._mine(working)
+                remined = True
+            elif self._should_remine(kl):
                 kl = self._mine(working)
                 remined = True
         self._batches_since_mine = 0 if remined else (
@@ -144,18 +236,7 @@ class IncrementalSirum:
     # ------------------------------------------------------------------
 
     def _working_table(self):
-        if len(self._batches) == 1:
-            return self._batches[0]
-        first = self._batches[0]
-        columns = []
-        for j, name in enumerate(first.schema.dimensions):
-            columns.append(np.concatenate(
-                [b.dimension_columns()[j] for b in self._batches]
-            ))
-        measure = np.concatenate([b.measure for b in self._batches])
-        return Table.from_columns(
-            first.schema, columns, measure, first.encoders()
-        )
+        return self._working_set.table()
 
     def _mine(self, working):
         result = Sirum(self.config).mine(
@@ -169,6 +250,16 @@ class IncrementalSirum:
         return result.final_kl
 
     def _refit(self, working):
+        """Refit the current rules against the working table.
+
+        Returns the refitted KL, or ``None`` when the surviving rule
+        set is degenerate — no rule retains support, or every
+        informative rule lost its support (the window slid past it)
+        and only root-like survivors remain.  The caller must then
+        fall back to a full re-mine; handing ``iterative_scale`` an
+        empty mask list would raise
+        ``DataError("iterative scaling needs at least one rule")``.
+        """
         transform = MeasureTransform.fit(working.measure)
         masks = []
         kept_rules = []
@@ -179,6 +270,10 @@ class IncrementalSirum:
                 masks.append(mask)
                 kept_rules.append(rule)
                 lambdas.append(lam)
+        had_informative = any(not r.is_root() for r in self._rules)
+        kept_informative = any(not r.is_root() for r in kept_rules)
+        if not masks or (had_informative and not kept_informative):
+            return None
         # Rules whose support vanished (window slid past it) drop out.
         self._rules = kept_rules
         result = iterative_scale(

@@ -3,7 +3,15 @@
 Maintains a uniform random sample of everything seen so far (Vitter's
 Algorithm R), providing the candidate-pruning sample s for re-mining
 without a pass over the accumulated stream.
+
+Single rows go through :meth:`ReservoirSample.offer`; table batches go
+through :meth:`ReservoirSample.offer_table`, which draws the whole
+batch's acceptance slots in one vectorized RNG call and gathers only
+the accepted rows from the batch's columns — no per-row Python loop
+over the (mostly rejected) stream.
 """
+
+import numpy as np
 
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
@@ -33,9 +41,50 @@ class ReservoirSample:
         return False
 
     def offer_table(self, table):
-        """Offer every row of a table batch."""
-        for i in range(len(table)):
-            self.offer(table.encoded_row(i))
+        """Offer every row of a table batch (vectorized).
+
+        Produces the same *distribution* as calling :meth:`offer` row
+        by row — each batch row replaces a uniform reservoir slot with
+        probability capacity / rows-seen-so-far — but draws all
+        acceptance integers in one batched RNG call and gathers the
+        accepted rows with one fancy-index per column.
+        """
+        n = len(table)
+        if n == 0:
+            return
+        start_seen = self.seen
+        fill = min(max(self.capacity - len(self._rows), 0), n)
+        if fill < n:
+            # Row at batch offset i has stream rank start_seen + i + 1;
+            # Algorithm R keeps it iff a draw in [0, rank) lands below
+            # capacity, sending it to that slot.
+            ranks = np.arange(
+                start_seen + fill + 1, start_seen + n + 1, dtype=np.int64
+            )
+            draws = self._rng.integers(0, ranks)
+            hit = draws < self.capacity
+            accepted = np.nonzero(hit)[0] + fill
+            slots = draws[hit]
+        else:
+            accepted = np.empty(0, dtype=np.int64)
+            slots = np.empty(0, dtype=np.int64)
+        self.seen += n
+        wanted = np.concatenate(
+            [np.arange(fill, dtype=np.int64), accepted]
+        )
+        if wanted.size == 0:
+            return
+        gathered = np.stack(
+            [np.asarray(col)[wanted] for col in table.dimension_columns()],
+            axis=1,
+        )
+        rows = [tuple(values) for values in gathered.tolist()]
+        self._rows.extend(rows[:fill])
+        for row, slot in zip(rows[fill:], slots):
+            # Sequential overwrite order matters: a later batch row
+            # landing on the same slot must win, as in the row-wise
+            # algorithm.
+            self._rows[int(slot)] = row
 
     def rows(self):
         """The current sample (a copy, in reservoir order)."""

@@ -44,6 +44,20 @@ class TestDrawSample:
         rows = draw_sample_rows(flights, 100, rng)
         assert len(rows) == 14
 
+    def test_empty_table_blames_the_table(self, flights, rng):
+        # The old message blamed the sample size ("sample size must be
+        # positive") when the *table* had no rows.
+        from repro.common.errors import DataError
+
+        with pytest.raises(DataError, match="empty table"):
+            draw_sample_rows(flights.slice(0, 0), 5, rng)
+
+    def test_non_positive_size_rejected(self, flights, rng):
+        from repro.common.errors import DataError
+
+        with pytest.raises(DataError, match="sample size must be positive"):
+            draw_sample_rows(flights, 0, rng)
+
 
 class TestLcaAggregates:
     def test_baseline_matches_oracle(self, flights, rng):

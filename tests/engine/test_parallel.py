@@ -1,0 +1,259 @@
+"""Parallel stage execution: bit-compatibility, determinism, speedup.
+
+The engine's ``parallelism`` knob changes only *wall-clock* behaviour:
+outputs, counters, cache hit/miss sequences and simulated seconds must
+be identical to a serial run.  These tests pin that contract at the
+stage level, through a full mining run, and through the service.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EngineError
+from repro.core.config import variant_config
+from repro.core.miner import Sirum, make_default_cluster
+from repro.data.generators import SyntheticSpec, generate
+from repro.engine.cluster import ClusterContext, default_parallelism
+from repro.engine.cost import ClusterSpec, CostModel
+
+
+def make_cluster(parallelism=1, **kwargs):
+    spec = ClusterSpec(
+        num_executors=kwargs.pop("num_executors", 2),
+        cores_per_executor=kwargs.pop("cores_per_executor", 2),
+        executor_memory_bytes=kwargs.pop("executor_memory_bytes", 1 << 20),
+        storage_fraction=kwargs.pop("storage_fraction", 0.6),
+        straggler_sigma=0.0,
+    )
+    cost = CostModel(
+        op_seconds=1e-6,
+        record_seconds=1e-4,
+        task_launch_seconds=0.0,
+        stage_overhead_seconds=0.0,
+        shuffle_byte_seconds=1e-6,
+        broadcast_byte_seconds=1e-6,
+        disk_byte_seconds=1e-6,
+    )
+    return ClusterContext(spec, cost, parallelism=parallelism)
+
+
+def synthetic_table(num_rows=2500, seed=11):
+    spec = SyntheticSpec(
+        num_rows=num_rows,
+        cardinalities=[6, 5, 4, 3],
+        skew=0.3,
+        num_planted_rules=3,
+        planted_arity=2,
+        effect_scale=20.0,
+        noise_scale=1.0,
+        base_measure=50.0,
+    )
+    table, _ = generate(spec, seed=seed)
+    return table
+
+
+class TestParallelismKnob:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLELISM", raising=False)
+        assert default_parallelism() == 1
+        assert make_cluster(parallelism=None).parallelism == 1
+
+    def test_env_variable_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLELISM", "4")
+        assert default_parallelism() == 4
+        assert make_cluster(parallelism=None).parallelism == 4
+        # An explicit argument still wins over the environment.
+        assert make_cluster(parallelism=2).parallelism == 2
+
+    def test_env_variable_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLELISM", "zero")
+        with pytest.raises(EngineError):
+            default_parallelism()
+        monkeypatch.setenv("REPRO_PARALLELISM", "0")
+        with pytest.raises(EngineError):
+            default_parallelism()
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(EngineError):
+            make_cluster(parallelism=0)
+
+    def test_close_is_idempotent(self):
+        cluster = make_cluster(parallelism=3)
+        cluster.run_stage(lambda tc, p: p, range(6))
+        cluster.close()
+        cluster.close()
+
+    def test_context_manager_closes_pool(self):
+        with make_cluster(parallelism=3) as cluster:
+            result = cluster.run_stage(lambda tc, p: p * 2, range(6))
+        assert result.outputs == [0, 2, 4, 6, 8, 10]
+        assert cluster._pool is None
+
+
+class TestParallelStage:
+    def test_outputs_preserve_partition_order(self):
+        cluster = make_cluster(parallelism=4)
+
+        def kernel(tc, part):
+            time.sleep(0.001 * (7 - part))  # later partitions finish first
+            return part * 10
+
+        result = cluster.run_stage(kernel, range(8))
+        assert result.outputs == [p * 10 for p in range(8)]
+
+    def test_kernels_actually_run_concurrently(self):
+        cluster = make_cluster(parallelism=4)
+        barrier = threading.Barrier(4, timeout=10.0)
+
+        def kernel(tc, part):
+            # Deadlocks unless 4 kernels are in flight simultaneously.
+            barrier.wait()
+            return part
+
+        result = cluster.run_stage(kernel, range(4))
+        assert result.outputs == [0, 1, 2, 3]
+
+    def test_kernel_exception_propagates(self):
+        cluster = make_cluster(parallelism=4)
+
+        def kernel(tc, part):
+            if part == 2:
+                raise ValueError("boom in partition 2")
+            return part
+
+        with pytest.raises(ValueError, match="boom in partition 2"):
+            cluster.run_stage(kernel, range(4))
+
+    def test_metrics_identical_to_serial(self):
+        def workload(cluster):
+            def kernel(tc, part):
+                tc.add_records(50 * (part + 1))
+                tc.add_ops(10 * part)
+                tc.add_output_bytes(100)
+                return part
+
+            cluster.run_stage(kernel, range(8), shuffle_output=True)
+            cluster.run_stage(kernel, range(8))
+            return cluster.metrics.snapshot()
+
+        assert workload(make_cluster(parallelism=1)) == workload(
+            make_cluster(parallelism=4)
+        )
+
+    def test_cache_sequence_identical_to_serial(self):
+        # A storage pool that only fits some partitions: the hit/miss
+        # and eviction sequence is LRU-order-sensitive, so it only
+        # matches serial if parallel mode replays accesses in
+        # partition order.
+        def workload(cluster):
+            def kernel(tc, part):
+                cluster.cached_access(tc, ("data", part), 200_000)
+                tc.add_records(10)
+                return part
+
+            for _ in range(3):
+                cluster.run_stage(kernel, range(12))
+            return (
+                cluster.metrics.snapshot(),
+                cluster.cache.hits,
+                cluster.cache.misses,
+                cluster.cache.evictions,
+            )
+
+        serial = workload(make_cluster(parallelism=1,
+                                       executor_memory_bytes=1 << 20))
+        parallel = workload(make_cluster(parallelism=4,
+                                         executor_memory_bytes=1 << 20))
+        assert serial == parallel
+        # The tiny pool must actually have evicted for this to bite.
+        assert serial[3] > 0
+
+    def test_deferred_charges_land_on_the_right_task(self):
+        cluster = make_cluster(parallelism=4)
+
+        def kernel(tc, part):
+            cluster.cached_access(tc, ("p", part), 100 * (part + 1))
+            return part
+
+        result = cluster.run_stage(kernel, range(4))
+        assert [tc.disk_bytes for tc in result.tasks] == [100, 200, 300, 400]
+
+
+class TestMiningBitIdentity:
+    @pytest.mark.parametrize("variant", ["optimized", "baseline", "rct"])
+    def test_mining_identical_across_modes(self, variant):
+        table = synthetic_table()
+        results = {}
+        for parallelism in (1, 4):
+            cluster = make_default_cluster(
+                num_executors=4, cores_per_executor=4,
+                parallelism=parallelism,
+            )
+            config = variant_config(variant, k=4, sample_size=24, seed=3)
+            results[parallelism] = Sirum(config).mine(table, cluster=cluster)
+            cluster.close()
+        serial, parallel = results[1], results[4]
+        assert [tuple(m.rule.values) for m in serial.rule_set] == [
+            tuple(m.rule.values) for m in parallel.rule_set
+        ]
+        assert np.array_equal(serial.lambdas, parallel.lambdas)
+        assert np.array_equal(serial.estimates, parallel.estimates)
+        assert serial.kl_trace == parallel.kl_trace
+        # Simulated seconds, per-phase attribution and every counter —
+        # the cost model must not notice the execution mode.
+        assert serial.metrics == parallel.metrics
+
+    def test_service_results_identical_across_modes(self):
+        from repro.service import RuleMiningService, ServiceConfig
+
+        table = synthetic_table(num_rows=800)
+        outcomes = {}
+        for parallelism in (1, 4):
+            with RuleMiningService(ServiceConfig(
+                num_workers=2, engine_parallelism=parallelism,
+            )) as service:
+                service.register_dataset("syn", table)
+                result = service.mine("syn", k=3, sample_size=16, seed=0,
+                                      timeout=60.0)
+                outcomes[parallelism] = result
+        serial, parallel = outcomes[1], outcomes[4]
+        assert [tuple(m.rule.values) for m in serial.rule_set] == [
+            tuple(m.rule.values) for m in parallel.rule_set
+        ]
+        assert serial.metrics == parallel.metrics
+
+
+@pytest.mark.slow
+class TestParallelSpeedup:
+    def test_speedup_at_parallelism_4(self):
+        """The acceptance floor: >=2x wall-clock at 4 workers.
+
+        Thread-level speedup needs real cores; on starved CI hosts the
+        floor is physically unreachable, so the assertion requires at
+        least 4 usable cores (the benchmark script reports measured
+        numbers regardless of host width).
+        """
+        cores = len(os.sched_getaffinity(0))
+        if cores < 4:
+            pytest.skip(
+                "parallel speedup floor needs >=4 cores; host has %d"
+                % cores
+            )
+        table = synthetic_table(num_rows=60_000, seed=7)
+        walls = {}
+        for parallelism in (1, 4):
+            cluster = make_default_cluster(
+                num_executors=4, cores_per_executor=4,
+                parallelism=parallelism,
+            )
+            config = variant_config("optimized", k=5, sample_size=48,
+                                    seed=0, num_partitions=16)
+            started = time.perf_counter()
+            Sirum(config).mine(table, cluster=cluster)
+            walls[parallelism] = time.perf_counter() - started
+            cluster.close()
+        assert walls[1] / walls[4] >= 2.0

@@ -70,6 +70,46 @@ class TestTransformations:
         with pytest.raises(EngineError):
             rdd.sample(0.0)
 
+    def test_sample_default_seed_varies_per_call(self, ctx):
+        # A fixed default seed made every sample identical; the default
+        # must now derive a fresh per-call seed from the context.
+        rdd = RDD.parallelize(ctx, range(200), 4)
+        draws = [tuple(rdd.sample(0.5).collect()) for _ in range(6)]
+        assert len(set(draws)) > 1
+
+    def test_sample_explicit_seed_reproduces(self, ctx):
+        rdd = RDD.parallelize(ctx, range(200), 4)
+        first = rdd.sample(0.5, seed=9).collect()
+        second = rdd.sample(0.5, seed=9).collect()
+        assert first == second
+        assert first != rdd.sample(0.5, seed=10).collect()
+
+    def test_sample_default_reproducible_across_reruns(self):
+        # Same spec seed => the derived per-call seed sequence repeats.
+        def run():
+            ctx = ClusterContext(
+                ClusterSpec(num_executors=2, cores_per_executor=2,
+                            executor_memory_bytes=1 << 20, seed=13),
+                CostModel(),
+            )
+            rdd = RDD.parallelize(ctx, range(100), 4)
+            return [tuple(rdd.sample(0.4).collect()) for _ in range(3)]
+
+        assert run() == run()
+
+    def test_sample_independent_of_execution_mode(self):
+        def run(parallelism):
+            ctx = ClusterContext(
+                ClusterSpec(num_executors=2, cores_per_executor=2,
+                            executor_memory_bytes=1 << 20),
+                CostModel(),
+                parallelism=parallelism,
+            )
+            rdd = RDD.parallelize(ctx, range(500), 8)
+            return rdd.sample(0.3, seed=5).collect()
+
+        assert run(1) == run(4)
+
 
 class TestWideTransformations:
     def test_reduce_by_key(self, ctx):

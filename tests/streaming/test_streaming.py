@@ -7,11 +7,14 @@ from repro.common.errors import ConfigError, DataError
 from repro.core.config import SirumConfig
 from repro.core.rule import Rule, WILDCARD
 from repro.data.generators import SyntheticSpec, generate
+from repro.data.schema import Schema
+from repro.data.table import Table
 from repro.streaming import (
     IncrementalSirum,
     MicroBatchStream,
     ReservoirSample,
 )
+from repro.streaming.incremental import _WorkingSet
 
 
 def _stream_table(num_rows=1200, seed=5, effect=30.0, planted_attr=0,
@@ -87,6 +90,134 @@ class TestReservoir:
         with pytest.raises(ConfigError):
             ReservoirSample(0)
 
+    def _row_id_table(self, num_rows):
+        schema = Schema(["rid"], "m")
+        return Table.from_rows(
+            schema, [(i, 0.0) for i in range(num_rows)]
+        )
+
+    def test_offer_table_fills_then_samples(self):
+        table = self._row_id_table(100)
+        reservoir = ReservoirSample(8, seed=3)
+        reservoir.offer_table(table)
+        assert len(reservoir) == 8
+        assert reservoir.seen == 100
+        offered = {(i,) for i in range(100)}
+        assert all(row in offered for row in reservoir.rows())
+        # Distinct slots hold distinct rows (row ids are unique).
+        assert len(set(reservoir.rows())) == 8
+
+    def test_offer_table_deterministic_per_seed(self):
+        table = self._row_id_table(200)
+        first = ReservoirSample(10, seed=42)
+        second = ReservoirSample(10, seed=42)
+        other = ReservoirSample(10, seed=43)
+        first.offer_table(table)
+        second.offer_table(table)
+        other.offer_table(table)
+        assert first.rows() == second.rows()
+        assert first.rows() != other.rows()
+
+    def test_offer_table_across_batches(self):
+        # Batched offers keep counting stream ranks across calls.
+        table = self._row_id_table(300)
+        reservoir = ReservoirSample(16, seed=0)
+        for start in range(0, 300, 60):
+            reservoir.offer_table(table.slice(start, start + 60))
+        assert reservoir.seen == 300
+        assert len(reservoir) == 16
+        # Rows from late batches do get in (not just the fill prefix).
+        assert any(row[0] >= 60 for row in reservoir.rows())
+
+    def test_offer_table_kept_sample_is_uniform(self):
+        # Every stream position should be kept with probability
+        # capacity / n.  Check early, middle and late probes over many
+        # seeds; with p = 0.1 and 200 trials the bounds are ~4 sigma.
+        num_rows, capacity, trials = 400, 40, 200
+        table = self._row_id_table(num_rows)
+        probes = {0: 0, num_rows // 2: 0, num_rows - 1: 0}
+        for seed in range(trials):
+            reservoir = ReservoirSample(capacity, seed=seed)
+            reservoir.offer_table(table)
+            kept = {row[0] for row in reservoir.rows()}
+            for probe in probes:
+                if probe in kept:
+                    probes[probe] += 1
+        expected = capacity / num_rows
+        for probe, hits in probes.items():
+            assert abs(hits / trials - expected) < 0.09, (
+                "row %d kept with frequency %.3f, expected ~%.2f"
+                % (probe, hits / trials, expected)
+            )
+
+
+class TestWorkingSet:
+    def _batches(self, num_rows=600, batch_size=150):
+        table = _stream_table(num_rows=num_rows)
+        return list(MicroBatchStream.from_table(table, batch_size))
+
+    def _assert_matches(self, working, batches):
+        arity = batches[0].schema.arity
+        for j in range(arity):
+            np.testing.assert_array_equal(
+                working.dimension_columns()[j],
+                np.concatenate([b.dimension_columns()[j] for b in batches]),
+            )
+        np.testing.assert_array_equal(
+            working.measure, np.concatenate([b.measure for b in batches])
+        )
+
+    def test_matches_naive_concatenation(self):
+        batches = self._batches()
+        ws = _WorkingSet()
+        for i, batch in enumerate(batches):
+            ws.append(batch)
+            assert len(ws) == sum(len(b) for b in batches[: i + 1])
+            self._assert_matches(ws.table(), batches[: i + 1])
+
+    def test_window_slide_matches_naive(self):
+        batches = self._batches()
+        ws = _WorkingSet(window_batches=2)
+        for i, batch in enumerate(batches):
+            ws.append(batch)
+            live = batches[max(0, i - 1): i + 1]
+            assert ws.num_batches == len(live)
+            self._assert_matches(ws.table(), live)
+
+    def test_table_cached_between_mutations(self):
+        batches = self._batches()
+        ws = _WorkingSet()
+        ws.append(batches[0])
+        first = ws.table()
+        assert ws.table() is first  # no re-concatenation per call
+        ws.append(batches[1])
+        assert ws.table() is not first  # append invalidates
+
+    def test_windowed_buffer_stays_bounded(self):
+        # A bounded sliding window must keep a bounded buffer: growth
+        # sizes off the live rows, not the accumulated dead prefix.
+        batch = self._batches(num_rows=300, batch_size=100)[0]
+        ws = _WorkingSet(window_batches=2)
+        capacities = set()
+        for _ in range(200):
+            ws.append(batch)
+            capacities.add(ws._measure.size)
+            assert len(ws) <= 2 * len(batch)
+        assert max(capacities) <= 4 * 2 * len(batch)
+
+    def test_snapshot_unchanged_by_later_appends(self):
+        batches = self._batches()
+        ws = _WorkingSet(window_batches=1)
+        ws.append(batches[0])
+        snapshot = ws.table()
+        frozen_dims = [col.copy() for col in snapshot.dimension_columns()]
+        frozen_measure = snapshot.measure.copy()
+        for batch in batches[1:]:
+            ws.append(batch)  # slides the window and grows the buffer
+        for col, frozen in zip(snapshot.dimension_columns(), frozen_dims):
+            np.testing.assert_array_equal(col, frozen)
+        np.testing.assert_array_equal(snapshot.measure, frozen_measure)
+
 
 class TestIncrementalSirum:
     def _miner(self, **kwargs):
@@ -155,6 +286,48 @@ class TestIncrementalSirum:
         for snapshot in snapshots:
             assert np.isfinite(snapshot.kl)
         assert snapshots[-1].rules
+
+    def test_window_slide_past_all_rule_support_remines(self):
+        # Batch A and batch B draw from *disjoint* value domains, so
+        # every informative rule mined from A matches nothing in B.
+        # With a one-batch window the refit becomes degenerate and must
+        # fall back to a re-mine instead of raising DataError.
+        rng = np.random.default_rng(0)
+        rows = []
+        for prefix, rows_per_half, effect_value in (("a", 300, "a0"),
+                                                    ("b", 300, "b1")):
+            for _ in range(rows_per_half):
+                values = tuple(
+                    "%s%d" % (prefix, rng.integers(0, 3)) for _ in range(3)
+                )
+                measure = 10.0 + rng.normal(0.0, 0.5)
+                if values[0] == effect_value:
+                    measure += 100.0
+                rows.append(values + (measure,))
+        table = Table.from_rows(Schema(["d0", "d1", "d2"], "m"), rows)
+        batches = [table.slice(0, 300), table.slice(300, 600)]
+
+        miner = self._miner(window_batches=1, drift_factor=1000.0)
+        first = miner.process(batches[0])
+        assert first.remined
+        assert any(not rule.is_root() for rule in first.rules)
+        # Before the fallback guard this raised
+        # DataError("iterative scaling needs at least one rule")-style
+        # degeneracy; now it must re-mine on the new window.
+        second = miner.process(batches[1])
+        assert second.remined
+        assert second.total_rows == 300
+        assert np.isfinite(second.kl)
+
+    def test_refit_survivors_keep_refitting(self):
+        # A stable stream keeps its informative rules: the degenerate
+        # fallback must NOT fire when support survives.
+        table = _stream_table()
+        stream = MicroBatchStream.from_table(table, 300)
+        miner = self._miner(drift_factor=1000.0)
+        snapshots = miner.run(stream)
+        assert snapshots[0].remined
+        assert not any(s.remined for s in snapshots[1:])
 
     def test_empty_batch_rejected(self, flights):
         miner = self._miner()
