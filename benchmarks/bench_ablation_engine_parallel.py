@@ -15,13 +15,16 @@ only when the host actually has >=4 usable cores; the JSON line
 the host width so results are interpretable either way.
 """
 
-import json
 import os
 import time
 
-import numpy as np
-
-from repro.bench import print_table, run_variant, speedup
+from repro.bench import (
+    json_result_line,
+    mining_results_identical,
+    print_table,
+    run_variant,
+    speedup,
+)
 from repro.data.generators import SyntheticSpec, generate
 
 ROWS = 60_000
@@ -50,26 +53,12 @@ def build_workload():
 def mine_once(table, parallelism):
     started = time.perf_counter()
     result = run_variant(
-        table, VARIANT, parallelism=parallelism,
+        table, VARIANT, parallelism=parallelism, executor="thread",
         k=K, sample_size=SAMPLE_SIZE, seed=0,
         num_partitions=NUM_PARTITIONS,
     )
     wall = time.perf_counter() - started
     return result, wall
-
-
-def results_bit_identical(serial, parallel):
-    if [tuple(m.rule.values) for m in serial.rule_set] != [
-        tuple(m.rule.values) for m in parallel.rule_set
-    ]:
-        return False
-    if not np.array_equal(serial.lambdas, parallel.lambdas):
-        return False
-    if not np.array_equal(serial.estimates, parallel.estimates):
-        return False
-    if serial.kl_trace != parallel.kl_trace:
-        return False
-    return serial.metrics == parallel.metrics
 
 
 def run_comparison():
@@ -80,7 +69,8 @@ def run_comparison():
         "serial_wall": serial_wall,
         "parallel_wall": parallel_wall,
         "speedup": speedup(serial_wall, parallel_wall),
-        "identical": results_bit_identical(serial_result, parallel_result),
+        "identical": mining_results_identical(serial_result,
+                                              parallel_result),
         "simulated_seconds": serial_result.simulated_seconds,
         "rules": len(serial_result.rule_set),
     }
@@ -101,8 +91,9 @@ def test_ablation_engine_parallel(once):
         note="bit-identical rules/lambdas/estimates/metrics: %s; "
              "host cores: %d" % (out["identical"], cores),
     )
-    print("ENGINE_PARALLEL_JSON " + json.dumps({
+    print(json_result_line("ENGINE_PARALLEL_JSON", {
         "rows": ROWS,
+        "executor": "thread",
         "partitions": NUM_PARTITIONS,
         "parallelism": PARALLELISM,
         "host_cores": cores,

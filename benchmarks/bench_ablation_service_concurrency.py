@@ -15,11 +15,10 @@ emits one machine-readable JSON line (``SERVICE_CONCURRENCY_JSON``)
 with the throughput/latency numbers.
 """
 
-import json
-
 from repro.bench import (
     build_service_workload,
     dataset_by_name,
+    json_result_line,
     latency_summary,
     print_table,
     run_serial_reference,
@@ -84,7 +83,7 @@ def test_ablation_service_concurrency(once):
                  out["jobs_executed"], NUM_REQUESTS,
              ),
     )
-    print("SERVICE_CONCURRENCY_JSON " + json.dumps({
+    print(json_result_line("SERVICE_CONCURRENCY_JSON", {
         "requests": NUM_REQUESTS,
         "clients": NUM_CLIENTS,
         "serial_seconds": out["serial_seconds"],

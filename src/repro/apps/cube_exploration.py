@@ -52,6 +52,7 @@ def explore_cube(
     variant="optimized",
     cluster=None,
     parallelism=None,
+    executor=None,
     **overrides,
 ):
     """Recommend the k most informative unexplored cells.
@@ -73,8 +74,16 @@ def explore_cube(
         prior.extend(group_by_rules(table, name))
     overrides.setdefault("exhaustive", True)
     config = variant_config(variant, k=k, **overrides)
+    owns_cluster = cluster is None
     if cluster is None:
         from repro.core.miner import make_default_cluster
 
-        cluster = make_default_cluster(parallelism=parallelism)
-    return Sirum(config).mine(table, cluster=cluster, prior_rules=prior)
+        cluster = make_default_cluster(parallelism=parallelism,
+                                       executor=executor)
+    try:
+        return Sirum(config).mine(table, cluster=cluster, prior_rules=prior)
+    finally:
+        # An internally created cluster would otherwise leak a live
+        # worker pool per call when parallelism > 1.
+        if owns_cluster:
+            cluster.close()

@@ -3,8 +3,10 @@
 from repro.bench.harness import (
     build_service_workload,
     dataset_by_name,
+    json_result_line,
     latency_summary,
     make_cluster,
+    mining_results_identical,
     print_table,
     run_serial_reference,
     run_service_workload,
@@ -16,8 +18,10 @@ from repro.bench.harness import (
 __all__ = [
     "build_service_workload",
     "dataset_by_name",
+    "json_result_line",
     "latency_summary",
     "make_cluster",
+    "mining_results_identical",
     "print_table",
     "run_serial_reference",
     "run_service_workload",

@@ -11,6 +11,7 @@ they are shared by ``repro.cli serve`` and the service concurrency
 ablation benchmark so both measure exactly the same thing.
 """
 
+import json
 import threading
 import time
 
@@ -23,7 +24,11 @@ from repro.data.generators import (
     susy_table,
     tlc_table,
 )
-from repro.engine.cluster import ClusterContext
+from repro.engine.cluster import (
+    ClusterContext,
+    default_executor,
+    default_parallelism,
+)
 from repro.engine.cost import ClusterSpec, CostModel
 
 _DATASETS = {
@@ -54,12 +59,14 @@ def make_cluster(
     straggler_sigma=0.0,
     seed=7,
     parallelism=None,
+    executor=None,
 ):
     """The benchmarks' default cluster (a scaled-down thesis cluster).
 
-    ``parallelism`` sets the real worker-thread count partition kernels
-    run on (None defers to ``REPRO_PARALLELISM``); simulated metrics
-    are identical across settings, only wall-clock changes.
+    ``parallelism`` sets the real worker count partition kernels run
+    on and ``executor`` the pool kind (None defers to
+    ``REPRO_PARALLELISM`` / ``REPRO_EXECUTOR``); simulated metrics are
+    identical across settings, only wall-clock changes.
     """
     spec = ClusterSpec(
         num_executors=num_executors,
@@ -69,21 +76,66 @@ def make_cluster(
         straggler_sigma=straggler_sigma,
         seed=seed,
     )
-    return ClusterContext(spec, CostModel(), parallelism=parallelism)
+    return ClusterContext(spec, CostModel(), parallelism=parallelism,
+                          executor=executor)
 
 
 def run_variant(table, variant, cluster=None, prior_rules=None,
-                parallelism=None, **overrides):
+                parallelism=None, executor=None, **overrides):
     """Mine ``table`` with a Table 4.2 variant on a fresh cluster.
 
     Returns the :class:`~repro.core.result.MiningResult`; its
     ``simulated_seconds`` / phase breakdowns are the benchmark metrics.
-    ``parallelism`` configures the fresh cluster's worker threads
-    (ignored when an explicit ``cluster`` is passed).
+    ``parallelism`` / ``executor`` configure the fresh cluster's
+    workers (ignored when an explicit ``cluster`` is passed); an
+    internally created cluster is closed before returning.
     """
-    cluster = cluster or make_cluster(parallelism=parallelism)
+    owns_cluster = cluster is None
+    cluster = cluster or make_cluster(parallelism=parallelism,
+                                      executor=executor)
     config = variant_config(variant, **overrides)
-    return Sirum(config).mine(table, cluster=cluster, prior_rules=prior_rules)
+    try:
+        return Sirum(config).mine(table, cluster=cluster,
+                                  prior_rules=prior_rules)
+    finally:
+        if owns_cluster:
+            cluster.close()
+
+
+def mining_results_identical(a, b):
+    """True when two mining results are bit-identical.
+
+    The engine's cross-execution-mode guarantee, as one predicate:
+    same rules, lambdas, estimates, KL trace and every simulated
+    metric (counters, phase attribution, simulated seconds).
+    """
+    import numpy as np
+
+    if [tuple(m.rule.values) for m in a.rule_set] != [
+        tuple(m.rule.values) for m in b.rule_set
+    ]:
+        return False
+    if not np.array_equal(a.lambdas, b.lambdas):
+        return False
+    if not np.array_equal(a.estimates, b.estimates):
+        return False
+    if a.kl_trace != b.kl_trace:
+        return False
+    return a.metrics == b.metrics
+
+
+def json_result_line(tag, payload):
+    """One machine-readable benchmark result line, tagged for grepping.
+
+    Every line records the engine execution mode — ``executor`` kind
+    and ``parallelism`` — so result files from differently-configured
+    runs stay interpretable; explicit keys in ``payload`` win over the
+    environment-derived defaults.
+    """
+    payload = dict(payload)
+    payload.setdefault("executor", default_executor())
+    payload.setdefault("parallelism", default_parallelism())
+    return "%s %s" % (tag, json.dumps(payload))
 
 
 #: Mining variants cycled through by the scripted service workload —

@@ -67,6 +67,12 @@ def build_parser():
                  "REPRO_PARALLELISM or serial); results are identical "
                  "across settings",
         )
+        sub.add_argument(
+            "--executor", choices=["thread", "process"], default=None,
+            help="worker pool kind for parallel kernels (default: "
+                 "REPRO_EXECUTOR or thread); process sidesteps the GIL "
+                 "for pure-Python kernels, results are identical",
+        )
         if name == "explore":
             sub.add_argument(
                 "--prior",
@@ -120,6 +126,11 @@ def build_parser():
              "or serial)",
     )
     serve.add_argument(
+        "--executor", choices=["thread", "process"], default=None,
+        help="pool kind for each mining job's engine workers "
+             "(default: REPRO_EXECUTOR or thread)",
+    )
+    serve.add_argument(
         "--compare-serial", action="store_true",
         help="also run the workload serially and uncached, and print "
              "the throughput ratio",
@@ -160,6 +171,7 @@ def _run_serve(args, table, out):
     service = RuleMiningService(ServiceConfig(
         num_workers=args.workers, max_queue_depth=args.queue_depth,
         engine_parallelism=args.parallelism,
+        engine_executor=args.executor,
     ))
     try:
         service.register_dataset("data", table)
@@ -227,7 +239,7 @@ def main(argv=None, out=None):
             result = mine(
                 table, k=args.k, variant=args.variant,
                 sample_size=args.sample_size, seed=args.seed,
-                parallelism=args.parallelism,
+                parallelism=args.parallelism, executor=args.executor,
             )
             _print_result(table, result, out)
         elif args.command == "explore":
@@ -237,14 +249,14 @@ def main(argv=None, out=None):
             result = explore_cube(
                 table, k=args.k, prior_dimensions=prior,
                 variant=args.variant, seed=args.seed,
-                parallelism=args.parallelism,
+                parallelism=args.parallelism, executor=args.executor,
             )
             _print_result(table, result, out)
         else:
             result, findings = diagnose_dirty_records(
                 table, k=args.k, variant=args.variant,
                 sample_size=args.sample_size, seed=args.seed,
-                parallelism=args.parallelism,
+                parallelism=args.parallelism, executor=args.executor,
             )
             _print_result(table, result, out)
             out.write("\ntop deviations from the overall dirty rate:\n")

@@ -16,6 +16,8 @@ Use :func:`mine` for the one-call API, or construct a
 :func:`~repro.core.config.variant_config` preset.
 """
 
+from functools import partial
+
 import numpy as np
 
 from repro.common.errors import ConfigError, DataError
@@ -45,6 +47,7 @@ from repro.core.scaling import iterative_scale
 from repro.core.session import MiningSession
 from repro.engine.cluster import ClusterContext
 from repro.engine.cost import ClusterSpec, CostModel
+from repro.engine.shm import resolve as shm_resolve
 
 #: Serialized size estimate of one combiner-output (rule, aggregates)
 #: pair — a packed rule key plus aggregate deltas.
@@ -58,6 +61,150 @@ EMIT_UNITS = 1
 VARIANTS = dict(VARIANT_FLAGS)
 
 
+# ----------------------------------------------------------------------
+# Stage kernels
+#
+# Module-level functions bound with ``functools.partial`` rather than
+# closures: a bound kernel pickles, so the same kernel object runs on
+# the serial driver loop, the thread pool, or a process-pool worker.
+# Session-wide arrays arrive either directly or as shared-memory
+# descriptors (process mode) and are resolved via ``shm_resolve``.
+# ----------------------------------------------------------------------
+
+
+def _scan_kernel(tc, part):
+    """One metered pass over a partition's rows (load / RCT write-back)."""
+    tc.add_records(part.num_rows)
+    return None
+
+
+def _prune_kernel(tc, part, measure, estimates, sample_rows, codec,
+                  sample_index, packed):
+    """Per-partition LCA aggregation over the candidate-pruning sample."""
+    measure = shm_resolve(measure)[part.start:part.stop]
+    estimates = shm_resolve(estimates)[part.start:part.stop]
+    if packed:
+        return lca_aggregates_packed(
+            part.columns, measure, estimates, sample_rows, codec,
+            index=sample_index, tc=tc,
+        )
+    if sample_index is not None:
+        return lca_aggregates_fast(
+            part.columns, measure, estimates, sample_index, sample_rows,
+            tc,
+        )
+    return lca_aggregates_baseline(
+        part.columns, measure, estimates, sample_rows, tc
+    )
+    # The LCA table is consumed by the ancestor mappers in place (a
+    # narrow dependency) -- no shuffle here.
+
+
+def _ancestor_packed_kernel(tc, chunk, codec, group, weighted):
+    """Vectorized ancestor generation over one packed (keys, aggs) chunk."""
+    in_keys, in_aggs = chunk
+    out_keys, out_aggs, emitted = generate_ancestors_packed(
+        in_keys, in_aggs, codec, group=group, instance_weighted=weighted,
+    )
+    tc.add_ops(emitted * EMIT_UNITS)
+    # Combiner output is candidate-scale: its shuffle is negligible at
+    # real data sizes, so only the mapper CPU (ops above) is charged.
+    tc.add_light_ops(in_keys.size + out_keys.size)
+    return out_keys, out_aggs, emitted
+
+
+def _ancestor_dict_kernel(tc, chunk, group, weighted):
+    """Dict-path ancestor generation over one rule->aggregate chunk.
+
+    First round: mappers emit once per LCA *instance* of the |s| x |D|
+    join (agg[2] pairs per distinct LCA); later rounds walk the
+    previous round's reduced output.
+    """
+    partial_aggs = {}
+    emitted = 0
+    for rule, agg in chunk.items():
+        weight = int(agg[2]) if weighted else 1
+        count = 0
+        if group is None:
+            ancestors = rule.ancestors()
+        else:
+            ancestors = lattice.ancestors_within_group(rule, group)
+        for ancestor in ancestors:
+            count += 1
+            existing = partial_aggs.get(ancestor)
+            if existing is None:
+                partial_aggs[ancestor] = agg
+            else:
+                partial_aggs[ancestor] = tuple(
+                    a + b for a, b in zip(existing, agg)
+                )
+        emitted += weight * count
+    tc.add_ops(emitted * EMIT_UNITS)
+    tc.add_light_ops(len(chunk) + len(partial_aggs))
+    return partial_aggs, emitted
+
+
+def _match_counts_packed_kernel(tc, bounds, keys, sample_rows, codec):
+    """Packed-key sample-multiplicity counts for one candidate chunk."""
+    start, stop = bounds
+    counts = match_counts_packed(
+        shm_resolve(keys)[start:stop], sample_rows, codec
+    )
+    tc.add_light_ops((stop - start) * (len(sample_rows) + 1))
+    return counts
+
+
+def _sample_match_kernel(tc, rules_chunk, sample_rows):
+    """Rule-tuple sample-multiplicity counts for one candidate chunk.
+
+    The chunk *is* the partition item (a slice of the candidate list),
+    so a process-pool task ships only its own rules rather than every
+    task carrying the full list inside the kernel.
+    """
+    rows = [r.values for r in rules_chunk]
+    counts = sample_match_counts(rows, sample_rows)
+    # Per distinct candidate: |s| sample matches + one gain.
+    tc.add_light_ops(len(rules_chunk) * (len(sample_rows) + 1))
+    return counts
+
+
+def _exhaustive_kernel(tc, part, measure, estimates):
+    """Full-cube candidate generation over one partition."""
+    measure = shm_resolve(measure)[part.start:part.stop]
+    estimates = shm_resolve(estimates)[part.start:part.stop]
+    acc, emitted = cand.generate_exhaustive(
+        part.columns, measure, estimates, tc
+    )
+    tc.add_light_ops(len(acc))
+    return acc, emitted
+
+
+def _rct_build_kernel(tc, part, words):
+    """RCT pass 1: local group-by over coverage words + tiny shuffle."""
+    tc.add_records(part.num_rows)
+    tc.add_ops(part.num_rows)
+    local_groups = np.unique(
+        shm_resolve(words)[part.start:part.stop], axis=0
+    ).shape[0]
+    tc.add_output_bytes(local_groups * PAIR_BYTES)
+    return None
+
+
+def _baseline_sums_kernel(tc, part, num_rules, arity):
+    """Algorithm 1 pass A: every m-hat(r), re-tested attribute-wise."""
+    tc.add_records(part.num_rows)
+    tc.add_ops(part.num_rows * num_rules * arity)
+    tc.add_output_bytes(num_rules * PAIR_BYTES)
+    return None
+
+
+def _baseline_update_kernel(tc, part):
+    """Algorithm 1 pass B: update t[m-hat] with one scan of D."""
+    tc.add_records(part.num_rows)
+    tc.add_ops(part.num_rows)
+    return None
+
+
 def make_default_cluster(
     num_executors=4,
     cores_per_executor=4,
@@ -66,12 +213,15 @@ def make_default_cluster(
     seed=7,
     cost_model=None,
     parallelism=None,
+    executor=None,
 ):
     """A small local cluster suitable for tests and examples.
 
-    ``parallelism`` sets the number of real worker threads partition
-    kernels execute on (None defers to ``REPRO_PARALLELISM``); results
-    and simulated metrics are identical across settings.
+    ``parallelism`` sets the number of real workers partition kernels
+    execute on and ``executor`` the pool kind (``"thread"`` or
+    ``"process"``; None defers to ``REPRO_PARALLELISM`` /
+    ``REPRO_EXECUTOR``); results and simulated metrics are identical
+    across settings.
     """
     spec = ClusterSpec(
         num_executors=num_executors,
@@ -81,24 +231,34 @@ def make_default_cluster(
         seed=seed,
     )
     return ClusterContext(spec, cost_model or CostModel(),
-                          parallelism=parallelism)
+                          parallelism=parallelism, executor=executor)
 
 
 def mine(table, k=10, variant="optimized", cluster=None, prior_rules=None,
-         parallelism=None, **config_overrides):
+         parallelism=None, executor=None, **config_overrides):
     """One-call mining API.
 
     >>> result = mine(flight_table(), k=3, variant="optimized")
 
     ``variant`` is a Table 4.2 preset name; extra keyword arguments
-    override any :class:`SirumConfig` field.  ``parallelism`` sets the
-    real worker-thread count of the default cluster (ignored when an
-    explicit ``cluster`` is passed).
+    override any :class:`SirumConfig` field.  ``parallelism`` and
+    ``executor`` set the real worker count and pool kind of the
+    default cluster (both ignored when an explicit ``cluster`` is
+    passed, which the caller then owns).  An internally created
+    cluster is closed before returning — no worker threads or
+    processes outlive the call.
     """
     config = variant_config(variant, k=k, **config_overrides)
+    owns_cluster = cluster is None
     if cluster is None:
-        cluster = make_default_cluster(parallelism=parallelism)
-    return Sirum(config).mine(table, cluster=cluster, prior_rules=prior_rules)
+        cluster = make_default_cluster(parallelism=parallelism,
+                                       executor=executor)
+    try:
+        return Sirum(config).mine(table, cluster=cluster,
+                                  prior_rules=prior_rules)
+    finally:
+        if owns_cluster:
+            cluster.close()
 
 
 class Sirum:
@@ -140,6 +300,7 @@ class Sirum:
         """
         wall = Stopwatch().start()
         cfg = self.config
+        owns_cluster = cluster is None
         cluster = cluster or make_default_cluster()
         rng = make_rng(cfg.seed)
 
@@ -155,6 +316,21 @@ class Sirum:
             cluster, mined_table, cfg.num_partitions,
             codec=codec, transform=transform,
         )
+        try:
+            return self._mine(table, mined_table, session, cluster,
+                              prior_rules, sample_rows, rng, wall)
+        finally:
+            # Shared-memory segments (process mode) die with the
+            # session; an internally created cluster's worker pools
+            # die with the call.
+            session.close()
+            if owns_cluster:
+                cluster.close()
+
+    def _mine(self, table, mined_table, session, cluster, prior_rules,
+              sample_rows, rng, wall):
+        """The mining loop proper; ``mine`` owns setup and cleanup."""
+        cfg = self.config
         self._load(session)
 
         arity = mined_table.schema.arity
@@ -267,12 +443,7 @@ class Sirum:
 
     def _load(self, session):
         """Initial scan: every partition is read from (simulated) HDFS."""
-
-        def kernel(tc, part):
-            tc.add_records(part.num_rows)
-            return None
-
-        session.run_over_data(kernel, phase="load")
+        session.run_over_data(_scan_kernel, phase="load")
 
     def _generate_candidates(self, session, sample_rows, sample_index,
                              column_groups):
@@ -318,25 +489,15 @@ class Sirum:
                     payload += sample_index.estimated_bytes()
                 cluster.broadcast(None, payload)
 
-            def prune_kernel(tc, part):
-                measure = session.partition_slice(part, session.measure)
-                estimates = session.partition_slice(part, session.estimates)
-                if packed:
-                    return lca_aggregates_packed(
-                        part.columns, measure, estimates, sample_rows,
-                        codec, index=sample_index, tc=tc,
-                    )
-                if sample_index is not None:
-                    return lca_aggregates_fast(
-                        part.columns, measure, estimates, sample_index,
-                        sample_rows, tc,
-                    )
-                return lca_aggregates_baseline(
-                    part.columns, measure, estimates, sample_rows, tc
-                )
-                # The LCA table is consumed by the ancestor mappers in
-                # place (a narrow dependency) -- no shuffle here.
-
+            prune_kernel = partial(
+                _prune_kernel,
+                measure=session.measure_ref(),
+                estimates=session.estimates_ref(),
+                sample_rows=sample_rows,
+                codec=codec,
+                sample_index=sample_index,
+                packed=packed,
+            )
             stage = session.run_over_data(
                 prune_kernel,
                 shuffle_data=not cfg.use_broadcast_join,
@@ -376,21 +537,10 @@ class Sirum:
                 chunks = list(partition_lcas)
             else:
                 chunks = _chunk_arrays(keys, aggs, session.num_partitions)
-            weighted = round_index == 0
-
-            def kernel(tc, chunk, group=group, weighted=weighted):
-                in_keys, in_aggs = chunk
-                out_keys, out_aggs, emitted = generate_ancestors_packed(
-                    in_keys, in_aggs, codec, group=group,
-                    instance_weighted=weighted,
-                )
-                tc.add_ops(emitted * EMIT_UNITS)
-                # Combiner output is candidate-scale: its shuffle is
-                # negligible at real data sizes, so only the mapper CPU
-                # (ops above) is charged.
-                tc.add_light_ops(in_keys.size + out_keys.size)
-                return out_keys, out_aggs, emitted
-
+            kernel = partial(
+                _ancestor_packed_kernel, codec=codec, group=group,
+                weighted=round_index == 0,
+            )
             stage = cluster.run_stage(
                 kernel, chunks, name="ancestor_generation",
             )
@@ -408,16 +558,12 @@ class Sirum:
         """Packed-key multiplicity correction + gains (see
         :meth:`_score_candidates`)."""
         chunk_bounds = _chunk_bounds(keys.size, session.num_partitions)
-
-        def kernel(tc, bounds):
-            start, stop = bounds
-            counts = match_counts_packed(
-                keys[start:stop], sample_rows, codec
+        with session.shared_ref(keys) as keys_ref:
+            kernel = partial(
+                _match_counts_packed_kernel, keys=keys_ref,
+                sample_rows=sample_rows, codec=codec,
             )
-            tc.add_light_ops((stop - start) * (len(sample_rows) + 1))
-            return counts
-
-        stage = cluster.run_stage(kernel, chunk_bounds, name="gain")
+            stage = cluster.run_stage(kernel, chunk_bounds, name="gain")
         multiplicities = np.concatenate(stage.outputs)
         if np.any(multiplicities == 0):
             raise DataError(
@@ -460,42 +606,17 @@ class Sirum:
                 ]
             else:
                 chunks = _chunk_dict(current, session.num_partitions)
-            weighted = round_index == 0
-
-            def kernel(tc, chunk, group=group, weighted=weighted):
-                # First round: mappers emit once per LCA *instance* of
-                # the |s| x |D| join (agg[2] pairs per distinct LCA);
-                # later rounds walk the previous round's reduced output.
-                partial = {}
-                emitted = 0
-                for rule, agg in chunk.items():
-                    weight = int(agg[2]) if weighted else 1
-                    count = 0
-                    if group is None:
-                        ancestors = rule.ancestors()
-                    else:
-                        ancestors = lattice.ancestors_within_group(rule, group)
-                    for ancestor in ancestors:
-                        count += 1
-                        existing = partial.get(ancestor)
-                        if existing is None:
-                            partial[ancestor] = agg
-                        else:
-                            partial[ancestor] = tuple(
-                                a + b for a, b in zip(existing, agg)
-                            )
-                    emitted += weight * count
-                tc.add_ops(emitted * EMIT_UNITS)
-                tc.add_light_ops(len(chunk) + len(partial))
-                return partial, emitted
-
+            kernel = partial(
+                _ancestor_dict_kernel, group=group,
+                weighted=round_index == 0,
+            )
             stage = cluster.run_stage(
                 kernel, chunks, name="ancestor_generation"
             )
             merged = {}
-            for partial, emitted in stage.outputs:
+            for partial_aggs, emitted in stage.outputs:
                 emitted_total += emitted
-                for rule, agg in partial.items():
+                for rule, agg in partial_aggs.items():
                     existing = merged.get(rule)
                     if existing is None:
                         merged[rule] = agg
@@ -513,17 +634,13 @@ class Sirum:
         raw = np.asarray([aggregates[r] for r in rules], dtype=np.float64)
         if raw.size == 0:
             raise DataError("candidate generation produced no rules")
-        chunk_bounds = _chunk_bounds(len(rules), session.num_partitions)
-
-        def kernel(tc, bounds):
-            start, stop = bounds
-            rows = [r.values for r in rules[start:stop]]
-            counts = sample_match_counts(rows, sample_rows)
-            # Per distinct candidate: |s| sample matches + one gain.
-            tc.add_light_ops((stop - start) * (len(sample_rows) + 1))
-            return counts
-
-        stage = cluster.run_stage(kernel, chunk_bounds, name="gain")
+        chunks = [
+            rules[start:stop]
+            for start, stop in _chunk_bounds(len(rules),
+                                             session.num_partitions)
+        ]
+        kernel = partial(_sample_match_kernel, sample_rows=sample_rows)
+        stage = cluster.run_stage(kernel, chunks, name="gain")
         multiplicities = np.concatenate(stage.outputs)
         if np.any(multiplicities == 0):
             raise DataError(
@@ -545,16 +662,11 @@ class Sirum:
         cluster = session.cluster
 
         with cluster.phase("ancestor_generation"):
-
-            def kernel(tc, part):
-                measure = session.partition_slice(part, session.measure)
-                estimates = session.partition_slice(part, session.estimates)
-                acc, emitted = cand.generate_exhaustive(
-                    part.columns, measure, estimates, tc
-                )
-                tc.add_light_ops(len(acc))
-                return acc, emitted
-
+            kernel = partial(
+                _exhaustive_kernel,
+                measure=session.measure_ref(),
+                estimates=session.estimates_ref(),
+            )
             stage = session.run_over_data(kernel)
             merged = cand.merge_exhaustive([acc for acc, _ in stage.outputs])
             emitted = sum(e for _, e in stage.outputs)
@@ -586,15 +698,11 @@ class Sirum:
         cluster = session.cluster
         with cluster.phase("iterative_scaling"):
             # Pass 1: build the RCT (local group-by + tiny shuffle).
-            def build_kernel(tc, part):
-                tc.add_records(part.num_rows)
-                tc.add_ops(part.num_rows)
-                words = session.bit_matrix._words[part.start:part.stop]
-                local_groups = np.unique(words, axis=0).shape[0]
-                tc.add_output_bytes(local_groups * PAIR_BYTES)
-                return None
-
-            session.run_over_data(build_kernel, shuffle_output=True)
+            # The coverage words are row-scale, so process mode ships
+            # them through a transient shared segment, not per task.
+            with session.shared_ref(session.bit_matrix._words) as words:
+                build_kernel = partial(_rct_build_kernel, words=words)
+                session.run_over_data(build_kernel, shuffle_output=True)
 
             result = iterative_scale_rct(
                 session.bit_matrix,
@@ -614,11 +722,7 @@ class Sirum:
             cluster.metrics.increment("rct_groups", result.rct.num_groups)
 
             # Pass 2: write the converged estimates back.
-            def write_kernel(tc, part):
-                tc.add_records(part.num_rows)
-                return None
-
-            session.run_over_data(write_kernel)
+            session.run_over_data(_scan_kernel)
             session.estimates[:] = result.estimates
         return result.lambdas, result.iterations
 
@@ -639,16 +743,13 @@ class Sirum:
         with cluster.phase("iterative_scaling"):
             if cfg.use_broadcast_join:
                 cluster.broadcast(None, num_rules * (arity + 1) * 8)
+            sums_kernel = partial(
+                _baseline_sums_kernel, num_rules=num_rules, arity=arity,
+            )
             for _ in range(result.iterations):
                 # Pass A: compute every m-hat(r) — evaluates t matches r
                 # attribute by attribute for all rules (§4.1 notes this
                 # re-testing is what the bit arrays remove).
-                def sums_kernel(tc, part):
-                    tc.add_records(part.num_rows)
-                    tc.add_ops(part.num_rows * num_rules * arity)
-                    tc.add_output_bytes(num_rules * PAIR_BYTES)
-                    return None
-
                 session.run_over_data(
                     sums_kernel,
                     shuffle_data=not cfg.use_broadcast_join,
@@ -657,12 +758,7 @@ class Sirum:
 
                 # Pass B: update t[m-hat] for tuples matching the scaled
                 # rule (charged as a full pass, as the baseline scans D).
-                def update_kernel(tc, part):
-                    tc.add_records(part.num_rows)
-                    tc.add_ops(part.num_rows)
-                    return None
-
-                session.run_over_data(update_kernel)
+                session.run_over_data(_baseline_update_kernel)
         session.estimates[:] = result.estimates
         return result.lambdas, result.iterations
 

@@ -29,6 +29,12 @@ class Rule:
     def __setattr__(self, name, value):
         raise AttributeError("Rule is immutable")
 
+    def __reduce__(self):
+        # Pickle by reconstruction: the default slot-state protocol
+        # would trip over the immutability guard above, and rules must
+        # pickle so dict-path kernels can run in process-pool workers.
+        return (Rule, (self.values,))
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------

@@ -7,17 +7,53 @@ cluster's stage API so cache behaviour, shuffles and task costs are
 metered consistently.
 """
 
+from contextlib import contextmanager
+from functools import partial
+
 import numpy as np
 
 from repro.common.errors import EngineError
 from repro.core.codec import RowCodec
 from repro.core.measure import MeasureTransform
-from repro.core.rct import BitMatrix
 from repro.data.table import TableBlock
+from repro.engine.shm import SharedArray
+from repro.core.rct import BitMatrix
 
 #: A partition kernel's input: one contiguous block of the table as
 #: NumPy column views (see :meth:`repro.data.table.Table.partition_blocks`).
 DataPartition = TableBlock
+
+
+class _DataStageKernel:
+    """Picklable per-partition wrapper shared by every data stage.
+
+    Adds the bookkeeping ``run_over_data`` owes each partition — the
+    storage-cache touch (always deferred; the engine replays accesses
+    in partition order) and the repartition-shuffle charge — then runs
+    the stage's kernel.  A plain module-level class, so it crosses a
+    process boundary whenever the wrapped kernel does.
+    """
+
+    __slots__ = ("kernel", "touch_cache", "shuffle_data")
+
+    def __init__(self, kernel, touch_cache, shuffle_data):
+        self.kernel = kernel
+        self.touch_cache = touch_cache
+        self.shuffle_data = shuffle_data
+
+    def __call__(self, tc, part):
+        if self.touch_cache:
+            tc.request_cache_access(("data", part.index), part.size_bytes)
+        if self.shuffle_data:
+            tc.add_output_bytes(part.size_bytes)
+        return self.kernel(tc, part)
+
+
+def _coverage_kernel(tc, part, arity):
+    """Charge one rule-coverage pass: d comparisons per tuple."""
+    tc.add_records(part.num_rows)
+    tc.add_ops(part.num_rows * arity)
+    return None
 
 
 class MiningSession:
@@ -40,9 +76,15 @@ class MiningSession:
                 cluster.spec.num_executors * cluster.spec.cores_per_executor
             )
         num_partitions = max(1, min(num_partitions, len(table)))
+        #: True when the cluster runs stages on worker processes, so
+        #: session data must be reachable through shared memory.
+        self.shared = shared = cluster.uses_processes
         #: Zero-copy contiguous blocks of the table; partition kernels
-        #: receive these and vectorize over their own column views.
-        self.partitions = table.partition_blocks(num_partitions)
+        #: receive these and vectorize over their own column views.  In
+        #: process mode the blocks are shared-memory descriptors, so
+        #: shipping one to a worker does not copy its data.
+        self.partitions = table.partition_blocks(num_partitions,
+                                                 shared=shared)
         self.num_partitions = len(self.partitions)
         n = len(table)
         #: Packed-row codec for the table's dimension domains; the
@@ -52,10 +94,23 @@ class MiningSession:
             transform if transform is not None
             else MeasureTransform.fit(table.measure)
         )
+        # In process mode the measure and the evolving estimates live
+        # in session-owned shared memory: kernels receive descriptors,
+        # and the driver's in-place estimate updates are visible to
+        # workers through the same pages.
+        self._shared_measure = None
+        self._shared_estimates = None
+        measure = self.transform.transformed
+        estimates = np.ones(n, dtype=np.float64)
+        if shared:
+            self._shared_measure = SharedArray.create(measure)
+            measure = self._shared_measure.array
+            self._shared_estimates = SharedArray.create(estimates)
+            estimates = self._shared_estimates.array
         #: Transformed measure (max-ent preconditioned).
-        self.measure = self.transform.transformed
+        self.measure = measure
         #: Current per-tuple estimates in transformed space.
-        self.estimates = np.ones(n, dtype=np.float64)
+        self.estimates = estimates
         #: Per-tuple rule coverage bits (RCT input).
         self.bit_matrix = BitMatrix(n)
         #: Boolean coverage masks per selected rule.
@@ -68,6 +123,54 @@ class MiningSession:
     def partition_slice(self, partition, array):
         """Slice a session-wide array to one partition's rows."""
         return array[partition.start:partition.stop]
+
+    def measure_ref(self):
+        """The measure as a kernel argument.
+
+        A :class:`~repro.engine.shm.SharedArray` descriptor in process
+        mode (workers reattach, no copy), the plain array otherwise;
+        kernels resolve either through :func:`repro.engine.shm.resolve`.
+        """
+        if self._shared_measure is not None:
+            return self._shared_measure
+        return self.measure
+
+    def estimates_ref(self):
+        """The current estimates as a kernel argument (see measure_ref)."""
+        if self._shared_estimates is not None:
+            return self._shared_estimates
+        return self.estimates
+
+    @contextmanager
+    def shared_ref(self, array):
+        """Bind a row/candidate-scale array for one stage's kernels.
+
+        In process mode the array is copied to a transient
+        shared-memory segment (one copy total, instead of one pickled
+        copy per task inside the kernel partial) and unlinked when the
+        block exits; otherwise the array passes through untouched.
+        Kernels resolve either via :func:`repro.engine.shm.resolve`.
+        """
+        if not self.shared:
+            yield array
+            return
+        shared = SharedArray.create(array)
+        try:
+            yield shared
+        finally:
+            shared.unlink()
+
+    def close(self):
+        """Release session-owned shared-memory segments (idempotent).
+
+        Unlinks the measure/estimates segments this session created;
+        the table's column pack is table-owned and outlives the session
+        (concurrent jobs on the same dataset share it).  Serial and
+        thread modes hold no shared memory, making this a no-op.
+        """
+        for shared in (self._shared_measure, self._shared_estimates):
+            if shared is not None:
+                shared.unlink()
 
     def run_over_data(self, kernel, phase=None, shuffle_data=False,
                       shuffle_output=False, touch_cache=True):
@@ -90,13 +193,7 @@ class MiningSession:
             cached, a disk read when evicted (§4.5).
         """
         cluster = self.cluster
-
-        def wrapped(tc, part):
-            if touch_cache:
-                cluster.cached_access(tc, ("data", part.index), part.size_bytes)
-            if shuffle_data:
-                tc.add_output_bytes(part.size_bytes)
-            return kernel(tc, part)
+        wrapped = _DataStageKernel(kernel, touch_cache, shuffle_data)
 
         def execute():
             return cluster.run_stage(
@@ -122,12 +219,9 @@ class MiningSession:
         """
         mask = rule.match_mask(self.table)
         if charge_phase is not None:
-
-            def kernel(tc, part):
-                tc.add_records(part.num_rows)
-                tc.add_ops(part.num_rows * self.table.schema.arity)
-                return None
-
+            kernel = partial(
+                _coverage_kernel, arity=self.table.schema.arity
+            )
             self.run_over_data(kernel, phase=charge_phase)
         self.masks.append(mask)
         self.bit_matrix.add_rule(mask)

@@ -6,6 +6,8 @@ A :class:`Table` stores each dimension attribute as a dense
 SIRUM operates on; the engine partitions row ranges of it.
 """
 
+import threading
+
 import numpy as np
 
 from repro.common.errors import DataError
@@ -65,6 +67,13 @@ class Table:
         for col in self._dims:
             col.setflags(write=False)
         self._measure.setflags(write=False)
+        # Lazily-created shared-memory copy of the columns, for the
+        # process-pool execution mode (see ``partition_blocks``).  The
+        # lock is per table: concurrent jobs sharing one table get one
+        # pack, while unrelated tables' O(bytes) copies never queue on
+        # each other.
+        self._shm_pack = None
+        self._shm_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -193,13 +202,21 @@ class Table:
             raise DataError("replacement measure column length mismatch")
         return Table(self.schema, self._dims, measure_column, self._encoders)
 
-    def partition_blocks(self, num_blocks):
+    def partition_blocks(self, num_blocks, shared=False):
         """Split the table into ``num_blocks`` contiguous row blocks.
 
         Returns a list of :class:`TableBlock` whose columns and measure
         are views of this table's arrays.  ``num_blocks`` is clamped to
         ``[1, len(self)]``; row counts differ by at most one across
         blocks.  This is the partitioning every engine stage runs over.
+
+        With ``shared=True`` the blocks are
+        :class:`~repro.engine.shm.SharedTableBlock` descriptors over a
+        shared-memory copy of the columns (created once per table and
+        reused): they are picklable, so the process-pool execution mode
+        ships a partition to a worker without copying its data.  Values
+        seen by kernels are identical either way.  The segment is
+        unlinked when the table is garbage collected.
         """
         n = len(self)
         if n == 0:
@@ -207,6 +224,20 @@ class Table:
         num_blocks = max(1, min(int(num_blocks), n))
         bounds = [n * i // num_blocks for i in range(num_blocks + 1)]
         bytes_per_row = max(1, self.estimated_bytes() // n)
+        if shared:
+            from repro.engine.shm import SharedTableBlock
+
+            pack = self._shared_columns()
+            return [
+                SharedTableBlock(
+                    index=i,
+                    pack=pack,
+                    start=bounds[i],
+                    stop=bounds[i + 1],
+                    size_bytes=(bounds[i + 1] - bounds[i]) * bytes_per_row,
+                )
+                for i in range(num_blocks)
+            ]
         blocks = []
         for i in range(num_blocks):
             start, stop = bounds[i], bounds[i + 1]
@@ -219,6 +250,17 @@ class Table:
                 size_bytes=(stop - start) * bytes_per_row,
             ))
         return blocks
+
+    def _shared_columns(self):
+        """This table's shared-memory column pack (created on demand)."""
+        with self._shm_lock:
+            if self._shm_pack is None:
+                from repro.engine.shm import SharedArrayPack
+
+                self._shm_pack = SharedArrayPack.create(
+                    list(self._dims) + [self._measure]
+                )
+            return self._shm_pack
 
     # ------------------------------------------------------------------
     # Aggregates used across the library

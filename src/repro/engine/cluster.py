@@ -10,27 +10,46 @@ adding task-launch, shuffle and stage overheads.
 
 ``parallelism`` selects the *real* execution mode: 1 (the default)
 runs partition kernels serially on the driver thread; N > 1 runs them
-concurrently on a thread pool of N workers.  The two modes are
-bit-compatible — outputs, counters and simulated seconds are identical
-— because kernels must be pure per-partition functions and all shared
-accounting happens on the driver in partition order:
+concurrently on a pool of N workers.  ``executor`` picks the pool
+kind: ``"thread"`` (default) shares the driver's address space and
+suits NumPy-heavy kernels that release the GIL; ``"process"`` runs
+kernels in worker processes, which pays pickling/IPC per task but lets
+pure-Python kernels (dict-path ancestor generation, the RDD baselines)
+use every core.  All modes are bit-compatible — outputs, counters and
+simulated seconds are identical — because kernels must be pure
+per-partition functions and all shared accounting happens on the
+driver in partition order:
 
-- each task charges its own :class:`TaskContext` (exclusive, no locks);
-- partition-cache accesses are *deferred* in parallel mode and replayed
-  in partition order once every task has finished, so the LRU hit/miss
-  sequence matches the serial one exactly;
+- each task charges its own :class:`TaskContext` (exclusive, no
+  locks); process-mode workers ship the context back as a serialized
+  charge record the driver applies to a driver-side context;
+- partition-cache accesses are *deferred* in every mode and replayed
+  in partition order once the stage's tasks have finished, so the LRU
+  hit/miss sequence is one canonical sequence regardless of execution
+  mode (and an aborted stage leaves the cache untouched);
 - task durations, stage charges and counter merges are computed from
   the per-task contexts in partition order on the driver thread.
 
+Process-mode kernels must be picklable (module-level functions or
+classes, ``functools.partial`` over them); a stage whose kernel does
+not pickle transparently runs on the thread pool instead (counted in
+``ClusterContext.fallback_stages``).  Failure semantics are identical
+across modes: the exception of the lowest-index failing partition
+propagates, in-flight tasks are drained, and the aborted stage charges
+nothing — metrics and cache are exactly as they were before the stage.
+
 The default parallelism is read from the ``REPRO_PARALLELISM``
-environment variable (unset/empty means serial), so a whole test run
-can exercise the parallel mode without touching call sites.
+environment variable (unset/empty means serial) and the default
+executor kind from ``REPRO_EXECUTOR`` (unset/empty means threads), so
+a whole test run can exercise either mode without touching call sites.
 """
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import wait as _wait_futures
 from contextlib import contextmanager
 import heapq
 import os
+import pickle
 import threading
 
 from repro.common.errors import EngineError
@@ -39,6 +58,12 @@ from repro.engine.cost import ClusterSpec, CostModel
 from repro.engine.memory import CacheManager
 from repro.engine.metrics import MetricsRegistry
 from repro.engine.task import TaskContext
+
+
+#: Supported worker-pool kinds for parallel stage execution.
+EXECUTOR_THREAD = "thread"
+EXECUTOR_PROCESS = "process"
+EXECUTORS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
 
 
 def default_parallelism():
@@ -55,6 +80,48 @@ def default_parallelism():
     if parsed < 1:
         raise EngineError("REPRO_PARALLELISM must be at least 1")
     return parsed
+
+
+def default_executor():
+    """Pool kind from ``REPRO_EXECUTOR`` (threads when unset/empty)."""
+    value = os.environ.get("REPRO_EXECUTOR", "").strip().lower()
+    if not value:
+        return EXECUTOR_THREAD
+    if value not in EXECUTORS:
+        raise EngineError(
+            "REPRO_EXECUTOR must be one of %s, got %r"
+            % (", ".join(EXECUTORS), value)
+        )
+    return value
+
+
+def _is_pickling_error(exc):
+    """True when ``exc`` reports a pickling failure.
+
+    Submission-side failures (unpicklable partition data) and
+    worker-side result failures (unpicklable task output) both surface
+    through the task's future as one of these, letting the process
+    path distinguish "this stage cannot cross a process boundary" from
+    a genuine kernel error.
+    """
+    if isinstance(exc, pickle.PicklingError):
+        return True
+    return (isinstance(exc, (TypeError, AttributeError))
+            and "pickle" in str(exc).lower())
+
+
+def _run_pickled_task(kernel_bytes, index, partition):
+    """Process-pool worker body: run one pickled kernel over one task.
+
+    Executes in the worker process.  The kernel charges a local
+    :class:`TaskContext` (cache accesses deferred, as in every mode)
+    and the context travels back as a charge record — the driver never
+    shares mutable state with workers.
+    """
+    kernel = pickle.loads(kernel_bytes)
+    tc = TaskContext(task_id=index, partition_id=index, defer_cache=True)
+    output = kernel(tc, partition)
+    return output, tc.charges()
 
 
 class Broadcast:
@@ -77,13 +144,14 @@ class StageResult:
 class ClusterContext:
     """A simulated cluster: run stages, broadcast values, cache data.
 
-    ``parallelism`` is the number of real worker threads partition
-    kernels run on (see the module docstring); ``None`` resolves from
-    the ``REPRO_PARALLELISM`` environment variable.
+    ``parallelism`` is the number of real workers partition kernels run
+    on and ``executor`` the pool kind (``"thread"`` or ``"process"``;
+    see the module docstring); ``None`` resolves each from the
+    ``REPRO_PARALLELISM`` / ``REPRO_EXECUTOR`` environment variables.
     """
 
     def __init__(self, spec=None, cost_model=None, hdfs=None,
-                 parallelism=None):
+                 parallelism=None, executor=None):
         self.spec = spec or ClusterSpec()
         self.cost = cost_model or CostModel()
         self.hdfs = hdfs or SimulatedHdfs()
@@ -94,15 +162,33 @@ class ClusterContext:
         if parallelism < 1:
             raise EngineError("parallelism must be at least 1")
         self.parallelism = int(parallelism)
+        if executor is None:
+            executor = default_executor()
+        if executor not in EXECUTORS:
+            raise EngineError(
+                "executor must be one of %s, got %r"
+                % (", ".join(EXECUTORS), executor)
+            )
+        self.executor = executor
+        #: Stages whose kernel did not pickle and ran on the thread
+        #: pool instead of the process pool.  A plain attribute, not a
+        #: metrics counter — registries stay bit-identical across modes.
+        self.fallback_stages = 0
         self._pool = None
+        self._process_pool = None
         self._sample_epoch = 0
         self._sample_lock = threading.Lock()
+
+    @property
+    def uses_processes(self):
+        """True when parallel stages run on a process pool."""
+        return self.executor == EXECUTOR_PROCESS and self.parallelism > 1
 
     # ------------------------------------------------------------------
     # Worker pool lifecycle
     # ------------------------------------------------------------------
 
-    def _worker_pool(self):
+    def _thread_pool(self):
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.parallelism,
@@ -110,11 +196,28 @@ class ClusterContext:
             )
         return self._pool
 
+    def _worker_pool(self):
+        if self.executor == EXECUTOR_PROCESS:
+            if self._process_pool is None:
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=self.parallelism,
+                )
+            return self._process_pool
+        return self._thread_pool()
+
     def close(self):
-        """Shut down the worker pool (idempotent; serial mode is a no-op)."""
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        """Shut down the worker pools (idempotent; serial mode is a no-op).
+
+        Joins every worker thread and process, whichever executor kinds
+        this cluster actually used (process mode keeps a thread pool
+        too, for stages whose kernel does not pickle).
+        """
+        pools = (self._pool, self._process_pool)
+        self._pool = None
+        self._process_pool = None
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=True)
 
     def __enter__(self):
         return self
@@ -124,11 +227,12 @@ class ClusterContext:
 
     def __del__(self):
         try:
-            pool = self._pool
+            pools = (self._pool, self._process_pool)
         except AttributeError:  # interpreter teardown / failed __init__
             return
-        if pool is not None:
-            pool.shutdown(wait=False)
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=False)
 
     def next_sample_seed(self):
         """A deterministic per-call seed for sampling operators.
@@ -197,36 +301,31 @@ class ClusterContext:
 
         Returns a :class:`StageResult` whose ``outputs`` are in
         partition order; outputs, counters and simulated seconds do
-        not depend on the execution mode.
+        not depend on the execution mode.  A kernel exception aborts
+        the stage: pending tasks are cancelled, in-flight tasks are
+        drained, the lowest-index failure propagates, and no charge —
+        simulated time, counters or cache state — is applied.
         """
         partitions = list(partitions)
         if not partitions:
             return StageResult([], 0.0, [])
         workers = min(self.parallelism, len(partitions))
-        if workers > 1:
-            tasks = [
-                TaskContext(task_id=i, partition_id=i, defer_cache=True)
-                for i in range(len(partitions))
-            ]
-            outputs = list(
-                self._worker_pool().map(
-                    lambda pair: kernel(*pair), zip(tasks, partitions)
-                )
+        if workers > 1 and self.executor == EXECUTOR_PROCESS:
+            tasks, outputs = self._run_tasks_process(kernel, partitions)
+        elif workers > 1:
+            tasks, outputs = self._run_tasks_threaded(
+                kernel, partitions, self._thread_pool()
             )
-            # Replay deferred cache accesses in partition order: the
-            # hit/miss sequence (and resulting disk charges) is then
-            # exactly what the serial loop would have produced.
-            for tc in tasks:
-                for key, size_bytes in tc.cache_requests:
-                    tc.add_disk_bytes(self.cache.access(key, size_bytes))
-                tc.cache_requests = []
         else:
-            outputs = []
-            tasks = []
-            for i, part in enumerate(partitions):
-                tc = TaskContext(task_id=i, partition_id=i)
-                outputs.append(kernel(tc, part))
-                tasks.append(tc)
+            tasks, outputs = self._run_tasks_serial(kernel, partitions)
+        # Replay deferred cache accesses in partition order — in every
+        # mode, so the hit/miss sequence (and resulting disk charges)
+        # is one canonical sequence and an aborted stage above never
+        # touched the cache at all.
+        for tc in tasks:
+            for key, size_bytes in tc.cache_requests:
+                tc.add_disk_bytes(self.cache.access(key, size_bytes))
+            tc.cache_requests = []
         durations = [
             self.cost.task_seconds(
                 tc.ops, tc.records, tc.disk_bytes, tc.light_ops
@@ -253,6 +352,101 @@ class ClusterContext:
         )
         self.cache.record_timeline()
         return StageResult(outputs, total, tasks)
+
+    # ------------------------------------------------------------------
+    # Task execution (one body per execution mode)
+    # ------------------------------------------------------------------
+
+    def _run_tasks_serial(self, kernel, partitions):
+        tasks = []
+        outputs = []
+        for i, part in enumerate(partitions):
+            tc = TaskContext(task_id=i, partition_id=i, defer_cache=True)
+            outputs.append(kernel(tc, part))
+            tasks.append(tc)
+        return tasks, outputs
+
+    def _run_tasks_threaded(self, kernel, partitions, pool):
+        tasks = [
+            TaskContext(task_id=i, partition_id=i, defer_cache=True)
+            for i in range(len(partitions))
+        ]
+        futures = [
+            pool.submit(kernel, tc, part)
+            for tc, part in zip(tasks, partitions)
+        ]
+        return tasks, self._collect_in_order(futures)
+
+    def _run_tasks_process(self, kernel, partitions):
+        try:
+            kernel_bytes = pickle.dumps(
+                kernel, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:
+            # Closures and other unpicklable kernels (the lazy/RDD
+            # layers accept arbitrary user functions) cannot cross a
+            # process boundary; run this stage on the thread pool.
+            return self._fallback_to_threads(kernel, partitions)
+        pool = self._worker_pool()
+        futures = [
+            pool.submit(_run_pickled_task, kernel_bytes, i, part)
+            for i, part in enumerate(partitions)
+        ]
+        try:
+            records = self._collect_in_order(futures)
+        except BaseException as exc:
+            if not _is_pickling_error(exc):
+                raise
+            # The kernel pickled but something else did not cross the
+            # boundary: unpicklable partition elements at submission,
+            # an unpicklable task output on the way back — or a kernel
+            # that raised an exception whose *instance* does not
+            # pickle (worker exception transport reports all of these
+            # as pickling failures).  The aborted attempt charged
+            # nothing (abort semantics) and kernels are pure, so
+            # rerunning on the thread pool is safe and bit-identical;
+            # in the unpicklable-exception case it costs a second run
+            # but surfaces the kernel's real exception instead of a
+            # transport PicklingError.
+            return self._fallback_to_threads(kernel, partitions)
+        tasks = []
+        outputs = []
+        for i, (output, charges) in enumerate(records):
+            tc = TaskContext(task_id=i, partition_id=i, defer_cache=True)
+            tc.apply_charges(charges)
+            tasks.append(tc)
+            outputs.append(output)
+        return tasks, outputs
+
+    def _fallback_to_threads(self, kernel, partitions):
+        self.fallback_stages += 1
+        return self._run_tasks_threaded(
+            kernel, partitions, self._thread_pool()
+        )
+
+    def _collect_in_order(self, futures):
+        """Results in submission order; abort cleanly on failure.
+
+        On the first failing task (by partition index — the same task
+        whose exception a serial loop would surface), later tasks are
+        cancelled, already-running ones are drained, and the original
+        exception re-raises.  The caller applies no charges for an
+        aborted stage.
+        """
+        outputs = []
+        failure = None
+        for index, future in enumerate(futures):
+            try:
+                outputs.append(future.result())
+            except BaseException as exc:
+                failure = exc
+                for pending in futures[index + 1:]:
+                    pending.cancel()
+                break
+        if failure is not None:
+            _wait_futures(futures)
+            raise failure
+        return outputs
 
     def _schedule(self, durations):
         """LPT placement of task durations onto executor cores.
@@ -317,9 +511,10 @@ class ClusterContext:
 
         On a cache hit this is free; on a miss the task is charged a
         disk read of the partition's size (HDFS re-read / recompute, as
-        in thesis §4.5).  In a parallel stage the access is deferred
-        and replayed by the driver in partition order, so the charge
-        lands on ``tc`` after the kernel returns rather than inline.
+        in thesis §4.5).  Inside a stage the access is deferred — in
+        every execution mode — and replayed by the driver in partition
+        order, so the charge lands on ``tc`` after the kernel returns
+        rather than inline and the sequence is mode-independent.
         """
         if tc.defer_cache:
             tc.request_cache_access(key, size_bytes)

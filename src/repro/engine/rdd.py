@@ -18,6 +18,170 @@ from repro.common.rng import make_rng
 ELEMENT_BYTES = 64
 
 
+# ----------------------------------------------------------------------
+# Stage kernels
+#
+# Module-level classes rather than closures so a kernel pickles — and
+# therefore runs in a process-pool worker — whenever the user function
+# it wraps does.  Each receives ``(tc, (index, partition))`` and defers
+# its storage-cache touch; the driver replays accesses in partition
+# order (the cluster-module contract for every execution mode).
+# ----------------------------------------------------------------------
+
+
+class _IndexedKernel:
+    """Base: cache accounting for one ``(index, partition)`` task.
+
+    Slots-only classes, so the default pickle protocol ships them
+    whenever their fields (notably the user function) pickle.
+    """
+
+    __slots__ = ("cache_key",)
+
+    def __init__(self, cache_key):
+        self.cache_key = cache_key
+
+    def touch(self, tc, index, part):
+        if self.cache_key is not None:
+            tc.request_cache_access(
+                (self.cache_key, index), len(part) * ELEMENT_BYTES
+            )
+
+
+class _MapPartitionsKernel(_IndexedKernel):
+    """Run ``fn(list) -> list`` over one partition."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn, cache_key):
+        super().__init__(cache_key)
+        self.fn = fn
+
+    def __call__(self, tc, item):
+        index, part = item
+        self.touch(tc, index, part)
+        tc.add_records(len(part))
+        result = list(self.fn(part))
+        tc.add_ops(len(result))
+        return result
+
+
+class _CombineKernel(_IndexedKernel):
+    """Map-side combine of (k, v) pairs with ``combine``."""
+
+    __slots__ = ("combine",)
+
+    def __init__(self, combine, cache_key):
+        super().__init__(cache_key)
+        self.combine = combine
+
+    def __call__(self, tc, item):
+        index, part = item
+        self.touch(tc, index, part)
+        tc.add_records(len(part))
+        acc = {}
+        for key, value in part:
+            if key in acc:
+                acc[key] = self.combine(acc[key], value)
+            else:
+                acc[key] = value
+            tc.add_ops(1)
+        tc.add_output_bytes(len(acc) * ELEMENT_BYTES)
+        return acc
+
+
+class _CollectKernel(_IndexedKernel):
+    __slots__ = ()
+
+    def __call__(self, tc, item):
+        index, part = item
+        self.touch(tc, index, part)
+        tc.add_records(len(part))
+        return list(part)
+
+
+class _CountKernel(_IndexedKernel):
+    __slots__ = ()
+
+    def __call__(self, tc, item):
+        index, part = item
+        self.touch(tc, index, part)
+        tc.add_records(len(part))
+        return len(part)
+
+
+class _SampleKernel(_IndexedKernel):
+    """Bernoulli sampling with one independent RNG per partition."""
+
+    __slots__ = ("fraction", "seed")
+
+    def __init__(self, fraction, seed, cache_key):
+        super().__init__(cache_key)
+        self.fraction = fraction
+        self.seed = seed
+
+    def __call__(self, tc, item):
+        index, part = item
+        self.touch(tc, index, part)
+        tc.add_records(len(part))
+        rng = make_rng((self.seed, index))
+        result = [x for x in part if rng.random() < self.fraction]
+        tc.add_ops(len(result))
+        return result
+
+
+def _reduce_kernel(tc, bucket):
+    tc.add_records(len(bucket))
+    return list(bucket.items())
+
+
+class _MapFn:
+    """``fn`` element-wise over a partition (picklable with ``fn``)."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, part):
+        fn = self.fn
+        return [fn(x) for x in part]
+
+
+class _FilterFn(_MapFn):
+    __slots__ = ()
+
+    def __call__(self, part):
+        fn = self.fn
+        return [x for x in part if fn(x)]
+
+
+class _FlatMapFn(_MapFn):
+    __slots__ = ()
+
+    def __call__(self, part):
+        fn = self.fn
+        out = []
+        for x in part:
+            out.extend(fn(x))
+        return out
+
+
+class _BroadcastJoinFn:
+    """Map-side join against a broadcast dict (ships with the kernel)."""
+
+    __slots__ = ("table",)
+
+    def __init__(self, table):
+        self.table = table
+
+    def __call__(self, part):
+        table = self.table
+        return [
+            (key, (value, table[key])) for key, value in part if key in table
+        ]
+
+
 class RDD:
     """An eagerly materialized, partitioned collection."""
 
@@ -58,45 +222,23 @@ class RDD:
             )
         return self
 
-    def _access_partition(self, tc, index):
-        if self._cache_key is not None:
-            self.ctx.cached_access(
-                tc,
-                (self._cache_key, index),
-                len(self._partitions[index]) * ELEMENT_BYTES,
-            )
-
     # ------------------------------------------------------------------
     # Narrow transformations
     # ------------------------------------------------------------------
 
     def map(self, fn):
-        return self.map_partitions(lambda part: [fn(x) for x in part])
+        return self.map_partitions(_MapFn(fn))
 
     def filter(self, fn):
-        return self.map_partitions(lambda part: [x for x in part if fn(x)])
+        return self.map_partitions(_FilterFn(fn))
 
     def flat_map(self, fn):
-        def kernel(part):
-            out = []
-            for x in part:
-                out.extend(fn(x))
-            return out
-
-        return self.map_partitions(kernel)
+        return self.map_partitions(_FlatMapFn(fn))
 
     def map_partitions(self, fn):
         """Apply ``fn(list) -> list`` per partition as one stage."""
         indexed = list(enumerate(self._partitions))
-
-        def kernel(tc, item):
-            index, part = item
-            self._access_partition(tc, index)
-            tc.add_records(len(part))
-            result = list(fn(part))
-            tc.add_ops(len(result))
-            return result
-
+        kernel = _MapPartitionsKernel(fn, self._cache_key)
         stage = self.ctx.run_stage(kernel, indexed, name="map_partitions")
         return RDD(self.ctx, stage.outputs)
 
@@ -112,21 +254,7 @@ class RDD:
         """
         num_partitions = num_partitions or self.num_partitions
         indexed = list(enumerate(self._partitions))
-
-        def combine_kernel(tc, item):
-            index, part = item
-            self._access_partition(tc, index)
-            tc.add_records(len(part))
-            acc = {}
-            for key, value in part:
-                if key in acc:
-                    acc[key] = combine(acc[key], value)
-                else:
-                    acc[key] = value
-                tc.add_ops(1)
-            tc.add_output_bytes(len(acc) * ELEMENT_BYTES)
-            return acc
-
+        combine_kernel = _CombineKernel(combine, self._cache_key)
         combined = self.ctx.run_stage(
             combine_kernel, indexed, name="map_side_combine", shuffle_output=True
         )
@@ -140,11 +268,7 @@ class RDD:
                 else:
                     bucket[key] = value
 
-        def reduce_kernel(tc, bucket):
-            tc.add_records(len(bucket))
-            return list(bucket.items())
-
-        reduced = self.ctx.run_stage(reduce_kernel, buckets, name="reduce")
+        reduced = self.ctx.run_stage(_reduce_kernel, buckets, name="reduce")
         return RDD(self.ctx, reduced.outputs)
 
     def group_by_key(self, num_partitions=None):
@@ -170,28 +294,16 @@ class RDD:
         """Map-side join against a broadcast dict of (k -> v)."""
         small = dict(small_pairs)
         handle = self.ctx.broadcast(small, len(small) * ELEMENT_BYTES)
-
-        def join_partition(part):
-            table = handle.value
-            return [
-                (key, (value, table[key])) for key, value in part if key in table
-            ]
-
-        return self.map_partitions(join_partition)
+        return self.map_partitions(_BroadcastJoinFn(handle.value))
 
     # ------------------------------------------------------------------
     # Actions
     # ------------------------------------------------------------------
 
     def collect(self):
-        def kernel(tc, item):
-            index, part = item
-            self._access_partition(tc, index)
-            tc.add_records(len(part))
-            return list(part)
-
         stage = self.ctx.run_stage(
-            kernel, list(enumerate(self._partitions)), name="collect"
+            _CollectKernel(self._cache_key),
+            list(enumerate(self._partitions)), name="collect"
         )
         out = []
         for part in stage.outputs:
@@ -199,14 +311,9 @@ class RDD:
         return out
 
     def count(self):
-        def kernel(tc, item):
-            index, part = item
-            self._access_partition(tc, index)
-            tc.add_records(len(part))
-            return len(part)
-
         stage = self.ctx.run_stage(
-            kernel, list(enumerate(self._partitions)), name="count"
+            _CountKernel(self._cache_key),
+            list(enumerate(self._partitions)), name="count"
         )
         return sum(stage.outputs)
 
@@ -226,16 +333,7 @@ class RDD:
         if seed is None:
             seed = self.ctx.next_sample_seed()
         indexed = list(enumerate(self._partitions))
-
-        def kernel(tc, item):
-            index, part = item
-            self._access_partition(tc, index)
-            tc.add_records(len(part))
-            rng = make_rng((seed, index))
-            result = [x for x in part if rng.random() < fraction]
-            tc.add_ops(len(result))
-            return result
-
+        kernel = _SampleKernel(fraction, seed, self._cache_key)
         stage = self.ctx.run_stage(kernel, indexed, name="sample")
         return RDD(self.ctx, stage.outputs)
 

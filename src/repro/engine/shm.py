@@ -1,0 +1,264 @@
+"""Shared-memory column blocks for the process-pool execution mode.
+
+``ClusterContext(executor="process")`` runs partition kernels in worker
+*processes*.  Shipping each partition's columns through the task pickle
+would copy the table once per stage, so the driver instead copies the
+data once into a POSIX shared-memory segment and kernels receive tiny
+descriptors (segment name + per-array offset/dtype/shape) that reattach
+to the same physical pages inside the worker.  Attachments resolve to
+*read-only* NumPy views — stage kernels are pure per-partition
+functions and must not write shared state.
+
+Lifetime
+--------
+The creating process owns a segment: it is unlinked when the owning
+:class:`SharedArrayPack` is garbage collected (``weakref.finalize``,
+which also runs at interpreter exit) or when the owner calls
+:meth:`SharedArrayPack.unlink` explicitly; both are idempotent, and a
+forked worker inheriting the owner object never unlinks (the finalizer
+checks the owning PID).  Unlinking only removes the *name* — existing
+mappings, including worker attachments, stay valid until released.
+Workers cache a bounded number of attachments per process so repeated
+stages over the same table do not re-map it.
+"""
+
+import os
+import sys
+import threading
+import weakref
+from collections import OrderedDict
+from multiprocessing import shared_memory as _shared_memory
+
+import numpy as np
+
+#: Per-array alignment inside a pack, generous enough for any SIMD load.
+_ALIGNMENT = 64
+
+#: Attachments kept open per worker process; old ones are closed as new
+#: segments arrive (streaming workloads create a segment per batch).
+_ATTACHMENT_CAP = 8
+
+_attachments = OrderedDict()  # segment name -> SharedMemory, LRU order
+_attachments_lock = threading.Lock()
+_register_patch_lock = threading.Lock()
+
+
+def _noop_register(name, rtype):
+    pass
+
+
+def _attach_segment(name):
+    """Attach an existing segment without taking cleanup ownership.
+
+    A plain ``SharedMemory(name=...)`` registers the segment with the
+    resource tracker — shared, under fork, with the creator — so the
+    attaching process would fight the creator over cleanup.  Python
+    3.13 grew ``track=False`` for exactly this; older versions get the
+    registration suppressed instead (unregistering *after* the fact
+    would remove the creator's entry from the shared tracker).
+    """
+    if sys.version_info >= (3, 13):
+        return _shared_memory.SharedMemory(name=name, track=False)
+    from multiprocessing import resource_tracker
+
+    with _register_patch_lock:
+        original = resource_tracker.register
+        resource_tracker.register = _noop_register
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _close_quietly(segment):
+    try:
+        segment.close()
+    except BufferError:
+        # Live views still reference the mapping; dropping our handle
+        # is enough — the mapping is released when the views go away.
+        pass
+
+
+def attached_segment(name):
+    """The (cached) attachment of segment ``name`` in this process."""
+    with _attachments_lock:
+        segment = _attachments.get(name)
+        if segment is not None:
+            _attachments.move_to_end(name)
+            return segment
+    segment = _attach_segment(name)
+    with _attachments_lock:
+        racing = _attachments.get(name)
+        if racing is not None:
+            _close_quietly(segment)
+            return racing
+        _attachments[name] = segment
+        while len(_attachments) > _ATTACHMENT_CAP:
+            _, stale = _attachments.popitem(last=False)
+            _close_quietly(stale)
+        return segment
+
+
+def _unlink_segment(segment, owner_pid):
+    """Finalizer: remove the segment name, in the owning process only."""
+    if os.getpid() != owner_pid:
+        return
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    _close_quietly(segment)
+
+
+class SharedArrayPack:
+    """Several aligned NumPy arrays in one shared-memory segment.
+
+    Create with :meth:`create` (copies each source array once); the
+    object pickles as a descriptor and :attr:`arrays` resolves the
+    views lazily on either side.  Driver-side (owner) views are
+    writable — the session updates its estimates in place and workers
+    observe the new values through the same pages; worker-side views
+    are read-only.
+    """
+
+    def __init__(self, name, specs):
+        self.name = name
+        self.specs = tuple(specs)  # (offset, dtype_str, shape) per array
+        self._segment = None
+        self._arrays = None
+        self._owner = False
+        self._finalizer = None
+
+    @classmethod
+    def create(cls, arrays):
+        arrays = [np.ascontiguousarray(a) for a in arrays]
+        specs = []
+        offset = 0
+        for a in arrays:
+            offset = -(-offset // _ALIGNMENT) * _ALIGNMENT
+            specs.append((offset, a.dtype.str, a.shape))
+            offset += a.nbytes
+        segment = _shared_memory.SharedMemory(create=True,
+                                              size=max(1, offset))
+        views = []
+        for a, (off, dtype, shape) in zip(arrays, specs):
+            view = np.ndarray(shape, dtype=np.dtype(dtype),
+                              buffer=segment.buf, offset=off)
+            view[...] = a
+            views.append(view)
+        pack = cls(segment.name, specs)
+        pack._segment = segment
+        pack._arrays = views
+        pack._owner = True
+        pack._finalizer = weakref.finalize(
+            pack, _unlink_segment, segment, os.getpid()
+        )
+        return pack
+
+    @property
+    def arrays(self):
+        if self._arrays is None:
+            segment = attached_segment(self.name)
+            views = []
+            for off, dtype, shape in self.specs:
+                view = np.ndarray(shape, dtype=np.dtype(dtype),
+                                  buffer=segment.buf, offset=off)
+                view.setflags(write=False)
+                views.append(view)
+            self._arrays = views
+        return self._arrays
+
+    def unlink(self):
+        """Remove the segment name (owner only; idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __getstate__(self):
+        return (self.name, self.specs)
+
+    def __setstate__(self, state):
+        self.name, self.specs = state
+        self._segment = None
+        self._arrays = None
+        self._owner = False
+        self._finalizer = None
+
+
+class SharedArray:
+    """One shared-memory NumPy array (a single-entry pack)."""
+
+    def __init__(self, pack):
+        self._pack = pack
+
+    @classmethod
+    def create(cls, array):
+        return cls(SharedArrayPack.create([array]))
+
+    @property
+    def array(self):
+        return self._pack.arrays[0]
+
+    def unlink(self):
+        self._pack.unlink()
+
+
+def resolve(obj):
+    """The ndarray behind ``obj`` (passthrough for plain arrays).
+
+    Stage kernels bind session arrays through this so the same kernel
+    runs on a plain array (serial/thread modes) or on a
+    :class:`SharedArray` descriptor (process mode).
+    """
+    if isinstance(obj, SharedArray):
+        return obj.array
+    return obj
+
+
+class SharedTableBlock:
+    """Picklable :class:`~repro.data.table.TableBlock` equivalent.
+
+    Carries the pack descriptor plus its row range; ``columns`` and
+    ``measure`` materialize as zero-copy views of the shared pages on
+    first access (driver or worker).  The pack's final array is the
+    measure column; the rest are the dimension columns in schema order.
+    """
+
+    __slots__ = ("index", "start", "stop", "size_bytes", "_pack",
+                 "_columns", "_measure")
+
+    def __init__(self, index, pack, start, stop, size_bytes):
+        self.index = index
+        self.start = start
+        self.stop = stop
+        self.size_bytes = size_bytes
+        self._pack = pack
+        self._columns = None
+        self._measure = None
+
+    @property
+    def num_rows(self):
+        return self.stop - self.start
+
+    @property
+    def columns(self):
+        if self._columns is None:
+            arrays = self._pack.arrays
+            self._columns = [col[self.start:self.stop]
+                             for col in arrays[:-1]]
+        return self._columns
+
+    @property
+    def measure(self):
+        if self._measure is None:
+            self._measure = self._pack.arrays[-1][self.start:self.stop]
+        return self._measure
+
+    def __getstate__(self):
+        return (self.index, self.start, self.stop, self.size_bytes,
+                self._pack)
+
+    def __setstate__(self, state):
+        (self.index, self.start, self.stop, self.size_bytes,
+         self._pack) = state
+        self._columns = None
+        self._measure = None

@@ -65,3 +65,31 @@ class TaskContext:
     def request_cache_access(self, key, size_bytes):
         """Queue a partition-cache access for deterministic replay."""
         self.cache_requests.append((key, int(size_bytes)))
+
+    # ------------------------------------------------------------------
+    # Cross-process transport
+    # ------------------------------------------------------------------
+
+    def charges(self):
+        """The task's counters as a picklable charge record.
+
+        Process-mode workers run the kernel against their own context
+        and send this record back; the driver applies it to a fresh
+        driver-side context (:meth:`apply_charges`) so every downstream
+        step — cache replay, duration computation, counter merges — is
+        byte-for-byte the code path the serial and thread modes take.
+        """
+        return (self.ops, self.light_ops, self.records, self.disk_bytes,
+                self.output_bytes, list(self.cache_requests))
+
+    def apply_charges(self, charges):
+        """Fold a worker's charge record into this context."""
+        ops, light_ops, records, disk_bytes, output_bytes, requests = charges
+        self.ops += int(ops)
+        self.light_ops += int(light_ops)
+        self.records += int(records)
+        self.disk_bytes += int(disk_bytes)
+        self.output_bytes += int(output_bytes)
+        self.cache_requests.extend(
+            (key, int(size)) for key, size in requests
+        )

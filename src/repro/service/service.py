@@ -30,6 +30,7 @@ import threading
 
 from repro.common.errors import ServiceClosedError, ServiceError
 from repro.core.codec import RowCodec
+from repro.engine.cluster import EXECUTORS
 from repro.core.config import variant_config
 from repro.core.measure import MeasureTransform
 from repro.core.miner import Sirum, make_default_cluster
@@ -51,23 +52,30 @@ class ServiceConfig:
                  cache_capacity=256, cache_ttl_seconds=None,
                  default_priority=PRIORITY_NORMAL,
                  default_deadline_seconds=None,
-                 engine_parallelism=None):
+                 engine_parallelism=None, engine_executor=None):
         if num_workers < 1:
             raise ServiceError("num_workers must be at least 1")
         if max_queue_depth < 1:
             raise ServiceError("max_queue_depth must be at least 1")
         if engine_parallelism is not None and engine_parallelism < 1:
             raise ServiceError("engine_parallelism must be at least 1")
+        if engine_executor is not None and engine_executor not in EXECUTORS:
+            raise ServiceError(
+                "engine_executor must be one of %s" % ", ".join(EXECUTORS)
+            )
         self.num_workers = num_workers
         self.max_queue_depth = max_queue_depth
         self.cache_capacity = cache_capacity
         self.cache_ttl_seconds = cache_ttl_seconds
         self.default_priority = default_priority
         self.default_deadline_seconds = default_deadline_seconds
-        #: Worker threads of each mining job's simulated-cluster engine
+        #: Workers of each mining job's simulated-cluster engine
         #: (intra-request parallelism, on top of the worker pool's
         #: cross-request concurrency).  None defers to REPRO_PARALLELISM.
         self.engine_parallelism = engine_parallelism
+        #: Pool kind those engine workers run on ("thread"/"process");
+        #: None defers to REPRO_EXECUTOR.
+        self.engine_executor = engine_executor
 
 
 class DatasetHandle:
@@ -127,9 +135,11 @@ class RuleMiningService:
         self.catalog = self.engine.catalog
         if make_cluster is None:
             parallelism = self.config.engine_parallelism
+            executor = self.config.engine_executor
 
             def make_cluster():
-                return make_default_cluster(parallelism=parallelism)
+                return make_default_cluster(parallelism=parallelism,
+                                            executor=executor)
 
         self._make_cluster = make_cluster
         self._scheduler = JobScheduler(
@@ -221,18 +231,25 @@ class RuleMiningService:
         key = ("mine", dataset, handle.version, fingerprint)
 
         def runner():
+            # The job owns its cluster: close it however the job ends,
+            # or every parallel mining job would leak a live worker
+            # pool (the result only keeps a metrics snapshot).
             cluster = self._job_cluster(platform, metered=engine == "operators")
-            if engine == "sql":
-                from repro.platforms.sql_sirum import SqlSirum
+            try:
+                if engine == "sql":
+                    from repro.platforms.sql_sirum import SqlSirum
 
+                    config = variant_config(variant, k=k, **config_overrides)
+                    return SqlSirum(
+                        k=config.k, epsilon=config.epsilon, cluster=cluster
+                    ).mine(handle.table)
                 config = variant_config(variant, k=k, **config_overrides)
-                return SqlSirum(
-                    k=config.k, epsilon=config.epsilon, cluster=cluster
-                ).mine(handle.table)
-            config = variant_config(variant, k=k, **config_overrides)
-            return Sirum(config).mine(
-                handle.table, cluster=cluster, dataset_state=handle
-            )
+                return Sirum(config).mine(
+                    handle.table, cluster=cluster, dataset_state=handle
+                )
+            finally:
+                if cluster is not None:
+                    cluster.close()
 
         def version_current():
             # Called with the service lock held (from on_done).

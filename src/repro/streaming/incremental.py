@@ -167,6 +167,7 @@ class IncrementalSirum:
         self.drift_factor = drift_factor
         self.remine_interval = remine_interval
         self.window_batches = window_batches
+        self._owns_cluster = cluster is None
         self.cluster = cluster or make_default_cluster()
         self._reservoir = None
         self._working_set = _WorkingSet(window_batches=window_batches)
@@ -230,6 +231,23 @@ class IncrementalSirum:
     def rules(self):
         """The currently maintained rules (selection order)."""
         return list(self._rules)
+
+    def close(self):
+        """Shut down the internally created cluster's worker pools.
+
+        Idempotent, and a no-op when the caller supplied the cluster
+        (they own its lifecycle).  The miner can keep processing after
+        a close — the next parallel stage simply reopens a pool — so
+        closing between bursts of batches is safe.
+        """
+        if self._owns_cluster:
+            self.cluster.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
 
     # ------------------------------------------------------------------
     # Internals

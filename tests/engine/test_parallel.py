@@ -1,11 +1,15 @@
 """Parallel stage execution: bit-compatibility, determinism, speedup.
 
-The engine's ``parallelism`` knob changes only *wall-clock* behaviour:
-outputs, counters, cache hit/miss sequences and simulated seconds must
-be identical to a serial run.  These tests pin that contract at the
-stage level, through a full mining run, and through the service.
+The engine's ``parallelism`` and ``executor`` knobs change only
+*wall-clock* behaviour: outputs, counters, cache hit/miss sequences
+and simulated seconds must be identical to a serial run, and kernel
+failures must abort a stage identically in serial, thread and process
+modes.  These tests pin that contract at the stage level, through a
+full mining run, and through the service — plus the pool-lifecycle
+guarantee that no worker threads or processes outlive a job.
 """
 
+import multiprocessing
 import os
 import threading
 import time
@@ -15,13 +19,17 @@ import pytest
 
 from repro.common.errors import EngineError
 from repro.core.config import variant_config
-from repro.core.miner import Sirum, make_default_cluster
+from repro.core.miner import Sirum, make_default_cluster, mine
 from repro.data.generators import SyntheticSpec, generate
-from repro.engine.cluster import ClusterContext, default_parallelism
+from repro.engine.cluster import (
+    ClusterContext,
+    default_executor,
+    default_parallelism,
+)
 from repro.engine.cost import ClusterSpec, CostModel
 
 
-def make_cluster(parallelism=1, **kwargs):
+def make_cluster(parallelism=1, executor=None, **kwargs):
     spec = ClusterSpec(
         num_executors=kwargs.pop("num_executors", 2),
         cores_per_executor=kwargs.pop("cores_per_executor", 2),
@@ -38,7 +46,37 @@ def make_cluster(parallelism=1, **kwargs):
         broadcast_byte_seconds=1e-6,
         disk_byte_seconds=1e-6,
     )
-    return ClusterContext(spec, cost, parallelism=parallelism)
+    return ClusterContext(spec, cost, parallelism=parallelism,
+                          executor=executor)
+
+
+def _stage_threads():
+    return [t for t in threading.enumerate()
+            if t.name.startswith("repro-stage") and t.is_alive()]
+
+
+def _child_pids():
+    return {p.pid for p in multiprocessing.active_children()}
+
+
+def _double_kernel(tc, part):
+    """Module-level (picklable) kernel for process-mode stage tests."""
+    tc.add_records(1)
+    return part * 2
+
+
+def _lambda_factory_kernel(tc, part):
+    """Picklable kernel whose *output* is not picklable."""
+    tc.add_records(1)
+    return lambda part=part: part
+
+
+def _boom_kernel(tc, part):
+    """Module-level kernel failing on partition 2 in every mode."""
+    if part == 2:
+        raise ValueError("boom in partition 2")
+    tc.add_records(10)
+    return part
 
 
 def synthetic_table(num_rows=2500, seed=11):
@@ -183,6 +221,255 @@ class TestParallelStage:
         assert [tc.disk_bytes for tc in result.tasks] == [100, 200, 300, 400]
 
 
+class TestExecutorKnob:
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert default_executor() == "thread"
+        assert make_cluster(executor=None).executor == "thread"
+
+    def test_env_variable_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        assert default_executor() == "process"
+        assert make_cluster(executor=None).executor == "process"
+        # An explicit argument still wins over the environment.
+        assert make_cluster(executor="thread").executor == "thread"
+
+    def test_env_variable_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "fibers")
+        with pytest.raises(EngineError):
+            default_executor()
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(EngineError):
+            make_cluster(executor="fibers")
+
+    def test_uses_processes_requires_parallelism(self):
+        assert make_cluster(parallelism=4,
+                            executor="process").uses_processes
+        assert not make_cluster(parallelism=1,
+                                executor="process").uses_processes
+        assert not make_cluster(parallelism=4,
+                                executor="thread").uses_processes
+
+
+class TestProcessStage:
+    def test_outputs_preserve_partition_order(self):
+        with make_cluster(parallelism=4, executor="process") as cluster:
+            result = cluster.run_stage(_double_kernel, range(8))
+        assert result.outputs == [p * 2 for p in range(8)]
+
+    def test_charges_travel_back_from_workers(self):
+        with make_cluster(parallelism=4, executor="process") as cluster:
+            result = cluster.run_stage(_double_kernel, range(8))
+            assert [tc.records for tc in result.tasks] == [1] * 8
+            assert cluster.metrics.counter("tasks") == 8
+
+    def test_metrics_identical_to_serial_and_thread(self):
+        def workload(cluster):
+            with cluster:
+                def run():
+                    cluster.run_stage(_double_kernel, range(8),
+                                      shuffle_output=True)
+                    cluster.run_stage(_double_kernel, range(8))
+
+                run()
+                return cluster.metrics.snapshot()
+
+        serial = workload(make_cluster(parallelism=1))
+        thread = workload(make_cluster(parallelism=4, executor="thread"))
+        process = workload(make_cluster(parallelism=4, executor="process"))
+        assert serial == thread == process
+
+    def test_unpicklable_kernel_falls_back_to_threads(self):
+        captured = []
+
+        def kernel(tc, part):  # a closure: cannot cross process pickling
+            captured.append(part)
+            tc.add_records(1)
+            return part * 3
+
+        with make_cluster(parallelism=4, executor="process") as cluster:
+            result = cluster.run_stage(kernel, range(6))
+            assert result.outputs == [0, 3, 6, 9, 12, 15]
+            assert cluster.fallback_stages == 1
+            # The closure really ran in this process (thread pool).
+            assert sorted(captured) == [0, 1, 2, 3, 4, 5]
+
+    def test_unpicklable_partition_data_falls_back_to_threads(self):
+        # The kernel pickles but the partition elements do not (the
+        # RDD/lazy layers accept arbitrary user data): the stage must
+        # still succeed, exactly as in serial/thread modes.
+        from repro.engine.rdd import RDD
+
+        with make_cluster(parallelism=4, executor="process") as cluster:
+            rdd = RDD(cluster, [[lambda: 1, lambda: 2], [lambda: 3]])
+            assert rdd.count() == 3
+            assert cluster.fallback_stages >= 1
+
+    def test_unpicklable_task_output_falls_back_to_threads(self):
+        with make_cluster(parallelism=4, executor="process") as cluster:
+            result = cluster.run_stage(_lambda_factory_kernel, range(4))
+            assert [fn() for fn in result.outputs] == [0, 1, 2, 3]
+            assert cluster.fallback_stages == 1
+            assert cluster.metrics.counter("tasks") == 4
+
+    def test_close_is_idempotent_across_executor_kinds(self):
+        cluster = make_cluster(parallelism=3, executor="process")
+        cluster.run_stage(_double_kernel, range(6))
+        cluster.run_stage(lambda tc, p: p, range(6))  # thread fallback
+        cluster.close()
+        cluster.close()
+        assert cluster._pool is None
+        assert cluster._process_pool is None
+
+
+class TestFailureSemantics:
+    """A kernel exception aborts the stage identically in every mode."""
+
+    @pytest.mark.parametrize("parallelism,executor", [
+        (1, "thread"), (4, "thread"), (4, "process"),
+    ])
+    def test_exception_propagates_and_state_untouched(self, parallelism,
+                                                      executor):
+        with make_cluster(parallelism=parallelism,
+                          executor=executor) as cluster:
+            # Seed some cache/metrics state, then snapshot it.
+            def seed_kernel(tc, part):
+                cluster.cached_access(tc, ("seed", part), 1000)
+                tc.add_records(5)
+                return part
+
+            cluster.run_stage(seed_kernel, range(4))
+            metrics_before = cluster.metrics.snapshot()
+            cache_before = (cluster.cache.hits, cluster.cache.misses,
+                            cluster.cache.evictions,
+                            cluster.cache.cached_bytes)
+
+            def failing_stage(tc, part):
+                cluster.cached_access(tc, ("fail", part), 1000)
+                return _boom_kernel(tc, part)
+
+            boom = _boom_kernel if executor == "process" else failing_stage
+            with pytest.raises(ValueError, match="boom in partition 2"):
+                cluster.run_stage(boom, range(6))
+            # The aborted stage charged nothing and touched no cache.
+            assert cluster.metrics.snapshot() == metrics_before
+            assert (cluster.cache.hits, cluster.cache.misses,
+                    cluster.cache.evictions,
+                    cluster.cache.cached_bytes) == cache_before
+            # The cluster stays usable for the next stage.
+            result = cluster.run_stage(seed_kernel, range(4))
+            assert result.outputs == [0, 1, 2, 3]
+
+    def test_exception_message_parity_across_modes(self):
+        seen = {}
+        for parallelism, executor in [(1, "thread"), (4, "thread"),
+                                      (4, "process")]:
+            with make_cluster(parallelism=parallelism,
+                              executor=executor) as cluster:
+                with pytest.raises(ValueError) as excinfo:
+                    cluster.run_stage(_boom_kernel, range(6))
+                seen[(parallelism, executor)] = (
+                    type(excinfo.value).__name__, str(excinfo.value)
+                )
+        assert len(set(seen.values())) == 1
+
+    def test_lowest_failing_partition_wins_in_parallel(self):
+        # Partitions 1 and 3 both fail; serial surfaces partition 1
+        # (it runs first), and parallel modes must match even when
+        # partition 3's task finishes failing earlier in wall time.
+        def kernel(tc, part):
+            if part == 1:
+                time.sleep(0.02)
+                raise ValueError("boom in partition 1")
+            if part == 3:
+                raise ValueError("boom in partition 3")
+            return part
+
+        for parallelism in (1, 4):
+            with make_cluster(parallelism=parallelism) as cluster:
+                with pytest.raises(ValueError,
+                                   match="boom in partition 1"):
+                    cluster.run_stage(kernel, range(6))
+
+
+class TestPoolLifecycle:
+    """No executor threads/processes survive a completed job."""
+
+    def test_mine_closes_internal_thread_pool(self):
+        table = synthetic_table(num_rows=600)
+        before = set(id(t) for t in _stage_threads())
+        mine(table, k=2, sample_size=16, seed=0, parallelism=4)
+        after = set(id(t) for t in _stage_threads())
+        assert after <= before
+
+    def test_mine_closes_internal_process_pool(self):
+        table = synthetic_table(num_rows=600)
+        before = _child_pids()
+        mine(table, k=2, sample_size=16, seed=0, parallelism=2,
+             executor="process")
+        assert _child_pids() <= before
+
+    def test_explore_cube_closes_internal_cluster(self):
+        from repro.apps import explore_cube
+
+        table = synthetic_table(num_rows=400)
+        before = set(id(t) for t in _stage_threads())
+        explore_cube(table, k=2, parallelism=4)
+        assert set(id(t) for t in _stage_threads()) <= before
+
+    def test_service_job_closes_engine_cluster(self):
+        from repro.service import RuleMiningService, ServiceConfig
+
+        table = synthetic_table(num_rows=600)
+        before = set(id(t) for t in _stage_threads())
+        with RuleMiningService(ServiceConfig(
+            num_workers=2, engine_parallelism=4,
+        )) as service:
+            service.register_dataset("syn", table)
+            service.mine("syn", k=2, sample_size=16, seed=0, timeout=60.0)
+            # The job's cluster pool dies with the job, not the service.
+            assert set(id(t) for t in _stage_threads()) <= before
+        assert set(id(t) for t in _stage_threads()) <= before
+
+    def test_streaming_context_manager_closes_cluster(self, monkeypatch):
+        from repro.streaming import IncrementalSirum
+
+        monkeypatch.setenv("REPRO_PARALLELISM", "4")
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        table = synthetic_table(num_rows=900)
+        batches = [table.slice(i * 300, (i + 1) * 300) for i in range(3)]
+        before = set(id(t) for t in _stage_threads())
+        config = variant_config("optimized", k=2, sample_size=16, seed=0)
+        with IncrementalSirum(config) as miner:
+            for batch in batches:
+                miner.process(batch)
+        assert set(id(t) for t in _stage_threads()) <= before
+
+    def test_streaming_leaves_caller_supplied_cluster_open(self):
+        from repro.streaming import IncrementalSirum
+
+        cluster = make_default_cluster(parallelism=4)
+        config = variant_config("optimized", k=2, sample_size=16, seed=0)
+        with IncrementalSirum(config, cluster=cluster) as miner:
+            miner.process(synthetic_table(num_rows=300))
+        # The caller owns this cluster: its pool (whichever executor
+        # kind the environment selected) must survive the exit.
+        assert (cluster._pool is not None
+                or cluster._process_pool is not None)
+        cluster.close()
+
+    def test_streaming_close_is_idempotent(self):
+        from repro.streaming import IncrementalSirum
+
+        miner = IncrementalSirum(
+            variant_config("optimized", k=2, sample_size=16, seed=0)
+        )
+        miner.process(synthetic_table(num_rows=300))
+        miner.close()
+        miner.close()
+
+
 class TestMiningBitIdentity:
     @pytest.mark.parametrize("variant", ["optimized", "baseline", "rct"])
     def test_mining_identical_across_modes(self, variant):
@@ -207,7 +494,66 @@ class TestMiningBitIdentity:
         # the cost model must not notice the execution mode.
         assert serial.metrics == parallel.metrics
 
-    def test_service_results_identical_across_modes(self):
+    @pytest.mark.parametrize("variant", ["optimized", "baseline"])
+    def test_process_mode_identical_to_serial(self, variant):
+        table = synthetic_table()
+        results = {}
+        for executor, parallelism in (("thread", 1), ("process", 4)):
+            cluster = make_default_cluster(
+                num_executors=4, cores_per_executor=4,
+                parallelism=parallelism, executor=executor,
+            )
+            config = variant_config(variant, k=4, sample_size=24, seed=3)
+            results[executor] = Sirum(config).mine(table, cluster=cluster)
+            cluster.close()
+        serial, process = results["thread"], results["process"]
+        assert [tuple(m.rule.values) for m in serial.rule_set] == [
+            tuple(m.rule.values) for m in process.rule_set
+        ]
+        assert np.array_equal(serial.lambdas, process.lambdas)
+        assert np.array_equal(serial.estimates, process.estimates)
+        assert serial.kl_trace == process.kl_trace
+        # Simulated seconds, per-phase attribution and every counter —
+        # the cost model must not notice worker processes either.
+        assert serial.metrics == process.metrics
+
+    def test_dict_path_identical_across_executors(self):
+        # Domains too wide for the 63-bit packed codec: candidate
+        # generation takes the pure-Python dict path, the kernels the
+        # process mode exists for.
+        spec = SyntheticSpec(
+            num_rows=1500,
+            cardinalities=[500] * 8,
+            skew=0.6,
+            num_planted_rules=3,
+            planted_arity=2,
+            effect_scale=20.0,
+            noise_scale=1.0,
+            base_measure=50.0,
+        )
+        table, _ = generate(spec, seed=5)
+        from repro.core.codec import RowCodec
+
+        assert not RowCodec.from_table(table).fits
+        results = {}
+        for executor, parallelism in (
+            ("thread", 1), ("thread", 4), ("process", 4),
+        ):
+            result = mine(
+                table, k=2, variant="fastpruning", sample_size=16,
+                seed=1, parallelism=parallelism, executor=executor,
+            )
+            results[(executor, parallelism)] = (
+                [tuple(m.rule.values) for m in result.rule_set],
+                list(result.lambdas),
+                result.kl_trace,
+                result.metrics,
+            )
+        assert (results[("thread", 1)] == results[("thread", 4)]
+                == results[("process", 4)])
+
+    @pytest.mark.parametrize("engine_executor", ["thread", "process"])
+    def test_service_results_identical_across_modes(self, engine_executor):
         from repro.service import RuleMiningService, ServiceConfig
 
         table = synthetic_table(num_rows=800)
@@ -215,6 +561,7 @@ class TestMiningBitIdentity:
         for parallelism in (1, 4):
             with RuleMiningService(ServiceConfig(
                 num_workers=2, engine_parallelism=parallelism,
+                engine_executor=engine_executor,
             )) as service:
                 service.register_dataset("syn", table)
                 result = service.mine("syn", k=3, sample_size=16, seed=0,

@@ -1,0 +1,153 @@
+"""Shared-memory column blocks: round-trips, lifetime, worker access."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.data.generators import SyntheticSpec, generate
+from repro.engine.shm import (
+    SharedArray,
+    SharedArrayPack,
+    SharedTableBlock,
+    resolve,
+)
+
+
+def small_table(num_rows=500, seed=3):
+    spec = SyntheticSpec(
+        num_rows=num_rows,
+        cardinalities=[5, 4, 3],
+        skew=0.3,
+        num_planted_rules=2,
+        planted_arity=2,
+        effect_scale=10.0,
+        noise_scale=1.0,
+        base_measure=50.0,
+    )
+    table, _ = generate(spec, seed=seed)
+    return table
+
+
+def _sum_block(block):
+    """Module-level worker body: attach and aggregate a shipped block."""
+    return (
+        [float(col.sum()) for col in block.columns],
+        float(block.measure.sum()),
+        block.num_rows,
+    )
+
+
+def _sum_shared_array(shared):
+    return float(resolve(shared).sum())
+
+
+class TestSharedArrayPack:
+    def test_roundtrip_values(self):
+        a = np.arange(10, dtype=np.int64)
+        b = np.linspace(0.0, 1.0, 7)
+        pack = SharedArrayPack.create([a, b])
+        try:
+            out_a, out_b = pack.arrays
+            assert np.array_equal(out_a, a)
+            assert np.array_equal(out_b, b)
+        finally:
+            pack.unlink()
+
+    def test_pickled_copy_resolves_read_only(self):
+        a = np.arange(20, dtype=np.float64)
+        pack = SharedArrayPack.create([a])
+        try:
+            clone = pickle.loads(pickle.dumps(pack))
+            view = clone.arrays[0]
+            assert np.array_equal(view, a)
+            assert not view.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                view[0] = 99.0
+        finally:
+            pack.unlink()
+
+    def test_owner_writes_are_visible_through_attachments(self):
+        pack = SharedArrayPack.create([np.zeros(4)])
+        try:
+            clone = pickle.loads(pickle.dumps(pack))
+            view = clone.arrays[0]
+            pack.arrays[0][:] = 7.0
+            assert np.array_equal(view, np.full(4, 7.0))
+        finally:
+            pack.unlink()
+
+    def test_unlink_is_idempotent(self):
+        pack = SharedArrayPack.create([np.ones(3)])
+        pack.unlink()
+        pack.unlink()
+
+    def test_attach_after_unlink_fails(self):
+        pack = SharedArrayPack.create([np.ones(3)])
+        clone = pickle.loads(pickle.dumps(pack))
+        pack.unlink()
+        with pytest.raises(FileNotFoundError):
+            clone.arrays  # the segment name is gone
+
+
+class TestSharedArray:
+    def test_resolve_passthrough(self):
+        plain = np.arange(5)
+        assert resolve(plain) is plain
+        shared = SharedArray.create(plain)
+        try:
+            assert np.array_equal(resolve(shared), plain)
+        finally:
+            shared.unlink()
+
+
+class TestSharedTableBlocks:
+    def test_shared_blocks_match_plain_blocks(self):
+        table = small_table()
+        plain = table.partition_blocks(4)
+        shared = table.partition_blocks(4, shared=True)
+        assert len(plain) == len(shared)
+        for p, s in zip(plain, shared):
+            assert isinstance(s, SharedTableBlock)
+            assert (p.index, p.start, p.stop, p.size_bytes) == (
+                s.index, s.start, s.stop, s.size_bytes
+            )
+            assert p.num_rows == s.num_rows
+            for pc, sc in zip(p.columns, s.columns):
+                assert np.array_equal(pc, sc)
+            assert np.array_equal(p.measure, s.measure)
+
+    def test_shared_pack_is_reused_per_table(self):
+        table = small_table()
+        first = table.partition_blocks(2, shared=True)
+        second = table.partition_blocks(3, shared=True)
+        assert first[0]._pack is second[0]._pack
+
+    def test_block_pickle_roundtrip(self):
+        table = small_table()
+        block = table.partition_blocks(4, shared=True)[2]
+        clone = pickle.loads(pickle.dumps(block))
+        assert clone.start == block.start and clone.stop == block.stop
+        for a, b in zip(clone.columns, block.columns):
+            assert np.array_equal(a, b)
+        assert np.array_equal(clone.measure, block.measure)
+
+    def test_worker_process_reads_shipped_block(self):
+        table = small_table()
+        blocks = table.partition_blocks(3, shared=True)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = list(pool.map(_sum_block, blocks))
+        for block, (col_sums, measure_sum, num_rows) in zip(blocks, remote):
+            assert col_sums == [float(c.sum()) for c in block.columns]
+            assert measure_sum == pytest.approx(float(block.measure.sum()))
+            assert num_rows == block.num_rows
+
+    def test_worker_process_reads_shared_array(self):
+        shared = SharedArray.create(np.arange(100, dtype=np.float64))
+        try:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                total = pool.submit(_sum_shared_array, shared).result()
+            assert total == pytest.approx(4950.0)
+        finally:
+            shared.unlink()
