@@ -9,13 +9,28 @@ and (b) through :class:`~repro.service.RuleMiningService` with 8
 concurrent clients, where request coalescing and the versioned result
 cache collapse the repeats.
 
-Results must be bit-identical between the two paths.  Like the other
+A second comparison targets the *other* concurrency axis: 8
+simultaneous **distinct** mining jobs (nothing coalesces), each
+requesting ``parallelism=4`` engine workers — 32 runnable workers on
+the host.  ``admission="budget"`` caps the aggregate at
+``max_engine_workers`` and must hold tail (p95) latency no worse than
+the oversubscribed baseline, with bit-identical results.
+
+Results must be bit-identical between all paths.  Like the other
 engine-level ablations this measures *real* wall-clock seconds, and it
-emits one machine-readable JSON line (``SERVICE_CONCURRENCY_JSON``)
-with the throughput/latency numbers.
+emits machine-readable JSON lines (``SERVICE_CONCURRENCY_JSON`` /
+``SERVICE_BUDGET_JSON``) with the throughput/latency numbers.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI's bench-smoke job) to shrink the
+workload: the JSON lines and correctness/floor assertions stay, only
+the sizes drop.
 """
 
+import os
+
 from repro.bench import (
+    bench_smoke_enabled,
+    build_mining_burst_workload,
     build_service_workload,
     dataset_by_name,
     json_result_line,
@@ -27,10 +42,23 @@ from repro.bench import (
 )
 from repro.service import RuleMiningService, ServiceConfig
 
-ROWS = 4000
-NUM_REQUESTS = 48
+SMOKE = bench_smoke_enabled()
+
+ROWS = 1500 if SMOKE else 4000
+NUM_REQUESTS = 24 if SMOKE else 48
 NUM_CLIENTS = 8
 DATASET = "income"
+
+#: The budget comparison: 8 distinct jobs x 4 requested engine workers.
+BUDGET_JOBS = 8
+ENGINE_PARALLELISM = 4
+MAX_ENGINE_WORKERS = 4
+BUDGET_ROWS = 4000 if SMOKE else 12_000
+#: Slack on the latency gates — the two runs race the same OS
+#: scheduler.  The smoke gate uses mean latency (p95 over 8 samples is
+#: the max, too noisy at smoke size) and correspondingly more slack.
+P95_SLACK = 1.10
+SMOKE_MEAN_SLACK = 1.25
 
 
 def run_comparison():
@@ -86,6 +114,7 @@ def test_ablation_service_concurrency(once):
     print(json_result_line("SERVICE_CONCURRENCY_JSON", {
         "requests": NUM_REQUESTS,
         "clients": NUM_CLIENTS,
+        "smoke": SMOKE,
         "serial_seconds": out["serial_seconds"],
         "service_seconds": out["service_seconds"],
         "serial_rps": out["serial_rps"],
@@ -100,5 +129,105 @@ def test_ablation_service_concurrency(once):
     assert out["results_match"]
     # Repeated interactive workloads must gain at least the acceptance
     # floor of 3x; typical runs land far above it (cache + coalescing
-    # execute only the distinct requests).
+    # execute only the distinct requests).  This is the perf-regression
+    # gate CI's bench-smoke job enforces on every push.
     assert ratio >= 3.0
+
+
+def run_admission_workload(admission):
+    """The distinct-jobs burst under one admission policy."""
+    table = dataset_by_name(DATASET, num_rows=BUDGET_ROWS)
+    requests = build_mining_burst_workload(
+        num_requests=BUDGET_JOBS, k=3, sample_size=16
+    )
+    service = RuleMiningService(ServiceConfig(
+        num_workers=BUDGET_JOBS,
+        engine_parallelism=ENGINE_PARALLELISM,
+        admission=admission,
+        max_engine_workers=MAX_ENGINE_WORKERS,
+    ))
+    try:
+        service.register_dataset(DATASET, table)
+        run = run_service_workload(
+            service, DATASET, requests, num_clients=BUDGET_JOBS
+        )
+        stats = service.stats()
+    finally:
+        service.close()
+    return {
+        "results": run["results"],
+        "wall_seconds": run["wall_seconds"],
+        "latency": latency_summary(run["latencies"]),
+        "budget": stats["budget"],
+    }
+
+
+def run_budget_comparison():
+    over = run_admission_workload("oversubscribe")
+    budget = run_admission_workload("budget")
+    return {
+        "over": over,
+        "budget": budget,
+        "results_match": service_results_match(
+            over["results"], budget["results"]
+        ),
+    }
+
+
+def test_ablation_budget_admission(once):
+    cores = len(os.sched_getaffinity(0))
+    out = once(run_budget_comparison)
+    over, budget = out["over"], out["budget"]
+    print_table(
+        "Ablation — engine-worker budget vs oversubscribe "
+        "(%d jobs x %d requested workers, budget %d)" % (
+            BUDGET_JOBS, ENGINE_PARALLELISM, MAX_ENGINE_WORKERS,
+        ),
+        ["admission", "wall seconds", "p50 latency", "p95 latency"],
+        [
+            ["oversubscribe", over["wall_seconds"],
+             over["latency"]["p50"], over["latency"]["p95"]],
+            ["budget", budget["wall_seconds"],
+             budget["latency"]["p50"], budget["latency"]["p95"]],
+        ],
+        note="identical results: %s; budget peak %d/%d workers, "
+             "%d/%d grants degraded; host cores: %d" % (
+                 out["results_match"],
+                 budget["budget"]["peak_in_use"],
+                 budget["budget"]["max_engine_workers"],
+                 budget["budget"]["degraded_grants"],
+                 budget["budget"]["grants"], cores,
+             ),
+    )
+    print(json_result_line("SERVICE_BUDGET_JSON", {
+        "jobs": BUDGET_JOBS,
+        "engine_parallelism": ENGINE_PARALLELISM,
+        "max_engine_workers": MAX_ENGINE_WORKERS,
+        "rows": BUDGET_ROWS,
+        "smoke": SMOKE,
+        "host_cores": cores,
+        "oversubscribe_wall_seconds": over["wall_seconds"],
+        "budget_wall_seconds": budget["wall_seconds"],
+        "oversubscribe_latency": over["latency"],
+        "budget_latency": budget["latency"],
+        "budget_stats": budget["budget"],
+        "bit_identical": out["results_match"],
+    }))
+    assert out["results_match"]
+    # The budget never lets the aggregate engine degree past the cap.
+    assert budget["budget"]["peak_in_use"] <= MAX_ENGINE_WORKERS
+    assert budget["budget"]["in_use"] == 0
+    # The acceptance gate: admission control must hold tail latency no
+    # worse than N x M oversubscription.  Wall-clock comparisons need
+    # real contention, so the gate requires a host wide enough for the
+    # budget itself to matter.  With only BUDGET_JOBS samples per run,
+    # p95 is the single slowest job — meaningful at full size but pure
+    # scheduler noise at smoke size — so the smoke gate compares mean
+    # latency (stable over 8 samples) with wider slack instead.
+    if cores >= MAX_ENGINE_WORKERS:
+        if SMOKE:
+            assert (budget["latency"]["mean"]
+                    <= over["latency"]["mean"] * SMOKE_MEAN_SLACK)
+        else:
+            assert (budget["latency"]["p95"]
+                    <= over["latency"]["p95"] * P95_SLACK)

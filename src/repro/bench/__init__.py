@@ -1,6 +1,8 @@
 """Benchmark harness helpers: dataset registry, runners, table output."""
 
 from repro.bench.harness import (
+    bench_smoke_enabled,
+    build_mining_burst_workload,
     build_service_workload,
     dataset_by_name,
     json_result_line,
@@ -16,6 +18,8 @@ from repro.bench.harness import (
 )
 
 __all__ = [
+    "bench_smoke_enabled",
+    "build_mining_burst_workload",
     "build_service_workload",
     "dataset_by_name",
     "json_result_line",

@@ -38,6 +38,18 @@ _DATASETS = {
     "tlc": tlc_table,
 }
 
+#: Falsy spellings of REPRO_BENCH_SMOKE — "0"/"false" must mean *off*.
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def bench_smoke_enabled():
+    """True when ``REPRO_BENCH_SMOKE`` requests the shrunk CI workload."""
+    import os
+
+    return os.environ.get(
+        "REPRO_BENCH_SMOKE", ""
+    ).strip().lower() not in _FALSY
+
 
 def dataset_by_name(name, num_rows=None, **kwargs):
     """Build one of the evaluation datasets by thesis name."""
@@ -60,11 +72,13 @@ def make_cluster(
     seed=7,
     parallelism=None,
     executor=None,
+    budget_grant=None,
 ):
     """The benchmarks' default cluster (a scaled-down thesis cluster).
 
     ``parallelism`` sets the real worker count partition kernels run
-    on and ``executor`` the pool kind (None defers to
+    on and ``executor`` the pool kind (None defers to a
+    ``budget_grant``'s granted degree when one is given, then to
     ``REPRO_PARALLELISM`` / ``REPRO_EXECUTOR``); simulated metrics are
     identical across settings, only wall-clock changes.
     """
@@ -77,7 +91,7 @@ def make_cluster(
         seed=seed,
     )
     return ClusterContext(spec, CostModel(), parallelism=parallelism,
-                          executor=executor)
+                          executor=executor, budget_grant=budget_grant)
 
 
 def run_variant(table, variant, cluster=None, prior_rules=None,
@@ -178,6 +192,25 @@ def build_service_workload(dataset, dimensions, measure, num_requests=32,
                 )
             )))
     return requests
+
+
+def build_mining_burst_workload(num_requests=8, k=3, sample_size=16,
+                                variant="optimized", seed_base=1000):
+    """``num_requests`` *distinct* mining requests (per-request seeds).
+
+    Unlike :func:`build_service_workload` nothing here repeats, so the
+    cache and coalescing collapse nothing: every request runs a real
+    engine job.  This is the worst-case concurrency shape the
+    engine-worker budget exists for — N simultaneous clusters all
+    wanting their full ``parallelism``.
+    """
+    return [
+        ("mine", {
+            "k": k, "variant": variant, "sample_size": sample_size,
+            "seed": seed_base + i,
+        })
+        for i in range(num_requests)
+    ]
 
 
 def run_service_workload(service, dataset, requests, num_clients=8,

@@ -131,6 +131,18 @@ def build_parser():
              "(default: REPRO_EXECUTOR or thread)",
     )
     serve.add_argument(
+        "--max-engine-workers", type=int, default=None,
+        help="machine-wide engine-worker budget shared by all "
+             "concurrent jobs (default: the host's core count)",
+    )
+    serve.add_argument(
+        "--admission", choices=["budget", "oversubscribe"],
+        default="budget",
+        help="'budget' (default) caps aggregate engine workers at "
+             "--max-engine-workers, degrading busy jobs toward serial; "
+             "'oversubscribe' gives every job its full --parallelism",
+    )
+    serve.add_argument(
         "--compare-serial", action="store_true",
         help="also run the workload serially and uncached, and print "
              "the throughput ratio",
@@ -172,6 +184,8 @@ def _run_serve(args, table, out):
         num_workers=args.workers, max_queue_depth=args.queue_depth,
         engine_parallelism=args.parallelism,
         engine_executor=args.executor,
+        max_engine_workers=args.max_engine_workers,
+        admission=args.admission,
     ))
     try:
         service.register_dataset("data", table)
@@ -205,6 +219,18 @@ def _run_serve(args, table, out):
             stats["jobs"]["failed"],
         )
     )
+    budget = stats["budget"]
+    if "max_engine_workers" in budget:
+        out.write(
+            "engine budget: %d workers, peak %d in use; %d grants "
+            "(%d degraded), %.3fs total wait\n" % (
+                budget["max_engine_workers"], budget["peak_in_use"],
+                budget["grants"], budget["degraded_grants"],
+                budget["total_wait_seconds"],
+            )
+        )
+    else:
+        out.write("engine budget: disabled (admission=oversubscribe)\n")
     if args.compare_serial:
         serial = run_serial_reference(table, "data", requests)
         match = service_results_match(run["results"], serial["results"])

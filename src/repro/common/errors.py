@@ -39,3 +39,7 @@ class DeadlineExceededError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A job was submitted to a service that has been shut down."""
+
+
+class BudgetExhaustedError(ServiceError):
+    """An engine-worker budget request could not be granted in time."""

@@ -214,12 +214,14 @@ def make_default_cluster(
     cost_model=None,
     parallelism=None,
     executor=None,
+    budget_grant=None,
 ):
     """A small local cluster suitable for tests and examples.
 
     ``parallelism`` sets the number of real workers partition kernels
     execute on and ``executor`` the pool kind (``"thread"`` or
-    ``"process"``; None defers to ``REPRO_PARALLELISM`` /
+    ``"process"``; None defers to a ``budget_grant``'s granted degree
+    when one is given, then to ``REPRO_PARALLELISM`` /
     ``REPRO_EXECUTOR``); results and simulated metrics are identical
     across settings.
     """
@@ -231,7 +233,8 @@ def make_default_cluster(
         seed=seed,
     )
     return ClusterContext(spec, cost_model or CostModel(),
-                          parallelism=parallelism, executor=executor)
+                          parallelism=parallelism, executor=executor,
+                          budget_grant=budget_grant)
 
 
 def mine(table, k=10, variant="optimized", cluster=None, prior_rules=None,

@@ -38,10 +38,16 @@ across modes: the exception of the lowest-index failing partition
 propagates, in-flight tasks are drained, and the aborted stage charges
 nothing — metrics and cache are exactly as they were before the stage.
 
-The default parallelism is read from the ``REPRO_PARALLELISM``
-environment variable (unset/empty means serial) and the default
-executor kind from ``REPRO_EXECUTOR`` (unset/empty means threads), so
-a whole test run can exercise either mode without touching call sites.
+The worker count resolves with one explicit precedence — **explicit
+argument > budget grant > environment > serial default**.  A cluster
+given ``parallelism=N`` uses N; otherwise a cluster carrying a
+``budget_grant`` (an allocation from the service's
+:class:`~repro.service.budget.EngineBudget`) uses the *granted*
+degree; otherwise the ``REPRO_PARALLELISM`` environment variable
+applies (unset/empty means serial).  The executor kind resolves as
+explicit argument > ``REPRO_EXECUTOR`` > threads.  A held grant is
+released when the cluster closes — after its pools have joined, so
+slots return only once the workers they paid for are actually gone.
 """
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -95,6 +101,22 @@ def default_executor():
     return value
 
 
+def resolve_parallelism(explicit=None, budget_grant=None):
+    """Worker count under the documented precedence.
+
+    Explicit argument > budget grant > ``REPRO_PARALLELISM`` > serial.
+    The grant contributes its *granted* degree — what the machine-wide
+    budget actually allocated, not what the job asked for.
+    """
+    if explicit is not None:
+        if explicit < 1:
+            raise EngineError("parallelism must be at least 1")
+        return int(explicit)
+    if budget_grant is not None:
+        return int(budget_grant.granted)
+    return default_parallelism()
+
+
 def _is_pickling_error(exc):
     """True when ``exc`` reports a pickling failure.
 
@@ -108,6 +130,13 @@ def _is_pickling_error(exc):
         return True
     return (isinstance(exc, (TypeError, AttributeError))
             and "pickle" in str(exc).lower())
+
+
+def _drain_pools_then_release(pools, grant):
+    """Join leaked worker pools, then return their budget slots."""
+    for pool in pools:
+        pool.shutdown(wait=True)
+    grant.release()
 
 
 def _run_pickled_task(kernel_bytes, index, partition):
@@ -146,22 +175,25 @@ class ClusterContext:
 
     ``parallelism`` is the number of real workers partition kernels run
     on and ``executor`` the pool kind (``"thread"`` or ``"process"``;
-    see the module docstring); ``None`` resolves each from the
-    ``REPRO_PARALLELISM`` / ``REPRO_EXECUTOR`` environment variables.
+    see the module docstring).  ``budget_grant`` is an engine-worker
+    allocation from a :class:`~repro.service.budget.EngineBudget`;
+    when ``parallelism`` is not given explicitly the *granted* degree
+    is used, and the grant is released when this cluster closes.  With
+    neither, the ``REPRO_PARALLELISM`` / ``REPRO_EXECUTOR``
+    environment variables resolve the defaults.
     """
 
     def __init__(self, spec=None, cost_model=None, hdfs=None,
-                 parallelism=None, executor=None):
+                 parallelism=None, executor=None, budget_grant=None):
         self.spec = spec or ClusterSpec()
         self.cost = cost_model or CostModel()
         self.hdfs = hdfs or SimulatedHdfs()
         self.metrics = MetricsRegistry()
         self.cache = CacheManager(self.spec.total_storage_bytes, self.metrics)
-        if parallelism is None:
-            parallelism = default_parallelism()
-        if parallelism < 1:
-            raise EngineError("parallelism must be at least 1")
-        self.parallelism = int(parallelism)
+        #: The budget allocation backing this cluster's workers (if
+        #: any); released on close, on every completion/abort path.
+        self.budget_grant = budget_grant
+        self.parallelism = resolve_parallelism(parallelism, budget_grant)
         if executor is None:
             executor = default_executor()
         if executor not in EXECUTORS:
@@ -210,7 +242,10 @@ class ClusterContext:
 
         Joins every worker thread and process, whichever executor kinds
         this cluster actually used (process mode keeps a thread pool
-        too, for stages whose kernel does not pickle).
+        too, for stages whose kernel does not pickle).  A budget grant
+        backing this cluster is released last — slots return to the
+        machine-wide budget only after the workers they paid for have
+        actually exited.
         """
         pools = (self._pool, self._process_pool)
         self._pool = None
@@ -218,6 +253,10 @@ class ClusterContext:
         for pool in pools:
             if pool is not None:
                 pool.shutdown(wait=True)
+        grant = self.budget_grant
+        self.budget_grant = None
+        if grant is not None:
+            grant.release()
 
     def __enter__(self):
         return self
@@ -228,11 +267,32 @@ class ClusterContext:
     def __del__(self):
         try:
             pools = (self._pool, self._process_pool)
+            grant = self.budget_grant
         except AttributeError:  # interpreter teardown / failed __init__
             return
-        for pool in pools:
-            if pool is not None:
-                pool.shutdown(wait=False)
+        live = [pool for pool in pools if pool is not None]
+        for pool in live:
+            pool.shutdown(wait=False)
+        if grant is None:
+            return
+        if live:
+            # A leaked cluster must not return its slots while the
+            # workers they paid for may still be running — the budget's
+            # aggregate cap would be transiently violated.  Drain on a
+            # helper thread (shutdown is idempotent; the second call
+            # just joins), then release.
+            try:
+                threading.Thread(
+                    target=_drain_pools_then_release, args=(live, grant),
+                    daemon=True,
+                ).start()
+            except RuntimeError:
+                # Interpreter shutdown forbids new threads (3.12+).
+                # The process is exiting: release inline so no waiter
+                # is left deadlocked; the cap is moot at this point.
+                grant.release()
+        else:
+            grant.release()
 
     def next_sample_seed(self):
         """A deterministic per-call seed for sampling operators.

@@ -11,6 +11,9 @@ def spark_cluster(
     storage_fraction=0.6,
     straggler_sigma=0.0,
     seed=7,
+    parallelism=None,
+    executor=None,
+    budget_grant=None,
 ):
     """A Spark-like cluster: many cores, cached RDD partitions.
 
@@ -26,4 +29,5 @@ def spark_cluster(
         straggler_sigma=straggler_sigma,
         seed=seed,
     )
-    return ClusterContext(spec, CostModel())
+    return ClusterContext(spec, CostModel(), parallelism=parallelism,
+                          executor=executor, budget_grant=budget_grant)

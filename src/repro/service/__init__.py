@@ -10,6 +10,13 @@
 See :mod:`repro.service.service` for the architecture overview.
 """
 
+from repro.service.budget import (
+    ADMISSION_BUDGET,
+    ADMISSION_OVERSUBSCRIBE,
+    ADMISSION_POLICIES,
+    BudgetGrant,
+    EngineBudget,
+)
 from repro.service.cache import ResultCache
 from repro.service.fingerprint import mining_fingerprint, sql_fingerprint
 from repro.service.jobs import (
@@ -28,7 +35,12 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "ADMISSION_BUDGET",
+    "ADMISSION_OVERSUBSCRIBE",
+    "ADMISSION_POLICIES",
+    "BudgetGrant",
     "DatasetHandle",
+    "EngineBudget",
     "Job",
     "JobHandle",
     "JobMetrics",

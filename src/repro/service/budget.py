@@ -1,0 +1,253 @@
+"""Engine-worker budget: admission control for intra-job parallelism.
+
+The service multiplies two parallelism axes: ``num_workers`` concurrent
+jobs, each running a simulated cluster with its own ``parallelism``
+engine workers.  Left alone they oversubscribe — 8 jobs x 4 engine
+workers is 32 runnable threads (or processes) on a 4-core host — which
+inflates tail latency exactly where the paper's interactive story
+needs it flat.
+
+:class:`EngineBudget` treats total engine workers as one machine-wide
+resource.  Each job *requests* a degree (its configured
+``parallelism``) and is *granted* a degree between ``min_parallelism``
+and the request, never exceeding what is left of
+``max_engine_workers``:
+
+- while at least ``min_parallelism`` slots are free, admission is
+  immediate and the grant is clamped to the free slots (a job asking
+  for 4 when 2 are free runs with 2 — *degraded*, possibly to serial);
+- when fewer than ``min_parallelism`` slots are free the request
+  *blocks* (FIFO, no barging) until running jobs release slots, so the
+  aggregate degree never exceeds the budget;
+- releases wake the queue head first, and a request that arrives after
+  a release is granted against the replenished pool — queued jobs
+  *re-expand* instead of being pinned at their degraded degree.
+
+Degraded grants are safe because the engine's determinism contract
+(PR 3/4) makes the granted degree unobservable in results: rules,
+lambda estimates and every simulated metric are bit-identical from
+serial through any worker count.  The budget therefore only shapes
+wall-clock behaviour, never output.
+
+A :class:`BudgetGrant` releases its slots exactly once — explicitly,
+via context manager, or through the cluster that carries it
+(:class:`~repro.engine.cluster.ClusterContext` releases its grant on
+``close()``, which the service's job runners invoke in ``finally`` on
+every completion *and* abort path).
+"""
+
+import os
+import threading
+import time
+
+from collections import deque
+
+from repro.common.errors import BudgetExhaustedError, ServiceError
+
+#: Admission policies for :class:`~repro.service.service.ServiceConfig`.
+ADMISSION_BUDGET = "budget"
+ADMISSION_OVERSUBSCRIBE = "oversubscribe"
+ADMISSION_POLICIES = (ADMISSION_BUDGET, ADMISSION_OVERSUBSCRIBE)
+
+
+def default_max_engine_workers():
+    """The machine's usable core count (the budget's default capacity)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # platforms without affinity
+        return max(1, os.cpu_count() or 1)
+
+
+class BudgetGrant:
+    """One job's slot allocation; release exactly once when the job ends."""
+
+    __slots__ = ("requested", "granted", "wait_seconds", "_budget", "_lock",
+                 "_released")
+
+    def __init__(self, budget, requested, granted, wait_seconds):
+        self._budget = budget
+        self.requested = requested
+        self.granted = granted
+        self.wait_seconds = wait_seconds
+        self._lock = threading.Lock()
+        self._released = False
+
+    @property
+    def degraded(self):
+        """True when the budget granted less than was requested."""
+        return self.granted < self.requested
+
+    @property
+    def released(self):
+        return self._released
+
+    def release(self):
+        """Return the slots to the budget (idempotent)."""
+        with self._lock:
+            if self._released:
+                return False
+            self._released = True
+        self._budget._release(self)
+        return True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release()
+
+    def __repr__(self):
+        return "BudgetGrant(requested=%d, granted=%d, wait=%.4fs%s)" % (
+            self.requested, self.granted, self.wait_seconds,
+            ", released" if self._released else "",
+        )
+
+
+class EngineBudget:
+    """Budgets engine workers across concurrent jobs (see module doc).
+
+    Parameters
+    ----------
+    max_engine_workers:
+        Total engine-worker slots across all concurrent jobs; ``None``
+        means the host's usable core count.
+    min_parallelism:
+        The smallest degree a job is ever granted (default 1 —
+        degrade all the way to serial rather than block, as long as a
+        single slot is free).  Must not exceed the capacity.
+    """
+
+    def __init__(self, max_engine_workers=None, min_parallelism=1):
+        if max_engine_workers is None:
+            max_engine_workers = default_max_engine_workers()
+        if max_engine_workers < 1:
+            raise ServiceError("max_engine_workers must be at least 1")
+        if min_parallelism < 1:
+            raise ServiceError("min_parallelism must be at least 1")
+        if min_parallelism > max_engine_workers:
+            raise ServiceError(
+                "min_parallelism (%d) cannot exceed max_engine_workers (%d)"
+                % (min_parallelism, max_engine_workers)
+            )
+        self.max_engine_workers = int(max_engine_workers)
+        self.min_parallelism = int(min_parallelism)
+        self._cond = threading.Condition()
+        self._in_use = 0
+        self._waiters = deque()  # FIFO admission: no barging past the head
+        self._grants = 0
+        self._degraded_grants = 0
+        self._releases = 0
+        self._timeouts = 0
+        self._total_wait_seconds = 0.0
+        self._peak_in_use = 0
+
+    # -- allocation ----------------------------------------------------
+
+    def acquire(self, requested, timeout=None):
+        """Block until a degree can be granted; returns a :class:`BudgetGrant`.
+
+        ``requested`` is the job's desired parallelism; the grant is
+        ``min(requested, free_slots)``, never below
+        ``min(requested, min_parallelism)``.  ``timeout`` bounds the
+        wait in seconds; on expiry :class:`BudgetExhaustedError`
+        raises and no slots are held.
+        """
+        requested = int(requested)
+        if requested < 1:
+            raise ServiceError("requested parallelism must be at least 1")
+        # The request is recorded as asked — a job wanting 4 on a
+        # capacity-1 budget is *degraded* to 1, and should read as
+        # such — but no grant can exceed what exists.
+        floor = min(requested, self.min_parallelism)
+        started = time.monotonic()
+        deadline = None if timeout is None else started + timeout
+        ticket = object()
+        with self._cond:
+            self._waiters.append(ticket)
+            try:
+                while not (self._waiters[0] is ticket
+                           and self._available_locked() >= floor):
+                    remaining = (
+                        None if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        self._timeouts += 1
+                        raise BudgetExhaustedError(
+                            "no engine-worker slots freed within %.3fs "
+                            "(%d/%d in use, %d waiting)" % (
+                                timeout, self._in_use,
+                                self.max_engine_workers,
+                                len(self._waiters),
+                            )
+                        )
+                    self._cond.wait(remaining)
+                granted = min(requested, self._available_locked())
+                self._in_use += granted
+                self._peak_in_use = max(self._peak_in_use, self._in_use)
+                self._grants += 1
+                if granted < requested:
+                    self._degraded_grants += 1
+                wait_seconds = time.monotonic() - started
+                self._total_wait_seconds += wait_seconds
+            finally:
+                try:
+                    self._waiters.remove(ticket)
+                except ValueError:
+                    pass
+                # Whatever happened to this ticket, the next waiter may
+                # now be at the head with slots available.
+                self._cond.notify_all()
+        return BudgetGrant(self, requested, granted, wait_seconds)
+
+    def _release(self, grant):
+        with self._cond:
+            self._in_use -= grant.granted
+            self._releases += 1
+            self._cond.notify_all()
+
+    def _available_locked(self):
+        return self.max_engine_workers - self._in_use
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def in_use(self):
+        """Slots currently allocated to running jobs."""
+        with self._cond:
+            return self._in_use
+
+    @property
+    def available(self):
+        """Slots free for the next admission."""
+        with self._cond:
+            return self._available_locked()
+
+    @property
+    def waiting(self):
+        """Requests currently blocked on the budget."""
+        with self._cond:
+            return len(self._waiters)
+
+    def stats(self):
+        """One dict of budget counters, for the service's ``stats()``."""
+        with self._cond:
+            return {
+                "max_engine_workers": self.max_engine_workers,
+                "min_parallelism": self.min_parallelism,
+                "in_use": self._in_use,
+                "available": self._available_locked(),
+                "waiting": len(self._waiters),
+                "peak_in_use": self._peak_in_use,
+                "grants": self._grants,
+                "degraded_grants": self._degraded_grants,
+                "releases": self._releases,
+                "timeouts": self._timeouts,
+                "total_wait_seconds": self._total_wait_seconds,
+            }
+
+    def __repr__(self):
+        with self._cond:
+            return "EngineBudget(%d/%d in use, %d waiting)" % (
+                self._in_use, self.max_engine_workers, len(self._waiters)
+            )

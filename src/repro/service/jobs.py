@@ -31,10 +31,14 @@ class JobMetrics:
     __slots__ = (
         "job_id", "label", "priority", "queue_wait_seconds",
         "run_seconds", "cache_hit", "coalesced",
+        "requested_parallelism", "granted_parallelism",
+        "budget_wait_seconds",
     )
 
     def __init__(self, job_id, label, priority, queue_wait_seconds,
-                 run_seconds, cache_hit, coalesced):
+                 run_seconds, cache_hit, coalesced,
+                 requested_parallelism=None, granted_parallelism=None,
+                 budget_wait_seconds=None):
         self.job_id = job_id
         self.label = label
         self.priority = priority
@@ -42,6 +46,13 @@ class JobMetrics:
         self.run_seconds = run_seconds
         self.cache_hit = cache_hit
         self.coalesced = coalesced
+        #: Engine-worker degree the job asked the budget for, what it
+        #: was actually granted, and how long it waited for the grant.
+        #: All None when the job ran without budget admission (SQL
+        #: jobs, cache hits, admission="oversubscribe").
+        self.requested_parallelism = requested_parallelism
+        self.granted_parallelism = granted_parallelism
+        self.budget_wait_seconds = budget_wait_seconds
 
     def snapshot(self):
         return {
@@ -52,6 +63,9 @@ class JobMetrics:
             "run_seconds": self.run_seconds,
             "cache_hit": self.cache_hit,
             "coalesced": self.coalesced,
+            "requested_parallelism": self.requested_parallelism,
+            "granted_parallelism": self.granted_parallelism,
+            "budget_wait_seconds": self.budget_wait_seconds,
         }
 
     def __repr__(self):
@@ -78,8 +92,8 @@ class Job:
     __slots__ = (
         "job_id", "fn", "label", "priority", "deadline",
         "submitted_at", "started_at", "finished_at",
-        "result", "exception", "on_done", "_event", "_done_lock",
-        "_completed",
+        "result", "exception", "on_done", "budget_info",
+        "_event", "_done_lock", "_completed",
     )
 
     def __init__(self, fn, label="job", priority=PRIORITY_NORMAL,
@@ -98,6 +112,9 @@ class Job:
         self.result = None
         self.exception = None
         self.on_done = on_done
+        #: Filled by the runner when the job acquires an engine-worker
+        #: budget grant: requested/granted degree and wait seconds.
+        self.budget_info = {}
         self._event = threading.Event()
         self._done_lock = threading.Lock()
         self._completed = False
@@ -242,6 +259,7 @@ class JobHandle:
 
     def metrics(self):
         """Timing/provenance for this request (see :class:`JobMetrics`)."""
+        budget = self._job.budget_info
         return JobMetrics(
             job_id=self._job.job_id,
             label=self._job.label,
@@ -250,6 +268,9 @@ class JobHandle:
             run_seconds=self._job.run_seconds,
             cache_hit=self.cache_hit,
             coalesced=self.coalesced,
+            requested_parallelism=budget.get("requested"),
+            granted_parallelism=budget.get("granted"),
+            budget_wait_seconds=budget.get("wait_seconds"),
         )
 
     def __repr__(self):

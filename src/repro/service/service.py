@@ -22,19 +22,41 @@ miner (:class:`~repro.core.miner.Sirum`) or the SQL-driven miner
 named platform sim; SQL queries run on one shared thread-safe
 :class:`~repro.sql.engine.SqlEngine`.  Per-job queue-wait and run-time
 aggregate into a :class:`~repro.engine.metrics.MetricsRegistry`
-(phases ``"queue_wait"`` / ``"execute"`` plus counters), surfaced by
-:meth:`RuleMiningService.stats`.
+(phases ``"queue_wait"`` / ``"execute"`` / ``"budget_wait"`` plus
+counters), surfaced by :meth:`RuleMiningService.stats`.
+
+A fourth mechanism keeps the two parallelism axes from multiplying:
+**engine-worker budgeting** (:mod:`repro.service.budget`).  Each
+mining job's simulated cluster runs real engine workers
+(``engine_parallelism``), and with ``num_workers`` jobs in flight the
+naive product oversubscribes the host.  Under
+``ServiceConfig(admission="budget")`` (the default) every job acquires
+its engine workers from one machine-wide
+:class:`~repro.service.budget.EngineBudget` capped at
+``max_engine_workers``: the granted degree shrinks toward
+``min_engine_parallelism`` (serial, by default) when the machine is
+busy and re-expands as running jobs release their slots, so the
+aggregate never exceeds the cap.  Granted-vs-requested degree and
+budget-wait time land in each job's :class:`JobMetrics` and the
+service counters.  ``admission="oversubscribe"`` restores the old
+N x M behaviour.
 """
 
+import inspect
 import threading
 
 from repro.common.errors import ServiceClosedError, ServiceError
 from repro.core.codec import RowCodec
-from repro.engine.cluster import EXECUTORS
+from repro.engine.cluster import EXECUTORS, default_parallelism
 from repro.core.config import variant_config
 from repro.core.measure import MeasureTransform
 from repro.core.miner import Sirum, make_default_cluster
 from repro.engine.metrics import MetricsRegistry
+from repro.service.budget import (
+    ADMISSION_BUDGET,
+    ADMISSION_POLICIES,
+    EngineBudget,
+)
 from repro.service.cache import ResultCache
 from repro.service.fingerprint import mining_fingerprint, sql_fingerprint
 from repro.service.jobs import PRIORITY_NORMAL, Job, JobHandle
@@ -45,6 +67,21 @@ from repro.sql.engine import SqlEngine
 MINING_ENGINES = ("operators", "sql")
 
 
+def _accepts_budget_grant(factory):
+    """True when ``factory`` can receive a ``budget_grant`` keyword."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins/C callables: assume not
+        return False
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if (param.name == "budget_grant"
+                and param.kind is not inspect.Parameter.POSITIONAL_ONLY):
+            return True
+    return False
+
+
 class ServiceConfig:
     """Tunables for :class:`RuleMiningService`."""
 
@@ -52,7 +89,9 @@ class ServiceConfig:
                  cache_capacity=256, cache_ttl_seconds=None,
                  default_priority=PRIORITY_NORMAL,
                  default_deadline_seconds=None,
-                 engine_parallelism=None, engine_executor=None):
+                 engine_parallelism=None, engine_executor=None,
+                 max_engine_workers=None, admission=ADMISSION_BUDGET,
+                 min_engine_parallelism=1, budget_wait_seconds=None):
         if num_workers < 1:
             raise ServiceError("num_workers must be at least 1")
         if max_queue_depth < 1:
@@ -63,6 +102,17 @@ class ServiceConfig:
             raise ServiceError(
                 "engine_executor must be one of %s" % ", ".join(EXECUTORS)
             )
+        if admission not in ADMISSION_POLICIES:
+            raise ServiceError(
+                "admission must be one of %s, got %r"
+                % (", ".join(ADMISSION_POLICIES), admission)
+            )
+        if max_engine_workers is not None and max_engine_workers < 1:
+            raise ServiceError("max_engine_workers must be at least 1")
+        if min_engine_parallelism < 1:
+            raise ServiceError("min_engine_parallelism must be at least 1")
+        if budget_wait_seconds is not None and budget_wait_seconds <= 0:
+            raise ServiceError("budget_wait_seconds must be positive")
         self.num_workers = num_workers
         self.max_queue_depth = max_queue_depth
         self.cache_capacity = cache_capacity
@@ -72,10 +122,28 @@ class ServiceConfig:
         #: Workers of each mining job's simulated-cluster engine
         #: (intra-request parallelism, on top of the worker pool's
         #: cross-request concurrency).  None defers to REPRO_PARALLELISM.
+        #: Under ``admission="budget"`` this is the degree each job
+        #: *requests*; the budget may grant less.
         self.engine_parallelism = engine_parallelism
         #: Pool kind those engine workers run on ("thread"/"process");
         #: None defers to REPRO_EXECUTOR.
         self.engine_executor = engine_executor
+        #: Machine-wide engine-worker cap shared by all concurrent jobs
+        #: (None: the host's usable core count).  Only meaningful with
+        #: ``admission="budget"``.
+        self.max_engine_workers = max_engine_workers
+        #: ``"budget"`` (default): jobs acquire engine workers from a
+        #: shared :class:`~repro.service.budget.EngineBudget` — the
+        #: aggregate degree never exceeds ``max_engine_workers``, jobs
+        #: degrade toward serial or wait when the machine is busy.
+        #: ``"oversubscribe"``: the pre-budget behaviour — every job
+        #: gets its full requested degree regardless of load.
+        self.admission = admission
+        #: Smallest degree the budget ever grants (degrade floor).
+        self.min_engine_parallelism = min_engine_parallelism
+        #: Bound on how long a job may wait for budget slots before
+        #: failing with BudgetExhaustedError (None: wait indefinitely).
+        self.budget_wait_seconds = budget_wait_seconds
 
 
 class DatasetHandle:
@@ -133,15 +201,36 @@ class RuleMiningService:
         self.config = config or ServiceConfig()
         self.engine = SqlEngine()
         self.catalog = self.engine.catalog
+        if self.config.admission == ADMISSION_BUDGET:
+            self._budget = EngineBudget(
+                max_engine_workers=self.config.max_engine_workers,
+                min_parallelism=self.config.min_engine_parallelism,
+            )
+        else:
+            self._budget = None
         if make_cluster is None:
             parallelism = self.config.engine_parallelism
             executor = self.config.engine_executor
 
-            def make_cluster():
-                return make_default_cluster(parallelism=parallelism,
-                                            executor=executor)
+            def make_cluster(budget_grant=None):
+                # Under budget admission the configured parallelism was
+                # the *request*; the grant carries the degree actually
+                # allocated and the cluster releases it on close.
+                return make_default_cluster(
+                    parallelism=(None if budget_grant is not None
+                                 else parallelism),
+                    executor=executor, budget_grant=budget_grant,
+                )
 
         self._make_cluster = make_cluster
+        if self._budget is not None and not _accepts_budget_grant(
+                make_cluster):
+            raise ServiceError(
+                "admission='budget' needs a make_cluster factory that "
+                "accepts a budget_grant keyword (the grant carries the "
+                "allocated degree and must be released when the cluster "
+                "closes); pass admission='oversubscribe' to opt out"
+            )
         self._scheduler = JobScheduler(
             num_workers=self.config.num_workers,
             max_queue_depth=self.config.max_queue_depth,
@@ -229,12 +318,17 @@ class RuleMiningService:
             k=k, **config_overrides
         )
         key = ("mine", dataset, handle.version, fingerprint)
+        budget_info = {}
 
         def runner():
             # The job owns its cluster: close it however the job ends,
             # or every parallel mining job would leak a live worker
-            # pool (the result only keeps a metrics snapshot).
-            cluster = self._job_cluster(platform, metered=engine == "operators")
+            # pool (the result only keeps a metrics snapshot) — and,
+            # under budget admission, its engine-worker slots.
+            cluster = self._job_cluster(
+                platform, metered=engine == "operators",
+                budget_info=budget_info,
+            )
             try:
                 if engine == "sql":
                     from repro.platforms.sql_sirum import SqlSirum
@@ -257,7 +351,7 @@ class RuleMiningService:
 
         return self._submit(
             key, runner, "mine:%s" % dataset, priority, deadline_seconds,
-            version_current,
+            version_current, budget_info=budget_info,
         )
 
     def submit_query(self, sql_text, priority=None, deadline_seconds=None):
@@ -296,15 +390,58 @@ class RuleMiningService:
     # Shared submission path
     # ------------------------------------------------------------------
 
-    def _job_cluster(self, platform, metered=True):
-        if platform is not None:
-            from repro.platforms.base import make_platform_cluster
+    def _job_cluster(self, platform, metered=True, budget_info=None):
+        """Build one job's engine cluster, under budget admission.
 
-            return make_platform_cluster(platform)
-        return self._make_cluster() if metered else None
+        With the budget enabled, acquiring the engine-worker grant
+        happens *here*, on the job's worker thread — a job blocked on
+        slots holds a service worker but no engine workers, and the
+        machine-wide aggregate degree stays within the budget.  The
+        grant travels inside the cluster and is released by
+        ``cluster.close()`` on every completion and abort path (the
+        runners close in ``finally``).  SQL jobs build no cluster and
+        spawn no engine workers, so they bypass the budget.
+        """
+        if platform is None and not metered:
+            return None
+        grant = None
+        if self._budget is not None:
+            requested = (self.config.engine_parallelism
+                         or default_parallelism())
+            grant = self._budget.acquire(
+                requested, timeout=self.config.budget_wait_seconds
+            )
+            if budget_info is not None:
+                budget_info.update(
+                    requested=grant.requested,
+                    granted=grant.granted,
+                    wait_seconds=grant.wait_seconds,
+                )
+        try:
+            if platform is not None:
+                from repro.platforms.base import make_platform_cluster
+
+                # Platform sims change the cost regime, not the real
+                # execution mode: the configured executor/parallelism
+                # (or the budget grant's degree) applies to them too.
+                return make_platform_cluster(
+                    platform,
+                    parallelism=(None if grant is not None
+                                 else self.config.engine_parallelism),
+                    executor=self.config.engine_executor,
+                    budget_grant=grant,
+                )
+            if grant is not None:
+                return self._make_cluster(budget_grant=grant)
+            return self._make_cluster()
+        except BaseException:
+            # The cluster never existed to release the grant for us.
+            if grant is not None:
+                grant.release()
+            raise
 
     def _submit(self, key, runner, label, priority, deadline_seconds,
-                version_current):
+                version_current, budget_info=None):
         if priority is None:
             priority = self.config.default_priority
         if deadline_seconds is None:
@@ -335,6 +472,20 @@ class RuleMiningService:
                     self._inflight.pop(key, None)
                     self._charge_phase("queue_wait", job.queue_wait_seconds)
                     self._charge_phase("execute", job.run_seconds)
+                    info = job.budget_info
+                    if "granted" in info:
+                        self._charge_phase(
+                            "budget_wait", info["wait_seconds"]
+                        )
+                        self._metrics.increment("budget_grants")
+                        self._metrics.increment(
+                            "budget_requested_workers", info["requested"]
+                        )
+                        self._metrics.increment(
+                            "budget_granted_workers", info["granted"]
+                        )
+                        if info["granted"] < info["requested"]:
+                            self._metrics.increment("budget_degraded_grants")
                     if job.exception is None:
                         self._metrics.increment("jobs_completed")
                     else:
@@ -344,6 +495,10 @@ class RuleMiningService:
                 runner, label=label, priority=priority,
                 deadline_seconds=deadline_seconds, on_done=on_done,
             )
+            if budget_info is not None:
+                # The runner and the job share one dict, so grant
+                # numbers surface in JobHandle.metrics() and on_done.
+                job.budget_info = budget_info
             self._inflight[key] = job
         try:
             self._scheduler.submit(job)
@@ -389,7 +544,16 @@ class RuleMiningService:
             "phase_seconds": phases,
             "plan_cache": self.engine.plan_cache_info,
             "datasets": self.datasets(),
+            "budget": self.budget_stats(),
         }
+
+    def budget_stats(self):
+        """Engine-worker budget state (admission policy + counters)."""
+        if self._budget is None:
+            return {"admission": self.config.admission}
+        stats = self._budget.stats()
+        stats["admission"] = self.config.admission
+        return stats
 
     def close(self, wait=True):
         """Stop admissions and (by default) drain queued jobs."""

@@ -153,3 +153,69 @@ class TestCachedAccess:
         old = cluster.reset_metrics()
         assert old.simulated_seconds > 0
         assert cluster.metrics.simulated_seconds == 0.0
+
+
+class _StubGrant:
+    """Duck-typed budget grant (the cluster never imports the service)."""
+
+    def __init__(self, granted):
+        self.granted = granted
+        self.releases = 0
+
+    def release(self):
+        self.releases += 1
+
+
+class TestParallelismPrecedence:
+    """Explicit argument > budget grant > environment > serial default."""
+
+    def test_explicit_argument_beats_grant_and_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLELISM", "8")
+        cluster = ClusterContext(
+            parallelism=5, budget_grant=_StubGrant(granted=2)
+        )
+        assert cluster.parallelism == 5
+        cluster.close()
+
+    def test_grant_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLELISM", "8")
+        cluster = ClusterContext(budget_grant=_StubGrant(granted=3))
+        assert cluster.parallelism == 3
+        cluster.close()
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLELISM", "6")
+        assert ClusterContext().parallelism == 6
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLELISM", raising=False)
+        assert ClusterContext().parallelism == 1
+
+    def test_resolve_parallelism_helper(self, monkeypatch):
+        from repro.engine.cluster import resolve_parallelism
+
+        monkeypatch.setenv("REPRO_PARALLELISM", "7")
+        grant = _StubGrant(granted=2)
+        assert resolve_parallelism(4, grant) == 4
+        assert resolve_parallelism(None, grant) == 2
+        assert resolve_parallelism(None, None) == 7
+        monkeypatch.delenv("REPRO_PARALLELISM")
+        assert resolve_parallelism(None, None) == 1
+        with pytest.raises(EngineError):
+            resolve_parallelism(0, None)
+
+    def test_close_releases_grant_once(self):
+        grant = _StubGrant(granted=2)
+        cluster = ClusterContext(budget_grant=grant)
+        cluster.run_stage(lambda tc, p: p, range(4))
+        cluster.close()
+        cluster.close()
+        assert grant.releases == 1
+
+    def test_grant_released_even_with_explicit_override(self):
+        # An explicit argument wins the degree, but the allocation is
+        # still held and must still be returned on close.
+        grant = _StubGrant(granted=2)
+        with ClusterContext(parallelism=1, budget_grant=grant):
+            pass
+        assert grant.releases == 1
