@@ -8,6 +8,10 @@ layer provides:
   measure attribute;
 - :class:`~repro.data.table.Table` — an immutable columnar table whose
   dimension columns are dictionary-encoded to dense integer codes;
+- :mod:`repro.data.colfile` — the on-disk block format with per-block
+  min/max statistics (predicate pushdown to storage);
+- :class:`~repro.data.bufferpool.BufferPool` — the bounded pool of
+  decoded blocks behind :meth:`Table.open_colfile`'s out-of-core mode;
 - :mod:`repro.data.csvio` — CSV reading/writing compatible with the
   thesis's HDFS-resident CSV inputs;
 - :mod:`repro.data.hdfs` — a simulated block store used by the platform
@@ -18,6 +22,13 @@ layer provides:
 
 from repro.data.schema import Schema
 from repro.data.encoding import DictionaryEncoder
-from repro.data.table import Table
+from repro.data.table import FileBackedTable, Table
+from repro.data.bufferpool import BufferPool
 
-__all__ = ["Schema", "DictionaryEncoder", "Table"]
+__all__ = [
+    "Schema",
+    "DictionaryEncoder",
+    "Table",
+    "FileBackedTable",
+    "BufferPool",
+]

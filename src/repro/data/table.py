@@ -106,6 +106,25 @@ class Table:
         """Build a table directly from encoded columns (no copying)."""
         return cls(schema, dim_columns, measure_column, encoders)
 
+    @classmethod
+    def open_colfile(cls, path, pool=None, capacity_bytes=None):
+        """Open a columnar file as a :class:`FileBackedTable`.
+
+        The returned table is usable everywhere a plain table is, but
+        its columns live in the file: scans stream blocks through a
+        :class:`~repro.data.bufferpool.BufferPool` (``pool``, or a new
+        one sized by ``capacity_bytes`` / ``REPRO_BUFFER_POOL_BYTES``),
+        and process-mode partitioning hands workers mmap-backed
+        descriptors instead of copying the table into shared memory.
+        """
+        from repro.data.bufferpool import BufferPool
+        from repro.data.colfile import ColFileHandle
+
+        handle = ColFileHandle(path)
+        if pool is None:
+            pool = BufferPool(capacity_bytes=capacity_bytes)
+        return FileBackedTable(handle, pool)
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
@@ -280,6 +299,167 @@ class Table:
 
     def __repr__(self):
         return "Table(%d rows, %d dims, measure=%r)" % (
+            len(self),
+            self.schema.arity,
+            self.schema.measure,
+        )
+
+
+class FileBackedTable(Table):
+    """A table whose columns live in a columnar file, not RAM.
+
+    Open via :meth:`Table.open_colfile`.  Row count, schema, encoders
+    and byte estimates come from the file's metadata; the column arrays
+    themselves materialize lazily — the first operation that needs whole
+    columns (measure transform fit, rule mask evaluation, in-process
+    partitioning) streams every block through the buffer pool once and
+    concatenates.  The pool bounds resident *decoded* bytes during any
+    block-wise scan (:meth:`scan`), which is where the out-of-core
+    behaviour lives; its hit/miss/eviction counters are the observable
+    record of that streaming.
+
+    Process-mode partitioning never touches shm: ``partition_blocks``
+    with ``shared=True`` returns
+    :class:`~repro.engine.shm.MmapTableBlock` descriptors that workers
+    resolve against an mmap of the file itself, so no whole-table copy
+    is made for a process job (``_shm_pack`` stays ``None``).
+
+    Values are bit-identical to ``read_colfile(path)`` — codes are
+    stored as int64 and the measure as float64, the engine's native
+    dtypes — so mining results match the in-RAM path exactly.
+
+    Derived tables (``take``, ``project``, ``with_measure``, ...) are
+    plain in-RAM tables.
+    """
+
+    def __init__(self, handle, pool):
+        self.schema = handle.schema
+        self._handle = handle
+        self._pool = pool
+        self._encoders = list(handle.encoders)
+        self._shm_pack = None
+        self._shm_lock = threading.Lock()
+        self._materialize_lock = threading.Lock()
+
+    def __getattr__(self, name):
+        # Lazy hook: only fires while ``_dims`` / ``_measure`` are
+        # still unset; materializing fills both, after which normal
+        # attribute lookup takes over for good.
+        if name in ("_dims", "_measure"):
+            self._materialize()
+            return self.__dict__[name]
+        raise AttributeError(
+            "%r object has no attribute %r" % (type(self).__name__, name)
+        )
+
+    def _materialize(self):
+        with self._materialize_lock:
+            if "_dims" in self.__dict__:
+                return
+            handle = self._handle
+            dim_parts = [[] for _ in self.schema.dimensions]
+            measure_parts = []
+            for index in range(handle.num_blocks):
+                with self._pool.pin(handle, index) as frame:
+                    # Frames are heap copies: safe to keep past unpin.
+                    for j, col in enumerate(frame.columns):
+                        dim_parts[j].append(col)
+                    measure_parts.append(frame.measure)
+            if measure_parts:
+                dims = [np.concatenate(parts) for parts in dim_parts]
+                measure = np.concatenate(measure_parts)
+            else:
+                dims = [np.zeros(0, dtype=np.int64)
+                        for _ in self.schema.dimensions]
+                measure = np.zeros(0, dtype=np.float64)
+            for col in dims:
+                col.setflags(write=False)
+            measure.setflags(write=False)
+            self._dims = dims
+            self._measure = measure
+
+    # -- metadata answered from the file, without materializing --------
+
+    def __len__(self):
+        return self._handle.num_rows
+
+    @property
+    def num_rows(self):
+        return self._handle.num_rows
+
+    def estimated_bytes(self):
+        # Same formula as the in-RAM layout (int64 codes + float64
+        # measure), so the memory simulator's charges are identical.
+        return self._handle.num_rows * self._handle.row_bytes
+
+    @property
+    def is_materialized(self):
+        return "_dims" in self.__dict__
+
+    @property
+    def buffer_pool(self):
+        return self._pool
+
+    @property
+    def colfile_path(self):
+        return self._handle.path
+
+    # -- out-of-core access --------------------------------------------
+
+    def scan(self, dim_predicates=None, measure_range=None):
+        """Filtered scan streamed through the buffer pool.
+
+        Returns a plain in-RAM :class:`Table` of the matching rows;
+        blocks whose statistics exclude the predicate cost no I/O.
+        """
+        table, _read, _skipped = self._handle.scan(
+            dim_predicates, measure_range, pool=self._pool
+        )
+        return table
+
+    def scan_stats(self, dim_predicates=None, measure_range=None):
+        """(blocks_read, blocks_skipped) a scan would do (stats only)."""
+        return self._handle.scan_stats(dim_predicates, measure_range)
+
+    def partition_blocks(self, num_blocks, shared=False):
+        """Partition for the engine; mmap descriptors in shared mode.
+
+        With ``shared=True`` (process-pool execution) the blocks carry
+        ``(path, file_key, row range)`` and workers map the file
+        directly — the shm copy an in-RAM table would make is never
+        created.  Partition bounds and ``size_bytes`` match the base
+        implementation exactly, keeping metered costs bit-identical.
+        """
+        if not shared:
+            return super().partition_blocks(num_blocks, shared=False)
+        n = len(self)
+        if n == 0:
+            raise DataError("cannot partition an empty table")
+        from repro.engine.shm import MmapTableBlock
+
+        num_blocks = max(1, min(int(num_blocks), n))
+        bounds = [n * i // num_blocks for i in range(num_blocks + 1)]
+        bytes_per_row = max(1, self.estimated_bytes() // n)
+        return [
+            MmapTableBlock(
+                index=i,
+                path=self._handle.path,
+                file_key=self._handle.file_key,
+                start=bounds[i],
+                stop=bounds[i + 1],
+                size_bytes=(bounds[i + 1] - bounds[i]) * bytes_per_row,
+            )
+            for i in range(num_blocks)
+        ]
+
+    def close(self):
+        """Close the underlying file handle (the table stays usable
+        only if already materialized)."""
+        self._handle.close()
+
+    def __repr__(self):
+        return "FileBackedTable(%r, %d rows, %d dims, measure=%r)" % (
+            self._handle.path,
             len(self),
             self.schema.arity,
             self.schema.measure,

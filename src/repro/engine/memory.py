@@ -7,11 +7,71 @@ models the aggregate storage pool (executors x memory x storage
 fraction): ``access`` either hits (free) or misses (the caller is
 charged a disk read of the partition's bytes), and a timeline of cached
 bytes is recorded for the Figure 4.3/4.4 memory plots.
+
+:class:`EvictionIndex` is the eviction discipline itself — a
+recency-ordered key -> size map with byte accounting — factored out so
+the *real* block buffer pool (:mod:`repro.data.bufferpool`), which
+holds decoded column blocks rather than simulated charges, runs the
+same LRU bookkeeping instead of duplicating it.
 """
 
 import threading
 
 from collections import OrderedDict
+
+
+class EvictionIndex:
+    """Recency-ordered key -> size_bytes map with byte accounting.
+
+    The shared LRU ledger behind the simulated partition cache and the
+    data layer's block buffer pool: entries keep least-recently-used
+    order, ``total_bytes`` is maintained incrementally, and eviction
+    pops from the cold end — optionally skipping keys the caller has
+    pinned.  Not thread-safe on its own; owners lock around it.
+    """
+
+    def __init__(self):
+        self._entries = OrderedDict()
+        self.total_bytes = 0
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    def touch(self, key):
+        """Mark ``key`` most recently used; True when it was present."""
+        if key not in self._entries:
+            return False
+        self._entries.move_to_end(key)
+        return True
+
+    def add(self, key, size_bytes):
+        """Insert ``key`` (absent) as the most recently used entry."""
+        self._entries[key] = size_bytes
+        self._entries.move_to_end(key)
+        self.total_bytes += size_bytes
+
+    def pop(self, key):
+        """Remove ``key``; returns its size, or None when absent."""
+        size = self._entries.pop(key, None)
+        if size is not None:
+            self.total_bytes -= size
+        return size
+
+    def pop_coldest(self, pinned=()):
+        """Evict the least-recently-used key not in ``pinned``.
+
+        Returns ``(key, size_bytes)``, or None when every entry is
+        pinned (or the index is empty).
+        """
+        for key in self._entries:
+            if key not in pinned:
+                size = self._entries.pop(key)
+                self.total_bytes -= size
+                return key, size
+        return None
 
 
 class CacheManager:
@@ -28,19 +88,21 @@ class CacheManager:
     def __init__(self, capacity_bytes, metrics):
         self.capacity_bytes = int(capacity_bytes)
         self._metrics = metrics
-        self._entries = OrderedDict()  # key -> size_bytes, LRU order
+        self._index = EvictionIndex()
         self._lock = threading.RLock()
-        self.cached_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    @property
+    def cached_bytes(self):
+        return self._index.total_bytes
 
     def access(self, key, size_bytes):
         """Access partition ``key``; return disk bytes to charge (0 on hit)."""
         size_bytes = int(size_bytes)
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
+            if self._index.touch(key):
                 self.hits += 1
                 self._metrics.increment("cache_hits")
                 return 0
@@ -53,22 +115,19 @@ class CacheManager:
         if size_bytes > self.capacity_bytes:
             # Partition larger than the whole pool: never cached.
             return
-        while self.cached_bytes + size_bytes > self.capacity_bytes and self._entries:
-            _, evicted_size = self._entries.popitem(last=False)
-            self.cached_bytes -= evicted_size
+        while (self._index.total_bytes + size_bytes > self.capacity_bytes
+                and len(self._index)):
+            self._index.pop_coldest()
             self.evictions += 1
             self._metrics.increment("cache_evictions")
-        self._entries[key] = size_bytes
-        self.cached_bytes += size_bytes
+        self._index.add(key, size_bytes)
 
     def contains(self, key):
-        return key in self._entries
+        return key in self._index
 
     def invalidate(self, key):
         with self._lock:
-            size = self._entries.pop(key, None)
-            if size is not None:
-                self.cached_bytes -= size
+            self._index.pop(key)
 
     def record_timeline(self):
         """Append the current cached-bytes level to the metrics timeline."""

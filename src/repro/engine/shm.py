@@ -20,6 +20,14 @@ checks the owning PID).  Unlinking only removes the *name* — existing
 mappings, including worker attachments, stay valid until released.
 Workers cache a bounded number of attachments per process so repeated
 stages over the same table do not re-map it.
+
+File-backed tables skip shm entirely: :class:`MmapTableBlock` carries
+``(path, file_key, row range)`` and workers resolve it against a
+process-cached read-only mmap of the colfile itself
+(:func:`attached_handle`), so the kernel reads the OS page cache —
+zero copies of the table are made for the job.  ``file_key`` pins the
+exact file state; a file rewritten between pickling and attachment is
+refused rather than silently misread.
 """
 
 import os
@@ -97,6 +105,47 @@ def attached_segment(name):
             _, stale = _attachments.popitem(last=False)
             _close_quietly(stale)
         return segment
+
+
+_handles = OrderedDict()  # (path, file_key) -> ColFileHandle, LRU order
+_handles_lock = threading.Lock()
+
+
+def attached_handle(path, file_key):
+    """The (cached) :class:`~repro.data.colfile.ColFileHandle` for the
+    file state ``(path, file_key)`` in this process.
+
+    Opens and verifies the file on first use; subsequent blocks of the
+    same file reuse the mapping.  Evicted cache entries are closed only
+    if no live views reference them (``ColFileHandle.close`` keeps the
+    map alive otherwise).
+    """
+    from repro.common.errors import DataError
+    from repro.data.colfile import ColFileHandle
+
+    key = (str(path), tuple(file_key))
+    with _handles_lock:
+        handle = _handles.get(key)
+        if handle is not None:
+            _handles.move_to_end(key)
+            return handle
+    handle = ColFileHandle(path)
+    if tuple(handle.file_key) != key[1]:
+        handle.close()
+        raise DataError(
+            "columnar file %s changed on disk since the block was "
+            "created (size/mtime mismatch)" % path
+        )
+    with _handles_lock:
+        racing = _handles.get(key)
+        if racing is not None:
+            handle.close()
+            return racing
+        _handles[key] = handle
+        while len(_handles) > _ATTACHMENT_CAP:
+            _, stale = _handles.popitem(last=False)
+            stale.close()
+        return handle
 
 
 def _unlink_segment(segment, owner_pid):
@@ -260,5 +309,65 @@ class SharedTableBlock:
     def __setstate__(self, state):
         (self.index, self.start, self.stop, self.size_bytes,
          self._pack) = state
+        self._columns = None
+        self._measure = None
+
+
+class MmapTableBlock:
+    """Picklable table block backed by an mmap of the colfile itself.
+
+    The file-backed counterpart of :class:`SharedTableBlock`: instead of
+    a shm segment name it carries ``(path, file_key)`` plus its row
+    range, and ``columns`` / ``measure`` resolve against the
+    process-cached read-only mapping from :func:`attached_handle`.  A
+    partition contained in one colfile block is a pure zero-copy view;
+    one spanning blocks concatenates just its own rows (the columnar
+    layout interleaves per block).  Either way no whole-table copy ever
+    exists — the OS page cache is the only shared storage.
+
+    There is no segment to unlink, so no owner/finalizer machinery:
+    lifetime is the file's.
+    """
+
+    __slots__ = ("index", "start", "stop", "size_bytes", "path",
+                 "file_key", "_columns", "_measure")
+
+    def __init__(self, index, path, file_key, start, stop, size_bytes):
+        self.index = index
+        self.start = start
+        self.stop = stop
+        self.size_bytes = size_bytes
+        self.path = str(path)
+        self.file_key = tuple(file_key)
+        self._columns = None
+        self._measure = None
+
+    @property
+    def num_rows(self):
+        return self.stop - self.start
+
+    def _resolve(self):
+        handle = attached_handle(self.path, self.file_key)
+        self._columns, self._measure = handle.read_rows(self.start, self.stop)
+
+    @property
+    def columns(self):
+        if self._columns is None:
+            self._resolve()
+        return self._columns
+
+    @property
+    def measure(self):
+        if self._measure is None:
+            self._resolve()
+        return self._measure
+
+    def __getstate__(self):
+        return (self.index, self.start, self.stop, self.size_bytes,
+                self.path, self.file_key)
+
+    def __setstate__(self, state):
+        (self.index, self.start, self.stop, self.size_bytes,
+         self.path, self.file_key) = state
         self._columns = None
         self._measure = None

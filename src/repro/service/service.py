@@ -545,7 +545,29 @@ class RuleMiningService:
             "plan_cache": self.engine.plan_cache_info,
             "datasets": self.datasets(),
             "budget": self.budget_stats(),
+            "buffer_pool": self.buffer_pool_stats(),
         }
+
+    def buffer_pool_stats(self):
+        """Buffer-pool counters of every file-backed registered dataset.
+
+        ``{"attached": False}`` when no registered dataset is
+        file-backed; otherwise per-dataset hit-rate / resident-bytes /
+        eviction counters from each table's
+        :class:`~repro.data.bufferpool.BufferPool`.
+        """
+        from repro.data.table import FileBackedTable
+
+        with self._lock:
+            handles = sorted(self._datasets.items())
+        pools = {
+            name: handle.table.buffer_pool.stats()
+            for name, handle in handles
+            if isinstance(handle.table, FileBackedTable)
+        }
+        if not pools:
+            return {"attached": False}
+        return {"attached": True, "datasets": pools}
 
     def budget_stats(self):
         """Engine-worker budget state (admission policy + counters)."""

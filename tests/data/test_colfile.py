@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import DataError
 from repro.data.colfile import (
+    ColFileHandle,
     block_scan_stats,
     read_colfile,
     scan_colfile,
@@ -122,6 +123,142 @@ class TestBlockSkipping:
         write_colfile(flights, path, block_rows=3)
         read, skipped = block_scan_stats(path)
         assert (read, skipped) == (5, 0)
+
+
+class TestEdgeCases:
+    def test_empty_table_round_trips(self, tmp_path):
+        empty = Table.from_rows(Schema(["x", "y"], "m"), [])
+        path = tmp_path / "empty.col"
+        stats = write_colfile(empty, path)
+        assert stats == []
+        loaded = read_colfile(path)
+        assert len(loaded) == 0
+        assert loaded.schema == empty.schema
+        assert block_scan_stats(path) == (0, 0)
+
+    def test_single_block_table(self, flights, tmp_path):
+        path = tmp_path / "one.col"
+        stats = write_colfile(flights, path, block_rows=1000)
+        assert len(stats) == 1
+        assert tables_equal(read_colfile(path), flights)
+
+    def test_partial_last_block(self, flights, tmp_path):
+        # 14 rows in blocks of 4: the last block holds only 2.
+        path = tmp_path / "ragged.col"
+        stats = write_colfile(flights, path, block_rows=4)
+        assert [s["rows"] for s in stats] == [4, 4, 4, 2]
+        assert tables_equal(read_colfile(path), flights)
+
+    def test_predicate_value_absent_from_dictionary(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=3)
+        result = scan_colfile(path, dim_predicates={"Origin": "Narnia"})
+        assert len(result) == 0
+        # Statistics alone prove no block can match.
+        assert block_scan_stats(
+            path, dim_predicates={"Origin": "Narnia"}
+        ) == (0, 5)
+
+    def test_truncated_footer_length_raises(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-2])  # cut into the trailing u32
+        with pytest.raises(DataError):
+            read_colfile(path)
+
+    def test_corrupt_footer_length_raises(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path)
+        data = path.read_bytes()
+        # A footer length larger than the file cannot be honoured.
+        path.write_bytes(data[:-4] + b"\xff\xff\xff\xff")
+        with pytest.raises(DataError):
+            read_colfile(path)
+
+    def test_truncated_block_region_raises(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path)
+        with ColFileHandle(path) as handle:
+            offset = handle.data_offset
+        data = path.read_bytes()
+        # Drop 40 bytes out of the block region, keeping the preamble
+        # and footer intact: the size check must notice.
+        path.write_bytes(data[:offset] + data[offset + 40:])
+        with pytest.raises(DataError):
+            read_colfile(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.col"
+        path.write_bytes(b"")
+        with pytest.raises(DataError):
+            read_colfile(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            read_colfile(tmp_path / "nowhere.col")
+
+
+class TestColFileHandle:
+    def test_encoders_built_once_per_handle(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=3)
+        with ColFileHandle(path) as handle:
+            before = [id(e) for e in handle.encoders]
+            first, _, _ = handle.scan(dim_predicates={"Origin": "SF"})
+            second, _, _ = handle.scan(measure_range=(15.0, 20.0))
+            assert [id(e) for e in handle.encoders] == before
+            # Scan results share the handle's encoders, not copies.
+            assert first.encoders()[0] is handle.encoders[0]
+            assert second.encoders()[0] is handle.encoders[0]
+
+    def test_block_views_are_zero_copy_and_read_only(self, flights,
+                                                     tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=4)
+        with ColFileHandle(path) as handle:
+            columns, measure = handle.block_views(0)
+            assert not measure.flags.writeable
+            assert all(not col.flags.writeable for col in columns)
+            assert columns[0].dtype == np.int64
+            np.testing.assert_array_equal(
+                columns[0], flights.dimension_columns()[0][:4]
+            )
+            np.testing.assert_array_equal(measure, flights.measure[:4])
+
+    def test_read_rows_spanning_blocks(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=4)
+        with ColFileHandle(path) as handle:
+            columns, measure = handle.read_rows(2, 11)
+            np.testing.assert_array_equal(
+                measure, np.asarray(flights.measure)[2:11]
+            )
+            for got, full in zip(columns, flights.dimension_columns()):
+                np.testing.assert_array_equal(got, full[2:11])
+
+    def test_read_rows_bounds_checked(self, flights, tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path)
+        with ColFileHandle(path) as handle:
+            with pytest.raises(DataError):
+                handle.read_rows(0, len(flights) + 1)
+
+    def test_scan_stats_never_touches_payload(self, flights, tmp_path):
+        # Scribble over the whole block region (footer untouched):
+        # footer-only statistics must still come back intact.
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=3)
+        with ColFileHandle(path) as handle:
+            data_offset, num_rows = handle.data_offset, handle.num_rows
+            row_bytes = handle.row_bytes
+        data = bytearray(path.read_bytes())
+        end = data_offset + num_rows * row_bytes
+        data[data_offset:end] = b"\xa5" * (end - data_offset)
+        path.write_bytes(bytes(data))
+        read, skipped = block_scan_stats(path, measure_range=(15.0, 20.0))
+        assert skipped > 0
+        assert read + skipped == 5
 
 
 # ----------------------------------------------------------------------

@@ -106,3 +106,105 @@ class TestAggregates:
 
     def test_estimated_bytes_positive(self, table):
         assert table.estimated_bytes() > 0
+
+
+class TestFileBackedTable:
+    """Table.open_colfile: out-of-core mode over the colfile format."""
+
+    @pytest.fixture
+    def colpath(self, tmp_path):
+        from repro.data.colfile import write_colfile
+        from repro.data.generators import flight_table
+
+        path = tmp_path / "flights.col"
+        write_colfile(flight_table(), path, block_rows=4)
+        return path
+
+    def test_metadata_without_materializing(self, colpath):
+        from repro.data.generators import flight_table
+
+        plain = flight_table()
+        table = Table.open_colfile(colpath)
+        assert len(table) == len(plain)
+        assert table.num_rows == plain.num_rows
+        assert table.schema == plain.schema
+        assert table.estimated_bytes() == plain.estimated_bytes()
+        assert not table.is_materialized
+
+    def test_columns_identical_to_in_ram(self, colpath):
+        from repro.data.generators import flight_table
+
+        plain = flight_table()
+        table = Table.open_colfile(colpath)
+        for got, want in zip(table.dimension_columns(),
+                             plain.dimension_columns()):
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == np.int64
+        np.testing.assert_array_equal(table.measure, plain.measure)
+        assert table.is_materialized
+
+    def test_materializing_streams_through_pool(self, colpath):
+        # Pool smaller than one decoded block still completes: blocks
+        # stream through (pin, copy out, evict) one at a time.
+        table = Table.open_colfile(colpath, capacity_bytes=130)
+        table.dimension_columns()
+        pool = table.buffer_pool
+        assert pool.misses == 4
+        assert pool.evictions >= 2
+        assert pool.resident_bytes <= pool.capacity_bytes
+
+    def test_scan_with_pushdown(self, colpath):
+        from repro.data.generators import flight_table
+
+        plain = flight_table()
+        table = Table.open_colfile(colpath)
+        result = table.scan(dim_predicates={"Origin": "SF"})
+        expected = [plain.decoded_row(i) for i in range(len(plain))
+                    if plain.decoded_row(i)[1] == "SF"]
+        got = [result.decoded_row(i) for i in range(len(result))]
+        assert got == expected
+        read, skipped = table.scan_stats(dim_predicates={"Origin": "SF"})
+        assert read + skipped == 4
+        assert table.buffer_pool.misses == read
+
+    def test_derived_tables_are_plain_in_ram(self, colpath):
+        from repro.data.table import FileBackedTable
+
+        table = Table.open_colfile(colpath)
+        assert type(table.take([0, 1])) is Table
+        assert type(table.slice(0, 3)) is Table
+        assert type(table.with_measure(np.zeros(len(table)))) is Table
+        assert isinstance(table, FileBackedTable)
+
+    def test_partition_blocks_match_in_ram(self, colpath):
+        from repro.data.generators import flight_table
+
+        plain = flight_table()
+        table = Table.open_colfile(colpath)
+        ours = table.partition_blocks(3)
+        theirs = plain.partition_blocks(3)
+        assert [(b.index, b.start, b.stop, b.size_bytes) for b in ours] == [
+            (b.index, b.start, b.stop, b.size_bytes) for b in theirs
+        ]
+        for a, b in zip(ours, theirs):
+            np.testing.assert_array_equal(a.measure, b.measure)
+
+    def test_shared_partitions_are_mmap_backed(self, colpath):
+        from repro.engine.shm import MmapTableBlock
+
+        table = Table.open_colfile(colpath)
+        blocks = table.partition_blocks(3, shared=True)
+        assert all(isinstance(b, MmapTableBlock) for b in blocks)
+        # No shm copy of the table was (or will be) made for these.
+        assert table._shm_pack is None
+
+    def test_empty_colfile_opens(self, tmp_path):
+        from repro.data.colfile import write_colfile
+
+        path = tmp_path / "empty.col"
+        write_colfile(Table.from_rows(Schema(["x"], "m"), []), path)
+        table = Table.open_colfile(path)
+        assert len(table) == 0
+        assert len(table.measure) == 0
+        with pytest.raises(DataError):
+            table.partition_blocks(2, shared=True)

@@ -574,6 +574,99 @@ class TestMiningBitIdentity:
         assert serial.metrics == parallel.metrics
 
 
+class TestFileBackedBitIdentity:
+    """Out-of-core axis of the identity matrix.
+
+    Mining a file-backed table — with a buffer pool deliberately
+    smaller than the decoded table, so blocks evict and re-fault — must
+    produce the same rules, lambdas, estimates, KL trace and simulated
+    metrics as mining the in-RAM table, in every execution mode.
+    """
+
+    @pytest.mark.parametrize("parallelism,executor", [
+        (1, "thread"), (4, "thread"), (4, "process"),
+    ])
+    def test_file_backed_identical_to_in_ram(self, parallelism, executor,
+                                             tmp_path):
+        from repro.data.colfile import write_colfile
+        from repro.data.table import Table
+
+        table = synthetic_table()
+        path = tmp_path / "syn.col"
+        write_colfile(table, path, block_rows=256)
+        file_table = Table.open_colfile(
+            path, capacity_bytes=table.estimated_bytes() // 2
+        )
+
+        def run(t):
+            cluster = make_default_cluster(
+                num_executors=4, cores_per_executor=4,
+                parallelism=parallelism, executor=executor,
+            )
+            try:
+                config = variant_config("optimized", k=4, sample_size=24,
+                                        seed=3)
+                return Sirum(config).mine(t, cluster=cluster)
+            finally:
+                cluster.close()
+
+        in_ram = run(table)
+        out_of_core = run(file_table)
+        assert [tuple(m.rule.values) for m in in_ram.rule_set] == [
+            tuple(m.rule.values) for m in out_of_core.rule_set
+        ]
+        assert np.array_equal(in_ram.lambdas, out_of_core.lambdas)
+        assert np.array_equal(in_ram.estimates, out_of_core.estimates)
+        assert in_ram.kl_trace == out_of_core.kl_trace
+        # The memory/cost simulation must not notice the storage mode.
+        assert in_ram.metrics == out_of_core.metrics
+        # The undersized pool really streamed: faults and evictions.
+        pool = file_table.buffer_pool
+        assert pool.misses > 0
+        assert pool.evictions > 0
+        assert pool.resident_bytes <= pool.capacity_bytes
+        if executor == "process" and parallelism > 1:
+            # Process workers attached the mmap'd file; no shm copy of
+            # the table was made for the job.
+            assert file_table._shm_pack is None
+
+    def test_file_backed_service_job_exposes_pool_stats(self):
+        import tempfile
+
+        from repro.data.colfile import write_colfile
+        from repro.data.table import Table
+        from repro.service import RuleMiningService, ServiceConfig
+
+        table = synthetic_table(num_rows=800)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "syn.col")
+            write_colfile(table, path, block_rows=128)
+            file_table = Table.open_colfile(
+                path, capacity_bytes=table.estimated_bytes() // 2
+            )
+            with RuleMiningService(ServiceConfig(
+                num_workers=2, engine_parallelism=2,
+            )) as service:
+                service.register_dataset("ram", table)
+                service.register_dataset("disk", file_table)
+                expected = service.mine("ram", k=3, sample_size=16, seed=0,
+                                        timeout=60.0)
+                result = service.mine("disk", k=3, sample_size=16, seed=0,
+                                      timeout=60.0)
+                stats = service.stats()
+            assert [tuple(m.rule.values) for m in result.rule_set] == [
+                tuple(m.rule.values) for m in expected.rule_set
+            ]
+            assert result.metrics == expected.metrics
+            pool_stats = stats["buffer_pool"]
+            assert pool_stats["attached"]
+            assert list(pool_stats["datasets"]) == ["disk"]
+            disk = pool_stats["datasets"]["disk"]
+            assert disk["misses"] > 0
+            assert 0.0 <= disk["hit_rate"] <= 1.0
+            assert disk["resident_bytes"] <= disk["capacity_bytes"]
+
+
 @pytest.mark.slow
 class TestParallelSpeedup:
     def test_speedup_at_parallelism_4(self):

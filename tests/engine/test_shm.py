@@ -8,6 +8,7 @@ import pytest
 
 from repro.data.generators import SyntheticSpec, generate
 from repro.engine.shm import (
+    MmapTableBlock,
     SharedArray,
     SharedArrayPack,
     SharedTableBlock,
@@ -151,3 +152,74 @@ class TestSharedTableBlocks:
             assert total == pytest.approx(4950.0)
         finally:
             shared.unlink()
+
+
+class TestMmapTableBlocks:
+    @staticmethod
+    def _file_backed(tmp_path, block_rows=64):
+        from repro.data.colfile import write_colfile
+        from repro.data.table import Table
+
+        table = small_table()
+        path = tmp_path / "t.col"
+        write_colfile(table, path, block_rows=block_rows)
+        return table, Table.open_colfile(path), path
+
+    def test_mmap_blocks_match_plain_blocks(self, tmp_path):
+        plain_table, file_table, _ = self._file_backed(tmp_path)
+        plain = plain_table.partition_blocks(4)
+        mapped = file_table.partition_blocks(4, shared=True)
+        assert len(plain) == len(mapped)
+        for p, m in zip(plain, mapped):
+            assert isinstance(m, MmapTableBlock)
+            assert (p.index, p.start, p.stop, p.size_bytes) == (
+                m.index, m.start, m.stop, m.size_bytes
+            )
+            for pc, mc in zip(p.columns, m.columns):
+                assert np.array_equal(pc, mc)
+                assert mc.dtype == np.int64
+            assert np.array_equal(p.measure, m.measure)
+
+    def test_block_pickle_roundtrip(self, tmp_path):
+        _, file_table, _ = self._file_backed(tmp_path)
+        block = file_table.partition_blocks(4, shared=True)[2]
+        clone = pickle.loads(pickle.dumps(block))
+        assert clone.start == block.start and clone.stop == block.stop
+        assert clone.file_key == block.file_key
+        for a, b in zip(clone.columns, block.columns):
+            assert np.array_equal(a, b)
+        assert np.array_equal(clone.measure, block.measure)
+
+    def test_worker_process_reads_mmap_block(self, tmp_path):
+        _, file_table, _ = self._file_backed(tmp_path)
+        blocks = file_table.partition_blocks(3, shared=True)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = list(pool.map(_sum_block, blocks))
+        for block, (col_sums, measure_sum, num_rows) in zip(blocks, remote):
+            assert col_sums == [float(c.sum()) for c in block.columns]
+            assert measure_sum == pytest.approx(float(block.measure.sum()))
+            assert num_rows == block.num_rows
+
+    def test_single_colfile_block_partition_is_zero_copy_view(self,
+                                                              tmp_path):
+        # One colfile block covers the whole table, so any partition of
+        # it resolves to read-only views of the mapped pages.
+        _, file_table, _ = self._file_backed(tmp_path, block_rows=1000)
+        block = file_table.partition_blocks(4, shared=True)[1]
+        assert not block.measure.flags.writeable
+        assert all(not c.flags.writeable for c in block.columns)
+
+    def test_rewritten_file_is_refused(self, tmp_path):
+        from repro.common.errors import DataError
+        from repro.data.colfile import write_colfile
+        from repro.engine import shm
+
+        table, file_table, path = self._file_backed(tmp_path)
+        block = pickle.loads(
+            pickle.dumps(file_table.partition_blocks(2, shared=True)[0])
+        )
+        # Rewrite the file with different contents (and size).
+        write_colfile(table.slice(0, 100), path, block_rows=16)
+        shm._handles.clear()  # fresh attachment, as in a new worker
+        with pytest.raises(DataError):
+            block.columns

@@ -328,3 +328,5 @@ class TestStats:
         assert "queue_wait" in stats["phase_seconds"]
         assert stats["datasets"] == {"flights": 1}
         assert stats["cache"]["max_size"] == 256
+        # No registered dataset is file-backed, so no pool to report.
+        assert stats["buffer_pool"] == {"attached": False}
