@@ -1,0 +1,140 @@
+"""Ablation — the network front door's round-trip overhead.
+
+The framed TCP protocol (:mod:`repro.net`) puts a socket, JSON codec
+and the server's asyncio loop between the client and the service
+façade.  This ablation prices that: the same cache-primed mining
+request and a small SQL query are issued (a) in-process through
+:class:`~repro.service.RuleMiningService` and (b) over the wire
+through :class:`~repro.net.ServiceClient` against a localhost
+:class:`~repro.net.ServiceServer`, and the per-request p50/p95
+latencies are compared.  Cache-primed requests isolate the wire cost —
+both paths serve the identical cached result, so the delta is pure
+protocol overhead (framing, JSON, syscalls, loop hops).
+
+Results must be bit-identical across paths.  Emits a machine-readable
+``NET_JSON`` line with the round-trip numbers.  Set
+``REPRO_BENCH_SMOKE=1`` (CI's bench-smoke job) to shrink the iteration
+count; the JSON line and the correctness/overhead assertions stay.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import (
+    bench_smoke_enabled,
+    dataset_by_name,
+    json_result_line,
+    latency_summary,
+    print_table,
+)
+from repro.net import NetConfig, ServiceClient, ServiceServer
+from repro.service import RuleMiningService, ServiceConfig
+
+SMOKE = bench_smoke_enabled()
+
+ROWS = 800 if SMOKE else 2000
+ITERATIONS = 40 if SMOKE else 200
+DATASET = "income"
+MINE = {"k": 3, "variant": "optimized", "sample_size": 16, "seed": 0}
+SQL = "SELECT COUNT(*) FROM income"
+
+#: Localhost round trips through a cache hit should land far under
+#: this; the bound only guards against pathological regressions (a
+#: blocking loop, a lost-wakeup poll) while staying slack enough for
+#: loaded CI machines.
+MAX_WIRE_P95_SECONDS = 0.5
+
+
+def _time(fn, iterations):
+    latencies = []
+    for _ in range(iterations):
+        started = time.perf_counter()
+        fn()
+        latencies.append(time.perf_counter() - started)
+    return latency_summary(latencies)
+
+
+def run_roundtrips():
+    table = dataset_by_name(DATASET, num_rows=ROWS)
+    service = RuleMiningService(ServiceConfig(num_workers=2))
+    server = None
+    client = None
+    try:
+        service.register_dataset(DATASET, table)
+        server = ServiceServer(service, NetConfig(port=0))
+        server.start()
+        client = ServiceClient("127.0.0.1", server.port)
+
+        # Prime the cache: every timed request below is a cache hit,
+        # so in-process vs wire differ only by the protocol.
+        reference = service.mine(DATASET, **MINE)
+        remote = client.mine(DATASET, **MINE)
+        identical = (
+            [tuple(m.rule.values) for m in reference.rule_set]
+            == [tuple(m.rule.values) for m in remote.rule_set]
+            and np.array_equal(reference.lambdas, remote.lambdas)
+            and np.array_equal(reference.estimates, remote.estimates)
+        )
+        service.query(SQL)
+
+        inproc_mine = _time(lambda: service.mine(DATASET, **MINE),
+                            ITERATIONS)
+        wire_mine = _time(lambda: client.mine(DATASET, **MINE),
+                          ITERATIONS)
+        inproc_sql = _time(lambda: service.query(SQL), ITERATIONS)
+        wire_sql = _time(lambda: client.query(SQL), ITERATIONS)
+        frames = client.stats()["net"]
+    finally:
+        if client is not None:
+            client.close()
+        if server is not None:
+            server.stop()
+        service.close()
+    return {
+        "identical": identical,
+        "inproc_mine": inproc_mine,
+        "wire_mine": wire_mine,
+        "inproc_sql": inproc_sql,
+        "wire_sql": wire_sql,
+        "frames_in": frames["frames_in"],
+        "frames_out": frames["frames_out"],
+    }
+
+
+def test_ablation_net_roundtrip(once):
+    out = once(run_roundtrips)
+    overhead_p50 = out["wire_mine"]["p50"] - out["inproc_mine"]["p50"]
+    print_table(
+        "Ablation — wire round trip vs in-process (cache-primed)",
+        ["path", "p50 seconds", "p95 seconds"],
+        [
+            ["mine, in-process", out["inproc_mine"]["p50"],
+             out["inproc_mine"]["p95"]],
+            ["mine, over wire", out["wire_mine"]["p50"],
+             out["wire_mine"]["p95"]],
+            ["sql, in-process", out["inproc_sql"]["p50"],
+             out["inproc_sql"]["p95"]],
+            ["sql, over wire", out["wire_sql"]["p50"],
+             out["wire_sql"]["p95"]],
+        ],
+        note="wire overhead p50 %.3gms over %d iterations; "
+             "%d frames in / %d out" % (
+                 overhead_p50 * 1e3, ITERATIONS,
+                 out["frames_in"], out["frames_out"],
+             ),
+    )
+    print(json_result_line("NET_JSON", {
+        "iterations": ITERATIONS,
+        "smoke": SMOKE,
+        "mine_inproc": out["inproc_mine"],
+        "mine_wire": out["wire_mine"],
+        "sql_inproc": out["inproc_sql"],
+        "sql_wire": out["wire_sql"],
+        "overhead_p50_seconds": overhead_p50,
+        "frames_in": out["frames_in"],
+        "frames_out": out["frames_out"],
+    }))
+    assert out["identical"], "wire results diverged from in-process"
+    assert out["wire_mine"]["p95"] < MAX_WIRE_P95_SECONDS
+    assert out["wire_sql"]["p95"] < MAX_WIRE_P95_SECONDS

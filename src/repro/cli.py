@@ -9,6 +9,8 @@ Usage::
         --query "SELECT day, AVG(delay) FROM data GROUP BY day"
     python -m repro.cli serve data.csv --measure delay \
         --clients 8 --requests 32
+    python -m repro.cli serve data.csv --measure delay \
+        --listen 127.0.0.1:7711
 
 The mining subcommands read a CSV with a header row, treat every
 non-measure column as a dimension attribute (unless ``--dimensions``
@@ -18,7 +20,9 @@ named ``data`` and runs one query against the bundled SQL engine.
 The ``serve`` subcommand stands up the concurrent mining service and
 drives a scripted mixed mining + SQL workload from N client threads,
 printing throughput, latency percentiles and cache/coalescing
-statistics.
+statistics; with ``--listen HOST:PORT`` it instead serves the dataset
+over the framed network protocol (:mod:`repro.net`) until interrupted,
+draining in-flight jobs on shutdown.
 """
 
 import argparse
@@ -147,6 +151,21 @@ def build_parser():
         help="also run the workload serially and uncached, and print "
              "the throughput ratio",
     )
+    serve.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="instead of the scripted workload, serve the dataset over "
+             "the framed network protocol on HOST:PORT (PORT 0 picks a "
+             "free port) until interrupted",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=8,
+        help="with --listen: per-tenant in-flight job quota (default 8)",
+    )
+    serve.add_argument(
+        "--serve-seconds", type=float, default=None,
+        help="with --listen: stop after this many seconds "
+             "(default: run until Ctrl-C)",
+    )
     return parser
 
 
@@ -163,6 +182,75 @@ def _print_result(table, result, out):
     out.write("kl_divergence: %.6g\n" % result.final_kl)
     out.write("information_gain: %.6g\n" % result.information_gain)
     out.write("simulated_cluster_seconds: %.3f\n" % result.simulated_seconds)
+
+
+def _parse_listen(listen):
+    host, sep, port = listen.rpartition(":")
+    if not sep or not host:
+        raise ReproError(
+            "--listen expects HOST:PORT, got %r" % listen
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(
+            "--listen port must be an integer, got %r" % port
+        ) from None
+
+
+def _run_listen(args, table, out):
+    """Serve the CSV as dataset ``data`` over the framed protocol."""
+    import time
+
+    from repro.net import NetConfig, ServiceServer, TenantPolicy
+    from repro.service import RuleMiningService, ServiceConfig
+
+    host, port = _parse_listen(args.listen)
+    service = RuleMiningService(ServiceConfig(
+        num_workers=args.workers, max_queue_depth=args.queue_depth,
+        engine_parallelism=args.parallelism,
+        engine_executor=args.executor,
+        max_engine_workers=args.max_engine_workers,
+        admission=args.admission,
+    ))
+    server = None
+    try:
+        service.register_dataset("data", table)
+        server = ServiceServer(service, NetConfig(
+            host=host, port=port,
+            default_tenant=TenantPolicy(max_inflight=args.tenant_quota),
+        ))
+        server.start()
+        out.write(
+            "serving dataset 'data' (%d rows) on %s:%d "
+            "(tenant quota %d, %d workers)\n" % (
+                len(table), host, server.port, args.tenant_quota,
+                args.workers,
+            )
+        )
+        try:
+            if args.serve_seconds is not None:
+                time.sleep(args.serve_seconds)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            out.write("interrupted\n")
+        out.write("draining...\n")
+        drained = server.drain(timeout=30.0)
+        net = server.net_stats()
+        out.write(
+            "drained (all jobs flushed: %s); served %d connections, "
+            "%d jobs (%d coalesced, %d quota rejections)\n" % (
+                drained, net["connections_opened"],
+                net["jobs_submitted"], net["coalesce_hits"],
+                net["quota_rejections"],
+            )
+        )
+    finally:
+        if server is not None:
+            server.stop()
+        service.close()
 
 
 def _run_serve(args, table, out):
@@ -251,7 +339,10 @@ def main(argv=None, out=None):
     try:
         table = _load(args)
         if args.command == "serve":
-            _run_serve(args, table, out)
+            if args.listen is not None:
+                _run_listen(args, table, out)
+            else:
+                _run_serve(args, table, out)
         elif args.command == "sql":
             engine = SqlEngine()
             engine.register_table("data", table)

@@ -2,6 +2,13 @@
 
 Every error raised by this library derives from :class:`ReproError`, so
 callers can catch a single base class at application boundaries.
+
+Errors also cross the network front door (:mod:`repro.net`): every
+class here owns a *stable* integer wire code (:data:`WIRE_ERROR_CODES`)
+so a server-side exception arrives client-side as the *same type* —
+``to_wire()`` / ``from_wire()`` round-trip type and message.  Codes are
+append-only: never renumber or reuse one, or old clients will raise
+the wrong type against new servers.
 """
 
 
@@ -43,3 +50,88 @@ class ServiceClosedError(ServiceError):
 
 class BudgetExhaustedError(ServiceError):
     """An engine-worker budget request could not be granted in time."""
+
+
+class ResultTimeoutError(ServiceError):
+    """A blocking wait for a job result exhausted its caller timeout.
+
+    Distinct from :class:`DeadlineExceededError` (the *job* missed its
+    start deadline and failed); here only the *wait* gave up — the job
+    is still queued or running and may yet complete.
+    """
+
+
+class TenantQuotaError(ServiceError):
+    """A tenant exceeded its per-tenant in-flight job quota."""
+
+
+class ProtocolError(ReproError):
+    """A network frame violated the wire protocol."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame's declared payload exceeds the negotiated maximum."""
+
+
+#: Stable wire codes (append-only — see module docstring).  Subclasses
+#: not listed here map to their nearest registered ancestor, so adding
+#: an error type without a code degrades gracefully instead of failing.
+WIRE_ERROR_CODES = {
+    ReproError: 1,
+    ConfigError: 2,
+    DataError: 3,
+    EngineError: 4,
+    ConvergenceError: 5,
+    ServiceError: 10,
+    QueueFullError: 11,
+    DeadlineExceededError: 12,
+    ServiceClosedError: 13,
+    BudgetExhaustedError: 14,
+    ResultTimeoutError: 15,
+    TenantQuotaError: 16,
+    ProtocolError: 20,
+    FrameTooLargeError: 21,
+}
+
+_ERRORS_BY_CODE = {code: cls for cls, code in WIRE_ERROR_CODES.items()}
+assert len(_ERRORS_BY_CODE) == len(WIRE_ERROR_CODES), "duplicate wire code"
+
+
+def wire_code(error):
+    """The stable code for ``error`` (an instance or a class).
+
+    Unregistered subclasses report their nearest registered ancestor's
+    code; anything outside the hierarchy reports :class:`ReproError`'s.
+    """
+    cls = error if isinstance(error, type) else type(error)
+    for ancestor in cls.__mro__:
+        code = WIRE_ERROR_CODES.get(ancestor)
+        if code is not None:
+            return code
+    return WIRE_ERROR_CODES[ReproError]
+
+
+def to_wire(error):
+    """Serialize an exception into a wire-safe error payload."""
+    return {
+        "code": wire_code(error),
+        "error": type(error).__name__,
+        "message": str(error),
+    }
+
+
+def from_wire(payload):
+    """Rebuild the typed exception a ``to_wire()`` payload describes.
+
+    Unknown codes come back as a plain :class:`ReproError` carrying the
+    original type name in the message, so newer servers stay debuggable
+    from older clients.
+    """
+    code = payload.get("code")
+    message = payload.get("message", "")
+    cls = _ERRORS_BY_CODE.get(code)
+    if cls is None:
+        name = payload.get("error", "unknown error")
+        return ReproError("%s (unknown wire code %r): %s"
+                          % (name, code, message))
+    return cls(message)

@@ -1,0 +1,217 @@
+"""The wire protocol: length-prefixed frames with JSON payloads.
+
+Every frame is a fixed 12-byte header followed by a JSON payload::
+
+    >B  version    protocol version (PROTOCOL_VERSION)
+    >B  kind       frame kind (KIND_*)
+    >H  flags      reserved, must be zero
+    >I  request_id caller-chosen id echoed on the response
+    >I  length     payload byte length
+
+Frames are self-delimiting, so any number may share a TCP segment and
+one may span many segments; :class:`FrameDecoder` reassembles them from
+arbitrary chunks.  Payloads are compact JSON (msgpack is not in the
+container's dependency set; JSON round-trips Python floats bit-exactly
+via repr, which the result codec in :mod:`repro.net.wire` relies on).
+
+Error containment is per-frame where the header allows it: an
+oversized-but-well-formed frame is *skipped* (its payload drained and
+discarded) and surfaced as a :class:`FrameError` carrying the request
+id, so the server can answer with a typed error and keep the
+connection.  An unknown protocol version is fatal — later versions may
+change the header layout, so nothing after the version byte can be
+trusted — and raises :class:`~repro.common.errors.ProtocolError`.
+"""
+
+import json
+import struct
+
+import numpy as np
+
+from repro.common.errors import FrameTooLargeError, ProtocolError
+
+PROTOCOL_VERSION = 1
+
+#: Frame kinds.
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+KIND_ERROR = 3
+KIND_EVENT = 4
+KIND_GOAWAY = 5
+
+_KINDS = (KIND_REQUEST, KIND_RESPONSE, KIND_ERROR, KIND_EVENT, KIND_GOAWAY)
+
+_HEADER = struct.Struct(">BBHII")
+HEADER_BYTES = _HEADER.size
+
+#: Default cap on one frame's payload.  Large enough for any result the
+#: test/bench datasets produce, small enough that a hostile length
+#: field cannot balloon the reassembly buffer.
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def _json_default(value):
+    # Numpy scalars leak into payloads (counts, measures); their Python
+    # equivalents round-trip bit-exactly for int64/float64.
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    raise TypeError(
+        "payload value %r of type %s is not wire-serializable"
+        % (value, type(value).__name__)
+    )
+
+
+def dumps(payload):
+    """Encode one payload object as compact UTF-8 JSON bytes."""
+    try:
+        return json.dumps(
+            payload, separators=(",", ":"), default=_json_default
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(str(exc)) from None
+
+
+def loads(data):
+    """Decode payload bytes; raises ProtocolError on malformed JSON."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("malformed frame payload: %s" % exc) from None
+
+
+class Frame:
+    """One decoded frame."""
+
+    __slots__ = ("kind", "request_id", "payload")
+
+    def __init__(self, kind, request_id, payload):
+        self.kind = kind
+        self.request_id = request_id
+        self.payload = payload
+
+    def __repr__(self):
+        return "Frame(kind=%d, request_id=%d)" % (self.kind, self.request_id)
+
+
+class FrameError:
+    """A recoverable per-frame decode failure (connection survives).
+
+    Yielded by :meth:`FrameDecoder.feed` in place of a frame when the
+    header was valid (so the stream stays delimited and the request id
+    is known) but the frame itself must be rejected — oversized
+    payload, unknown kind, malformed JSON.
+    """
+
+    __slots__ = ("request_id", "exception")
+
+    def __init__(self, request_id, exception):
+        self.request_id = request_id
+        self.exception = exception
+
+    def __repr__(self):
+        return "FrameError(request_id=%d, %r)" % (
+            self.request_id, self.exception,
+        )
+
+
+def encode_frame(kind, request_id, payload,
+                 max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+    """Serialize one frame; raises FrameTooLargeError over the cap."""
+    body = dumps(payload)
+    if max_frame_bytes is not None and len(body) > max_frame_bytes:
+        raise FrameTooLargeError(
+            "frame payload is %d bytes, over the %d-byte cap"
+            % (len(body), max_frame_bytes)
+        )
+    header = _HEADER.pack(
+        PROTOCOL_VERSION, kind, 0, request_id, len(body)
+    )
+    return header + body
+
+
+class FrameDecoder:
+    """Incremental frame reassembly from arbitrary byte chunks.
+
+    ``feed(data)`` returns the list of :class:`Frame` /
+    :class:`FrameError` events completed by ``data`` — possibly empty
+    (mid-frame), possibly several (coalesced segments).  The decoder
+    never buffers more than one header plus ``max_frame_bytes``:
+    oversized frames are drained chunk-by-chunk and reported as a
+    :class:`FrameError` once fully skipped.
+    """
+
+    def __init__(self, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._header = None       # parsed (kind, request_id, length)
+        self._skip_remaining = 0  # bytes of an oversized payload left
+        self._skip_request_id = 0
+        self._skip_length = 0
+
+    def feed(self, data):
+        """Consume ``data``; returns completed Frame/FrameError events."""
+        self._buffer.extend(data)
+        events = []
+        while True:
+            if self._skip_remaining:
+                drained = min(self._skip_remaining, len(self._buffer))
+                del self._buffer[:drained]
+                self._skip_remaining -= drained
+                if self._skip_remaining:
+                    return events  # oversized payload still arriving
+                events.append(FrameError(
+                    self._skip_request_id,
+                    FrameTooLargeError(
+                        "frame payload is %d bytes, over the %d-byte cap"
+                        % (self._skip_length, self.max_frame_bytes)
+                    ),
+                ))
+                continue
+            if self._header is None:
+                if len(self._buffer) < HEADER_BYTES:
+                    return events
+                version, kind, flags, request_id, length = _HEADER.unpack(
+                    bytes(self._buffer[:HEADER_BYTES])
+                )
+                if version != PROTOCOL_VERSION:
+                    # Fatal: a different version may not even share
+                    # this header layout, so resynchronization is
+                    # impossible.  Leave the buffer untouched for
+                    # diagnostics and make every later feed fail too.
+                    raise ProtocolError(
+                        "unsupported protocol version %d (this end "
+                        "speaks %d)" % (version, PROTOCOL_VERSION)
+                    )
+                del self._buffer[:HEADER_BYTES]
+                if length > self.max_frame_bytes:
+                    self._skip_remaining = length
+                    self._skip_request_id = request_id
+                    self._skip_length = length
+                    continue
+                self._header = (kind, request_id, length, flags)
+            kind, request_id, length, flags = self._header
+            if len(self._buffer) < length:
+                return events
+            body = bytes(self._buffer[:length])
+            del self._buffer[:length]
+            self._header = None
+            if kind not in _KINDS:
+                events.append(FrameError(request_id, ProtocolError(
+                    "unknown frame kind %d" % kind
+                )))
+                continue
+            if flags != 0:
+                events.append(FrameError(request_id, ProtocolError(
+                    "reserved flags must be zero, got %#x" % flags
+                )))
+                continue
+            try:
+                payload = loads(body)
+            except ProtocolError as exc:
+                events.append(FrameError(request_id, exc))
+                continue
+            events.append(Frame(kind, request_id, payload))

@@ -15,7 +15,7 @@ import itertools
 import threading
 import time
 
-from repro.common.errors import DeadlineExceededError, ServiceError
+from repro.common.errors import DeadlineExceededError, ResultTimeoutError
 
 #: Admission priorities: smaller numbers are scheduled first.
 PRIORITY_HIGH = 0
@@ -250,7 +250,7 @@ class JobHandle:
                 break
             if (waited_until is not None
                     and time.monotonic() >= waited_until):
-                raise ServiceError(
+                raise ResultTimeoutError(
                     "timed out after %.3fs waiting for %r" % (timeout, job)
                 )
         if job.exception is not None:

@@ -243,6 +243,7 @@ class RuleMiningService:
         self._inflight = {}  # key -> Job
         self._lock = threading.Lock()
         self._metrics = MetricsRegistry()
+        self._stats_sections = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -520,13 +521,37 @@ class RuleMiningService:
     # Introspection and lifecycle
     # ------------------------------------------------------------------
 
+    def register_stats_section(self, name, provider):
+        """Attach ``provider()`` as one extra ``stats()[name]`` section.
+
+        Front-ends wrapping the service (the network server) publish
+        their own counters this way, so one ``stats()`` call reports
+        the whole stack — mirroring the built-in budget/buffer-pool
+        sections.
+        """
+        with self._lock:
+            if name in self._stats_sections:
+                raise ServiceError(
+                    "stats section %r is already registered" % name
+                )
+            self._stats_sections[name] = provider
+
+    def unregister_stats_section(self, name):
+        """Detach a section registered by :meth:`register_stats_section`."""
+        with self._lock:
+            if name not in self._stats_sections:
+                raise ServiceError("no stats section %r registered" % name)
+            del self._stats_sections[name]
+
     def stats(self):
         """One dict with job, queue, cache and timing statistics."""
         with self._lock:
             counters = dict(self._metrics.counters)
             phases = dict(self._metrics.phase_seconds)
             inflight = len(self._inflight)
-        return {
+            sections = dict(self._stats_sections)
+        extra = {name: provider() for name, provider in sections.items()}
+        return dict({
             "jobs": {
                 "submitted": counters.get("jobs_submitted", 0),
                 "completed": counters.get("jobs_completed", 0),
@@ -546,7 +571,7 @@ class RuleMiningService:
             "datasets": self.datasets(),
             "budget": self.budget_stats(),
             "buffer_pool": self.buffer_pool_stats(),
-        }
+        }, **extra)
 
     def buffer_pool_stats(self):
         """Buffer-pool counters of every file-backed registered dataset.

@@ -1,0 +1,86 @@
+"""The wire error-code registry: stable codes, typed round-trips."""
+
+import pytest
+
+from repro.common import errors
+from repro.common.errors import (
+    WIRE_ERROR_CODES,
+    ReproError,
+    ServiceError,
+    from_wire,
+    to_wire,
+    wire_code,
+)
+
+
+class TestRegistry:
+    def test_codes_are_unique(self):
+        codes = list(WIRE_ERROR_CODES.values())
+        assert len(codes) == len(set(codes))
+
+    def test_every_exported_error_class_has_a_code(self):
+        """New error types must be added to the registry."""
+        exported = [
+            obj for obj in vars(errors).values()
+            if isinstance(obj, type) and issubclass(obj, ReproError)
+        ]
+        missing = [cls.__name__ for cls in exported
+                   if cls not in WIRE_ERROR_CODES]
+        assert not missing, "errors without wire codes: %s" % missing
+
+    def test_known_codes_are_stable(self):
+        """Spot-pin codes that clients in the wild depend on."""
+        assert WIRE_ERROR_CODES[errors.ReproError] == 1
+        assert WIRE_ERROR_CODES[errors.ServiceError] == 10
+        assert WIRE_ERROR_CODES[errors.QueueFullError] == 11
+        assert WIRE_ERROR_CODES[errors.DeadlineExceededError] == 12
+        assert WIRE_ERROR_CODES[errors.ServiceClosedError] == 13
+        assert WIRE_ERROR_CODES[errors.ProtocolError] == 20
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "cls", sorted(WIRE_ERROR_CODES, key=lambda c: c.__name__),
+        ids=lambda c: c.__name__,
+    )
+    def test_every_registered_class_round_trips(self, cls):
+        original = cls("something went wrong: %s" % cls.__name__)
+        payload = to_wire(original)
+        assert payload["code"] == WIRE_ERROR_CODES[cls]
+        assert payload["error"] == cls.__name__
+        rebuilt = from_wire(payload)
+        assert type(rebuilt) is cls
+        assert str(rebuilt) == str(original)
+
+    def test_unregistered_subclass_maps_to_ancestor(self):
+        class CustomServiceError(ServiceError):
+            pass
+
+        payload = to_wire(CustomServiceError("boom"))
+        assert payload["code"] == WIRE_ERROR_CODES[ServiceError]
+        rebuilt = from_wire(payload)
+        assert type(rebuilt) is ServiceError
+        assert "boom" in str(rebuilt)
+
+    def test_sql_errors_map_through_the_hierarchy(self):
+        from repro.sql.errors import SqlSyntaxError
+
+        payload = to_wire(SqlSyntaxError("bad query", position=3))
+        assert payload["code"] == WIRE_ERROR_CODES[ReproError]
+        assert isinstance(from_wire(payload), ReproError)
+
+    def test_foreign_exception_maps_to_base(self):
+        payload = to_wire(ValueError("not ours"))
+        assert payload["code"] == WIRE_ERROR_CODES[ReproError]
+        assert "not ours" in str(from_wire(payload))
+
+    def test_unknown_code_degrades_to_base_error(self):
+        rebuilt = from_wire({
+            "code": 99999, "error": "FutureError", "message": "hi",
+        })
+        assert type(rebuilt) is ReproError
+        assert "FutureError" in str(rebuilt)
+        assert "hi" in str(rebuilt)
+
+    def test_wire_code_accepts_instances_and_classes(self):
+        assert wire_code(ServiceError) == wire_code(ServiceError("x"))

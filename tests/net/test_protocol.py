@@ -1,0 +1,172 @@
+"""Framing edge cases: the decoder must survive hostile byte streams."""
+
+import struct
+
+import pytest
+
+from repro.common.errors import FrameTooLargeError, ProtocolError
+from repro.net.protocol import (
+    HEADER_BYTES,
+    KIND_ERROR,
+    KIND_EVENT,
+    KIND_GOAWAY,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+
+
+def decode_all(data, **kwargs):
+    return FrameDecoder(**kwargs).feed(data)
+
+
+class TestRoundTrip:
+    def test_encode_decode(self):
+        payload = {"op": "stats", "nested": {"a": [1, 2.5, None, "x"]}}
+        events = decode_all(encode_frame(KIND_REQUEST, 7, payload))
+        assert len(events) == 1
+        frame = events[0]
+        assert isinstance(frame, Frame)
+        assert frame.kind == KIND_REQUEST
+        assert frame.request_id == 7
+        assert frame.payload == payload
+
+    @pytest.mark.parametrize("kind", [
+        KIND_REQUEST, KIND_RESPONSE, KIND_ERROR, KIND_EVENT, KIND_GOAWAY,
+    ])
+    def test_all_kinds(self, kind):
+        (frame,) = decode_all(encode_frame(kind, 1, {}))
+        assert frame.kind == kind
+
+    def test_float_payloads_round_trip_bit_exactly(self):
+        values = [0.1, 1e-300, 1e300, 2.0 ** -1074, 3.141592653589793]
+        (frame,) = decode_all(encode_frame(KIND_RESPONSE, 1,
+                                           {"v": values}))
+        assert frame.payload["v"] == values
+        assert [v.hex() for v in frame.payload["v"]] == [
+            v.hex() for v in values
+        ]
+
+    def test_numpy_scalars_serialize(self):
+        import numpy as np
+
+        (frame,) = decode_all(encode_frame(KIND_RESPONSE, 1, {
+            "i": np.int64(7), "f": np.float64(2.5), "b": np.bool_(True),
+        }))
+        assert frame.payload == {"i": 7, "f": 2.5, "b": True}
+
+    def test_unserializable_payload_raises_typed(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(KIND_REQUEST, 1, {"bad": object()})
+
+
+class TestPartialFrames:
+    """A frame may arrive split across arbitrary TCP segment bounds."""
+
+    def test_byte_at_a_time(self):
+        data = encode_frame(KIND_REQUEST, 42, {"op": "poll", "job_id": 3})
+        decoder = FrameDecoder()
+        events = []
+        for i in range(len(data)):
+            events.extend(decoder.feed(data[i:i + 1]))
+            if i < len(data) - 1:
+                assert not events, "frame completed early at byte %d" % i
+        assert len(events) == 1
+        assert events[0].payload["job_id"] == 3
+
+    def test_split_inside_header(self):
+        data = encode_frame(KIND_REQUEST, 1, {"x": 1})
+        decoder = FrameDecoder()
+        assert decoder.feed(data[:HEADER_BYTES - 3]) == []
+        (frame,) = decoder.feed(data[HEADER_BYTES - 3:])
+        assert frame.payload == {"x": 1}
+
+    def test_many_frames_in_one_chunk(self):
+        chunk = b"".join(
+            encode_frame(KIND_REQUEST, i, {"i": i}) for i in range(5)
+        )
+        events = decode_all(chunk)
+        assert [f.request_id for f in events] == list(range(5))
+
+    def test_frame_boundary_straddles_chunks(self):
+        a = encode_frame(KIND_REQUEST, 1, {"i": 1})
+        b = encode_frame(KIND_REQUEST, 2, {"i": 2})
+        decoder = FrameDecoder()
+        events = decoder.feed(a + b[:5])
+        assert len(events) == 1
+        events.extend(decoder.feed(b[5:]))
+        assert [f.request_id for f in events] == [1, 2]
+
+
+class TestOversizedFrames:
+    def test_encode_refuses_oversized(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame(KIND_REQUEST, 1, {"x": "y" * 100},
+                         max_frame_bytes=32)
+
+    def test_decoder_skips_and_survives(self):
+        """Oversized frame: typed error, then later frames still parse."""
+        big = encode_frame(KIND_REQUEST, 9, {"x": "y" * 1000})
+        after = encode_frame(KIND_REQUEST, 10, {"ok": True})
+        decoder = FrameDecoder(max_frame_bytes=64)
+        events = decoder.feed(big + after)
+        assert len(events) == 2
+        assert isinstance(events[0], FrameError)
+        assert events[0].request_id == 9
+        assert isinstance(events[0].exception, FrameTooLargeError)
+        assert isinstance(events[1], Frame)
+        assert events[1].payload == {"ok": True}
+
+    def test_oversized_payload_drained_incrementally(self):
+        big = encode_frame(KIND_REQUEST, 9, {"x": "y" * 1000})
+        decoder = FrameDecoder(max_frame_bytes=64)
+        events = []
+        for i in range(0, len(big), 17):
+            events.extend(decoder.feed(big[i:i + 17]))
+        assert len(events) == 1
+        assert isinstance(events[0], FrameError)
+        # The decoder never buffered the oversized payload.
+        assert len(decoder._buffer) == 0
+
+
+class TestMalformedFrames:
+    def test_unknown_version_is_fatal(self):
+        data = bytearray(encode_frame(KIND_REQUEST, 1, {}))
+        data[0] = PROTOCOL_VERSION + 1
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="version"):
+            decoder.feed(bytes(data))
+        # Fatal means fatal: the stream stays poisoned.
+        with pytest.raises(ProtocolError):
+            decoder.feed(encode_frame(KIND_REQUEST, 2, {}))
+
+    def test_unknown_kind_is_recoverable(self):
+        body = b"{}"
+        header = struct.pack(">BBHII", PROTOCOL_VERSION, 99, 0, 5,
+                             len(body))
+        events = decode_all(header + body
+                            + encode_frame(KIND_REQUEST, 6, {}))
+        assert isinstance(events[0], FrameError)
+        assert events[0].request_id == 5
+        assert isinstance(events[1], Frame)
+
+    def test_nonzero_flags_rejected(self):
+        body = b"{}"
+        header = struct.pack(">BBHII", PROTOCOL_VERSION, KIND_REQUEST,
+                             0xBEEF, 5, len(body))
+        (event,) = decode_all(header + body)
+        assert isinstance(event, FrameError)
+
+    def test_malformed_json_is_recoverable(self):
+        body = b"{not json"
+        header = struct.pack(">BBHII", PROTOCOL_VERSION, KIND_REQUEST,
+                             0, 3, len(body))
+        events = decode_all(header + body
+                            + encode_frame(KIND_REQUEST, 4, {"ok": 1}))
+        assert isinstance(events[0], FrameError)
+        assert events[0].request_id == 3
+        assert events[1].payload == {"ok": 1}

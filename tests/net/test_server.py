@@ -1,0 +1,389 @@
+"""End-to-end server behaviour: parity, tenants, coalescing, errors."""
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    FrameTooLargeError,
+    ProtocolError,
+    ResultTimeoutError,
+    ServiceError,
+    TenantQuotaError,
+)
+from repro.net import TenantPolicy
+from repro.net.protocol import (
+    KIND_ERROR,
+    KIND_REQUEST,
+    FrameDecoder,
+    encode_frame,
+)
+
+from .conftest import MINE_PARAMS
+
+
+def assert_mining_results_identical(a, b):
+    """The acceptance bar: bit-identical rules/lambdas/estimates."""
+    assert [tuple(m.rule.values) for m in a.rule_set] == [
+        tuple(m.rule.values) for m in b.rule_set
+    ]
+    assert [(int(m.count), float(m.avg_measure)) for m in a.rule_set] == [
+        (int(m.count), float(m.avg_measure)) for m in b.rule_set
+    ]
+    assert np.array_equal(a.lambdas, b.lambdas)
+    assert np.array_equal(a.estimates, b.estimates)
+    assert list(a.kl_trace) == list(b.kl_trace)
+
+
+class TestWireParity:
+    def test_mine_over_wire_is_bit_identical(self, serve_stack, connect):
+        service, server = serve_stack()
+        client = connect(server)
+        local = service.mine("flights", **MINE_PARAMS)
+        remote = client.mine("flights", **MINE_PARAMS)
+        assert_mining_results_identical(local, remote)
+        # The reconstructed result is a full MiningResult, not a stub.
+        assert remote.information_gain == local.information_gain
+        assert remote.metrics["counters"] == local.metrics["counters"]
+        assert remote.config.k == MINE_PARAMS["k"]
+
+    def test_query_over_wire_matches_in_process(self, serve_stack,
+                                                connect):
+        service, server = serve_stack()
+        client = connect(server)
+        sql = ("SELECT origin, COUNT(*) AS c, AVG(delay) AS a "
+               "FROM flights GROUP BY origin ORDER BY c DESC, origin")
+        local = service.query(sql)
+        remote = client.query(sql)
+        assert remote.columns == local.columns
+        assert remote.rows == local.rows
+
+    def test_sql_miner_engine_over_wire(self, serve_stack, connect):
+        service, server = serve_stack()
+        client = connect(server)
+        local = service.mine("flights", k=2, engine="sql")
+        remote = client.mine("flights", k=2, engine="sql")
+        assert [tuple(m.rule.values) for m in local.rule_set] == [
+            tuple(m.rule.values) for m in remote.rule_set
+        ]
+        assert np.array_equal(local.estimates, remote.estimates)
+        assert list(local.kl_trace) == list(remote.kl_trace)
+        assert remote.queries_issued == local.queries_issued
+
+    def test_submit_poll_result_lifecycle(self, serve_stack, connect):
+        _, server = serve_stack()
+        client = connect(server)
+        job = client.submit_mine("flights", **MINE_PARAMS)
+        deadline = time.monotonic() + 20.0
+        while not job.done():
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        assert job.result(timeout=5.0) is not None
+
+    def test_second_request_hits_the_result_cache(self, serve_stack,
+                                                  connect):
+        _, server = serve_stack()
+        client = connect(server)
+        client.mine("flights", **MINE_PARAMS)
+        again = client.submit_mine("flights", **MINE_PARAMS)
+        assert again.cache_hit
+        assert again.result(timeout=5.0) is not None
+
+
+class TestTenants:
+    def test_quota_enforced_per_tenant(self, serve_stack, connect,
+                                       worker_gate):
+        service, server = serve_stack(
+            num_workers=1,
+            tenants={"a": TenantPolicy(max_inflight=2),
+                     "b": TenantPolicy(max_inflight=8)},
+        )
+        gate = worker_gate(service)
+        alice = connect(server, tenant="a")
+        bob = connect(server, tenant="b")
+        # Distinct jobs (per-seed) so nothing coalesces; the gated
+        # worker keeps them all in flight.
+        alice.submit_mine("flights", k=3, sample_size=16, seed=101)
+        alice.submit_mine("flights", k=3, sample_size=16, seed=102)
+        with pytest.raises(TenantQuotaError):
+            alice.submit_mine("flights", k=3, sample_size=16, seed=103)
+        # Tenant b is unaffected by a's full quota.
+        bob.submit_mine("flights", k=3, sample_size=16, seed=104)
+        stats = alice.stats()["net"]
+        assert stats["quota_rejections"] == 1
+        assert stats["tenants"]["a"]["inflight"] == 2
+        assert stats["tenants"]["a"]["quota_rejections"] == 1
+        assert stats["tenants"]["b"]["inflight"] == 1
+        gate.set()
+
+    def test_quota_releases_on_completion(self, serve_stack, connect,
+                                          worker_gate):
+        service, server = serve_stack(
+            num_workers=1, tenants={"a": TenantPolicy(max_inflight=1)},
+        )
+        gate = worker_gate(service)
+        client = connect(server, tenant="a")
+        job = client.submit_mine("flights", k=3, sample_size=16, seed=7)
+        with pytest.raises(TenantQuotaError):
+            client.submit_mine("flights", k=3, sample_size=16, seed=8)
+        gate.set()
+        job.result(timeout=20.0)
+        # Slot freed: the next submission is admitted.
+        retry = client.submit_mine("flights", k=3, sample_size=16, seed=8)
+        assert retry.result(timeout=20.0) is not None
+
+    def test_quota_spans_connections_of_one_tenant(self, serve_stack,
+                                                   connect, worker_gate):
+        service, server = serve_stack(
+            num_workers=1, tenants={"a": TenantPolicy(max_inflight=1)},
+        )
+        gate = worker_gate(service)
+        first = connect(server, tenant="a")
+        second = connect(server, tenant="a")
+        first.submit_mine("flights", k=3, sample_size=16, seed=1)
+        with pytest.raises(TenantQuotaError):
+            second.submit_mine("flights", k=3, sample_size=16, seed=2)
+        gate.set()
+
+    def test_tenant_priority_feeds_admission_queue(self, serve_stack,
+                                                   connect, worker_gate):
+        from repro.service.jobs import PRIORITY_HIGH
+
+        service, server = serve_stack(
+            num_workers=1,
+            tenants={"vip": TenantPolicy(max_inflight=8,
+                                         priority="high"),
+                     "batch": TenantPolicy(max_inflight=8,
+                                           priority="low")},
+        )
+        gate = worker_gate(service)
+        batch = connect(server, tenant="batch")
+        vip = connect(server, tenant="vip")
+        slow = batch.submit_mine("flights", k=3, sample_size=16, seed=11)
+        fast = vip.submit_mine("flights", k=3, sample_size=16, seed=12)
+        # While the gate holds the single worker, both jobs sit in the
+        # admission heap: the vip job (submitted second) is at the root
+        # because its tenant's priority class outranks batch.
+        with service._scheduler._lock:
+            heap = list(service._scheduler._heap)
+        assert len(heap) == 2
+        assert min(heap)[0] == PRIORITY_HIGH
+        gate.set()
+        fast.result(timeout=20.0)
+        slow.result(timeout=20.0)
+
+
+class TestCoalescing:
+    def test_identical_requests_across_connections_coalesce(
+            self, serve_stack, connect, worker_gate):
+        service, server = serve_stack(num_workers=1)
+        gate = worker_gate(service)
+        first = connect(server)
+        second = connect(server)
+        job_a = first.submit_mine("flights", **MINE_PARAMS)
+        job_b = second.submit_mine("flights", **MINE_PARAMS)
+        assert job_b.job_id == job_a.job_id
+        assert job_b.net_coalesced
+        stats = first.stats()["net"]
+        assert stats["coalesce_hits"] >= 1
+        gate.set()
+        result_a = job_a.result(timeout=20.0)
+        result_b = job_b.result(timeout=20.0)
+        assert_mining_results_identical(result_a, result_b)
+        # One service job served both submissions.
+        assert service.stats()["jobs"]["completed"] == 1
+
+    def test_acceptance_eight_clients_two_tenants(self, serve_stack,
+                                                  connect, flights):
+        """ISSUE acceptance: 8 concurrent wire clients, 2 tenants —
+        quota enforcement and coalescing hits visible in stats()["net"],
+        all delivered results bit-identical to in-process."""
+        service, server = serve_stack(
+            num_workers=2,
+            tenants={"a": TenantPolicy(max_inflight=1),
+                     "b": TenantPolicy(max_inflight=8)},
+        )
+        reference = service.mine("flights", **MINE_PARAMS)
+        results = [None] * 8
+        rejections = [0] * 8
+        errors = []
+
+        def run_client(i):
+            tenant = "a" if i % 2 == 0 else "b"
+            try:
+                client = connect(server, tenant=tenant)
+                for attempt in range(60):
+                    try:
+                        job = client.submit_mine("flights", **MINE_PARAMS)
+                        results[i] = job.result(timeout=30.0)
+                        return
+                    except TenantQuotaError:
+                        rejections[i] += 1
+                        time.sleep(0.02)
+                errors.append("client %d never got through" % i)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run_client, args=(i,),
+                                    daemon=True) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+        assert not errors, errors
+        assert all(result is not None for result in results)
+        for result in results:
+            assert_mining_results_identical(reference, result)
+        net = service.stats()["net"]
+        # 8 identical concurrent requests: the protocol layer coalesced
+        # (or the cache served) all but the leaders...
+        assert net["coalesce_hits"] + sum(
+            1 for r in results if r is not None
+        ) >= 8
+        assert net["coalesce_hits"] >= 1
+        # ...and tenant a's one-slot quota pushed back at least once
+        # (4 clients, 1 slot), visible per-tenant and in the totals.
+        assert net["quota_rejections"] == sum(rejections)
+        assert net["tenants"]["a"]["quota_rejections"] >= 1
+        assert net["tenants"]["a"]["inflight"] == 0
+        assert net["tenants"]["b"]["inflight"] == 0
+
+
+class TestDisconnects:
+    def test_abrupt_disconnect_mid_job_completes_and_caches(
+            self, serve_stack, connect, worker_gate):
+        service, server = serve_stack(num_workers=1)
+        gate = worker_gate(service)
+        doomed = connect(server)
+        doomed.submit_mine("flights", **MINE_PARAMS)
+        doomed._sock.close()  # abrupt: no goodbye, job is in flight
+        doomed._sock = None
+        gate.set()
+        deadline = time.monotonic() + 20.0
+        while service.stats()["jobs"]["completed"] < 1:
+            assert time.monotonic() < deadline, "orphaned job never ran"
+            time.sleep(0.02)
+        # The orphan's result landed in the cache: a new client gets it
+        # without re-execution, and no tenant slot leaked.
+        survivor = connect(server)
+        job = survivor.submit_mine("flights", **MINE_PARAMS)
+        assert job.cache_hit
+        assert job.result(timeout=5.0) is not None
+        net = survivor.stats()["net"]
+        assert all(t["inflight"] == 0 for t in net["tenants"].values())
+
+    def test_result_wait_deadline(self, serve_stack, connect,
+                                  worker_gate):
+        service, server = serve_stack(num_workers=1)
+        gate = worker_gate(service)
+        client = connect(server)
+        job = client.submit_mine("flights", **MINE_PARAMS)
+        with pytest.raises(ResultTimeoutError):
+            job.result(timeout=0.3)
+        gate.set()
+        assert job.result(timeout=20.0) is not None
+
+
+class TestWireErrors:
+    def test_unknown_dataset_raises_same_type_as_in_process(
+            self, serve_stack, connect):
+        service, server = serve_stack()
+        client = connect(server)
+        with pytest.raises(ServiceError, match="unknown dataset"):
+            client.submit_mine("nope", **MINE_PARAMS)
+        with pytest.raises(ServiceError, match="unknown dataset"):
+            service.submit_mine("nope", **MINE_PARAMS)
+
+    def test_unknown_op_is_a_protocol_error(self, serve_stack, connect):
+        _, server = serve_stack()
+        client = connect(server)
+        with pytest.raises(ProtocolError, match="unknown op"):
+            client._call("frobnicate", {})
+        # The connection survived the bad op.
+        assert client.stats()["net"]["connections"] >= 1
+
+    def test_oversized_request_rejected_connection_survives(
+            self, serve_stack, connect):
+        _, server = serve_stack(max_frame_bytes=2048)
+        client = connect(server)
+        with pytest.raises(FrameTooLargeError):
+            client.submit_query("SELECT '%s' FROM flights"
+                                % ("x" * 4096))
+        # Same socket still serves requests afterwards.
+        assert client.query(
+            "SELECT COUNT(*) FROM flights", timeout=10.0
+        ).scalar() == 14
+
+    def test_unknown_protocol_version_answered_then_closed(
+            self, serve_stack):
+        _, server = serve_stack()
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=5.0) as sock:
+            frame = bytearray(encode_frame(KIND_REQUEST, 1,
+                                           {"op": "stats"}))
+            frame[0] = 99  # future protocol version
+            sock.sendall(bytes(frame))
+            decoder = FrameDecoder()
+            events = []
+            while not events:
+                data = sock.recv(65536)
+                assert data, "server closed without answering"
+                events = decoder.feed(data)
+            assert events[0].kind == KIND_ERROR
+            assert "version" in events[0].payload["message"]
+            # ...and then the stream ends: the connection is dead.
+            sock.settimeout(5.0)
+            while True:
+                tail = sock.recv(65536)
+                if not tail:
+                    break
+
+    def test_non_request_frame_from_client_rejected(self, serve_stack):
+        from repro.net.protocol import KIND_RESPONSE
+
+        _, server = serve_stack()
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=5.0) as sock:
+            sock.sendall(encode_frame(KIND_RESPONSE, 5, {}))
+            decoder = FrameDecoder()
+            events = []
+            while not events:
+                data = sock.recv(65536)
+                assert data
+                events = decoder.feed(data)
+            assert events[0].kind == KIND_ERROR
+            assert events[0].request_id == 5
+
+
+class TestStats:
+    def test_net_section_shape(self, serve_stack, connect):
+        _, server = serve_stack()
+        client = connect(server, tenant="alice")
+        client.query("SELECT COUNT(*) FROM flights")
+        stats = client.stats()
+        net = stats["net"]
+        assert net["listening"]
+        assert not net["draining"]
+        assert net["connections"] == 1
+        assert net["connections_opened"] >= 1
+        assert net["frames_in"] >= 2
+        assert net["frames_out"] >= 2
+        assert net["jobs_submitted"] == 1
+        assert net["jobs_completed"] == 1
+        assert net["tenants"]["alice"]["submitted"] == 1
+        assert net["tenants"]["alice"]["max_inflight"] == 8
+        # The wire stats payload carries the regular sections too.
+        assert "jobs" in stats and "budget" in stats
+
+    def test_in_process_stats_show_net_section_too(self, serve_stack):
+        service, server = serve_stack()
+        assert service.stats()["net"]["listening"]
+
+    def test_net_section_detaches_on_stop(self, serve_stack):
+        service, server = serve_stack()
+        server.stop()
+        assert "net" not in service.stats()

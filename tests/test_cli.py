@@ -79,6 +79,34 @@ class TestParser:
         assert args.workers == 4
         assert args.queue_depth == 64
         assert args.compare_serial is False
+        # Scripted-workload mode is the default; --listen opts in to
+        # the network front door.
+        assert args.listen is None
+        assert args.tenant_quota == 8
+        assert args.serve_seconds is None
+
+    def test_serve_listen_option(self):
+        args = build_parser().parse_args(
+            ["serve", "data.csv", "--measure", "delay",
+             "--listen", "0.0.0.0:7711", "--tenant-quota", "3",
+             "--serve-seconds", "0.5"]
+        )
+        assert args.listen == "0.0.0.0:7711"
+        assert args.tenant_quota == 3
+        assert args.serve_seconds == 0.5
+
+    def test_parse_listen(self):
+        from repro.cli import _parse_listen
+        from repro.common.errors import ReproError
+
+        assert _parse_listen("127.0.0.1:7711") == ("127.0.0.1", 7711)
+        assert _parse_listen("0.0.0.0:0") == ("0.0.0.0", 0)
+        with pytest.raises(ReproError, match="HOST:PORT"):
+            _parse_listen("no-port-here")
+        with pytest.raises(ReproError, match="HOST:PORT"):
+            _parse_listen(":7711")
+        with pytest.raises(ReproError, match="integer"):
+            _parse_listen("host:not-a-number")
 
     def test_measure_is_required(self, capsys):
         with pytest.raises(SystemExit):
@@ -249,3 +277,28 @@ class TestServe:
         assert "latency: mean=" in text
         assert "cache:" in text
         assert "results identical: True" in text
+
+    def test_listen_serves_and_drains(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["serve", flights_csv, "--measure", "Delay",
+             "--workers", "2", "--listen", "127.0.0.1:0",
+             "--serve-seconds", "0.1"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "serving dataset 'data' (14 rows) on 127.0.0.1:" in text
+        assert "draining..." in text
+        assert "all jobs flushed: True" in text
+
+    def test_listen_bad_address_is_reported(self, flights_csv):
+        out = io.StringIO()
+        code = main(
+            ["serve", flights_csv, "--measure", "Delay",
+             "--listen", "nonsense"],
+            out=out,
+        )
+        assert code == 2
+        assert "error:" in out.getvalue()
+        assert "HOST:PORT" in out.getvalue()

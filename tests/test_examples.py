@@ -24,6 +24,8 @@ EXPECTED = {
     "quickstart.py": ["Informative rule set", "London"],
     "sql_session.py": ["CUBE", "rule set (thesis Table 1.2)"],
     "service_session.py": ["cache hits", "coalesced", "service drained"],
+    "net_client.py": ["serving on 127.0.0.1", "bit-identical",
+                      "cache_hit=True", "server drained"],
     "cube_algorithms.py": ["Iceberg pruning", "[ok]"],
     "cleaning_comparison.py": ["Data Auditor", "aggregator7"],
     "data_cleaning.py": [],
