@@ -1,0 +1,166 @@
+"""Ablation — placed shard execution vs the shared (unplaced) pool.
+
+Placed execution turns the worker pool into an addressable topology:
+shard i runs on the worker pinned to slot ``i % workers`` every stage,
+so a worker sees the same rows stage after stage and its caches stay
+hot (:mod:`repro.engine.placement`).  This ablation drives a burst of
+*distinct* concurrent mining jobs — each a multi-stage pipeline whose
+every stage repartitions the same shards — through the mining service
+twice: once with placed clusters, once on the shared unplaced pool,
+with identical worker counts either way.
+
+Reported per arm: request-latency p50/p95, wall seconds and the
+service's ``stats()["placement"]`` counters — the placed arm must pin
+every stage (``unplaced_stages == 0``) and convert repeat shard visits
+into affinity hits, and both arms must return bit-identical results
+(the placement layer routes work, it never changes it).  The JSON line
+(``PLACEMENT_JSON``) carries the measured numbers.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI's bench-smoke job) to shrink the
+workload: the JSON line and correctness/affinity assertions stay, only
+the sizes drop.
+"""
+
+from repro.bench import (
+    bench_smoke_enabled,
+    build_mining_burst_workload,
+    dataset_by_name,
+    json_result_line,
+    latency_summary,
+    print_table,
+    run_service_workload,
+    service_results_match,
+)
+from repro.core.miner import make_default_cluster
+from repro.service import RuleMiningService, ServiceConfig
+
+SMOKE = bench_smoke_enabled()
+
+DATASET = "income"
+ROWS = 1500 if SMOKE else 6000
+BURST_JOBS = 4 if SMOKE else 8
+#: Workers per job == partitions per job, so the placed arm's every
+#: stage can pin each shard to its own worker.
+ENGINE_PARALLELISM = 4
+#: Slack on the latency gate: placement must not cost tail latency.
+#: Both arms race the same OS scheduler; smoke sizes are noisier and
+#: p95 over few samples is the max, so smoke compares means instead.
+P95_SLACK = 1.25
+SMOKE_MEAN_SLACK = 1.50
+
+
+def _cluster_factory(placed):
+    """A service cluster factory with placement explicitly pinned."""
+
+    def factory():
+        return make_default_cluster(
+            parallelism=ENGINE_PARALLELISM, placed=placed,
+        )
+
+    return factory
+
+
+def run_arm(placed):
+    """The distinct-jobs burst with placement on or off."""
+    table = dataset_by_name(DATASET, num_rows=ROWS)
+    requests = build_mining_burst_workload(
+        num_requests=BURST_JOBS, k=3, sample_size=16
+    )
+    # Every request pins num_partitions to the worker count, so placed
+    # clusters place every stage instead of degrading.
+    requests = [
+        (kind, dict(payload, num_partitions=ENGINE_PARALLELISM))
+        for kind, payload in requests
+    ]
+    service = RuleMiningService(
+        ServiceConfig(num_workers=BURST_JOBS, admission="oversubscribe"),
+        make_cluster=_cluster_factory(placed),
+    )
+    try:
+        service.register_dataset(DATASET, table)
+        run = run_service_workload(
+            service, DATASET, requests, num_clients=BURST_JOBS
+        )
+        stats = service.stats()
+    finally:
+        service.close()
+    return {
+        "results": run["results"],
+        "wall_seconds": run["wall_seconds"],
+        "latency": latency_summary(run["latencies"]),
+        "placement": stats["placement"],
+    }
+
+
+def run_comparison():
+    unplaced = run_arm(placed=False)
+    placed = run_arm(placed=True)
+    return {
+        "unplaced": unplaced,
+        "placed": placed,
+        "results_match": service_results_match(
+            unplaced["results"], placed["results"]
+        ),
+    }
+
+
+def test_ablation_placement(once):
+    out = once(run_comparison)
+    placed, unplaced = out["placed"], out["unplaced"]
+    hit_rate = placed["placement"]["affinity_hit_rate"]
+    print_table(
+        "Ablation — placed shards vs shared pool "
+        "(%d jobs x %d workers, %d shards each)" % (
+            BURST_JOBS, ENGINE_PARALLELISM, ENGINE_PARALLELISM,
+        ),
+        ["arm", "wall seconds", "p50 latency", "p95 latency",
+         "affinity hit rate"],
+        [
+            ["unplaced", unplaced["wall_seconds"],
+             unplaced["latency"]["p50"], unplaced["latency"]["p95"],
+             unplaced["placement"]["affinity_hit_rate"]],
+            ["placed", placed["wall_seconds"],
+             placed["latency"]["p50"], placed["latency"]["p95"], hit_rate],
+        ],
+        note="identical results: %s; placed arm pinned %d stages "
+             "(%d unplaced), %d affinity hits / %d misses" % (
+                 out["results_match"],
+                 placed["placement"]["placed_stages"],
+                 placed["placement"]["unplaced_stages"],
+                 placed["placement"]["affinity_hits"],
+                 placed["placement"]["affinity_misses"],
+             ),
+    )
+    print(json_result_line("PLACEMENT_JSON", {
+        "jobs": BURST_JOBS,
+        "engine_parallelism": ENGINE_PARALLELISM,
+        "rows": ROWS,
+        "smoke": SMOKE,
+        "shards": ENGINE_PARALLELISM,
+        "unplaced_wall_seconds": unplaced["wall_seconds"],
+        "placed_wall_seconds": placed["wall_seconds"],
+        "unplaced_latency": unplaced["latency"],
+        "placed_latency": placed["latency"],
+        "affinity_hit_rate": hit_rate,
+        "placed_stages": placed["placement"]["placed_stages"],
+        "unplaced_stages": placed["placement"]["unplaced_stages"],
+        "rebalances": placed["placement"]["rebalances"],
+        "bit_identical": out["results_match"],
+    }))
+    # Placement routes work; it must not change it.
+    assert out["results_match"]
+    # The placed arm really placed: every stage pinned, and repeat
+    # shard visits became affinity hits (first touch per shard is the
+    # only unavoidable miss).
+    assert placed["placement"]["placed_stages"] > 0
+    assert placed["placement"]["unplaced_stages"] == 0
+    assert hit_rate >= 0.5
+    # The unplaced arm never placed anything.
+    assert unplaced["placement"]["placed_stages"] == 0
+    # Pinning must not cost tail latency against the shared pool.
+    if SMOKE:
+        assert (placed["latency"]["mean"]
+                <= unplaced["latency"]["mean"] * SMOKE_MEAN_SLACK)
+    else:
+        assert (placed["latency"]["p95"]
+                <= unplaced["latency"]["p95"] * P95_SLACK)

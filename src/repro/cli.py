@@ -11,6 +11,7 @@ Usage::
         --clients 8 --requests 32
     python -m repro.cli serve data.csv --measure delay \
         --listen 127.0.0.1:7711
+    python -m repro.cli shard-worker --listen 127.0.0.1:7731
 
 The mining subcommands read a CSV with a header row, treat every
 non-measure column as a dimension attribute (unless ``--dimensions``
@@ -22,7 +23,10 @@ drives a scripted mixed mining + SQL workload from N client threads,
 printing throughput, latency percentiles and cache/coalescing
 statistics; with ``--listen HOST:PORT`` it instead serves the dataset
 over the framed network protocol (:mod:`repro.net`) until interrupted,
-draining in-flight jobs on shutdown.
+draining in-flight jobs on shutdown.  The ``shard-worker`` subcommand
+runs one remote shard-execution worker (:mod:`repro.net.worker`) that
+``mine --shard-workers`` drivers pin placed shards to — trusted
+networks only, since it executes pickled kernels.
 """
 
 import argparse
@@ -83,6 +87,14 @@ def build_parser():
                 help="comma-separated dimensions whose group-bys the "
                      "analyst has already seen (default: the two with "
                      "the lowest cardinality)",
+            )
+        if name == "mine":
+            sub.add_argument(
+                "--shard-workers", metavar="HOST:PORT,...", default=None,
+                help="comma-separated shard-worker addresses (started "
+                     "with the shard-worker subcommand); implies the "
+                     "remote executor — shards are pinned to workers "
+                     "and results stay identical to serial",
             )
     sql = subparsers.add_parser(
         "sql", help="run one SQL query against the CSV (table name: data)"
@@ -165,6 +177,20 @@ def build_parser():
         "--serve-seconds", type=float, default=None,
         help="with --listen: stop after this many seconds "
              "(default: run until Ctrl-C)",
+    )
+    worker = subparsers.add_parser(
+        "shard-worker",
+        help="run one shard-execution worker for remote placed mining",
+    )
+    worker.add_argument(
+        "--listen", metavar="HOST:PORT", default="127.0.0.1:0",
+        help="address to serve the shard-worker protocol on (default "
+             "127.0.0.1:0 — loopback, free port); the worker executes "
+             "pickled kernels, so bind only trusted interfaces",
+    )
+    worker.add_argument(
+        "--serve-seconds", type=float, default=None,
+        help="stop after this many seconds (default: run until Ctrl-C)",
     )
     return parser
 
@@ -253,6 +279,35 @@ def _run_listen(args, table, out):
         service.close()
 
 
+def _run_shard_worker(args, out):
+    """Run one shard-execution worker until interrupted."""
+    import os
+    import time
+
+    from repro.net.worker import ShardWorker, parse_address
+
+    host, port = parse_address(args.listen)
+    with ShardWorker(host=host, port=port) as worker:
+        out.write(
+            "shard worker serving on %s (pid %d)\n"
+            % (worker.address, os.getpid())
+        )
+        out.flush()
+        try:
+            if args.serve_seconds is not None:
+                time.sleep(args.serve_seconds)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            out.write("interrupted\n")
+        stats = worker.stats()
+        out.write(
+            "served %d stages, %d tasks\n"
+            % (stats["stages"], stats["tasks"])
+        )
+
+
 def _run_serve(args, table, out):
     from repro.bench.harness import (
         build_service_workload,
@@ -337,6 +392,9 @@ def main(argv=None, out=None):
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
     try:
+        if args.command == "shard-worker":
+            _run_shard_worker(args, out)
+            return 0
         table = _load(args)
         if args.command == "serve":
             if args.listen is not None:
@@ -353,10 +411,19 @@ def main(argv=None, out=None):
                 out.write(result.pretty(max_rows=args.max_rows) + "\n")
                 out.write("(%d rows)\n" % len(result))
         elif args.command == "mine":
+            executor = args.executor
+            workers = None
+            if args.shard_workers:
+                workers = [
+                    w.strip() for w in args.shard_workers.split(",")
+                    if w.strip()
+                ]
+                executor = "remote"
             result = mine(
                 table, k=args.k, variant=args.variant,
                 sample_size=args.sample_size, seed=args.seed,
-                parallelism=args.parallelism, executor=args.executor,
+                parallelism=args.parallelism, executor=executor,
+                workers=workers,
             )
             _print_result(table, result, out)
         elif args.command == "explore":

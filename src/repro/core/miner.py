@@ -215,15 +215,19 @@ def make_default_cluster(
     parallelism=None,
     executor=None,
     budget_grant=None,
+    placed=None,
+    workers=None,
 ):
     """A small local cluster suitable for tests and examples.
 
     ``parallelism`` sets the number of real workers partition kernels
-    execute on and ``executor`` the pool kind (``"thread"`` or
-    ``"process"``; None defers to a ``budget_grant``'s granted degree
-    when one is given, then to ``REPRO_PARALLELISM`` /
-    ``REPRO_EXECUTOR``); results and simulated metrics are identical
-    across settings.
+    execute on and ``executor`` the pool kind (``"thread"``,
+    ``"process"`` or ``"remote"``; None defers to a ``budget_grant``'s
+    granted degree when one is given, then to ``REPRO_PARALLELISM`` /
+    ``REPRO_EXECUTOR``); ``placed`` pins shards to workers (None
+    defers to ``REPRO_PLACEMENT``) and ``workers`` lists shard-worker
+    addresses for the remote executor.  Results and simulated metrics
+    are identical across settings.
     """
     spec = ClusterSpec(
         num_executors=num_executors,
@@ -234,11 +238,13 @@ def make_default_cluster(
     )
     return ClusterContext(spec, cost_model or CostModel(),
                           parallelism=parallelism, executor=executor,
-                          budget_grant=budget_grant)
+                          budget_grant=budget_grant, placed=placed,
+                          workers=workers)
 
 
 def mine(table, k=10, variant="optimized", cluster=None, prior_rules=None,
-         parallelism=None, executor=None, **config_overrides):
+         parallelism=None, executor=None, placed=None, workers=None,
+         **config_overrides):
     """One-call mining API.
 
     >>> result = mine(flight_table(), k=3, variant="optimized")
@@ -246,16 +252,19 @@ def mine(table, k=10, variant="optimized", cluster=None, prior_rules=None,
     ``variant`` is a Table 4.2 preset name; extra keyword arguments
     override any :class:`SirumConfig` field.  ``parallelism`` and
     ``executor`` set the real worker count and pool kind of the
-    default cluster (both ignored when an explicit ``cluster`` is
-    passed, which the caller then owns).  An internally created
-    cluster is closed before returning — no worker threads or
+    default cluster, ``placed`` pins shard ``i`` to worker ``i`` every
+    stage (sticky affinity), and ``workers`` lists shard-worker
+    addresses for ``executor="remote"`` (all ignored when an explicit
+    ``cluster`` is passed, which the caller then owns).  An internally
+    created cluster is closed before returning — no worker threads or
     processes outlive the call.
     """
     config = variant_config(variant, k=k, **config_overrides)
     owns_cluster = cluster is None
     if cluster is None:
         cluster = make_default_cluster(parallelism=parallelism,
-                                       executor=executor)
+                                       executor=executor, placed=placed,
+                                       workers=workers)
     try:
         return Sirum(config).mine(table, cluster=cluster,
                                   prior_rules=prior_rules)

@@ -86,6 +86,9 @@ class MiningSession:
         self.partitions = table.partition_blocks(num_partitions,
                                                  shared=shared)
         self.num_partitions = len(self.partitions)
+        # Bind the table's shard map to the cluster so placed execution
+        # can attribute affinity (and detect dataset-version rebinds).
+        cluster.bind_shard_map(table.shard_map(num_partitions))
         n = len(table)
         #: Packed-row codec for the table's dimension domains; the
         #: candidate pipeline runs on packed int64 keys when it fits.

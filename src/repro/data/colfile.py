@@ -39,7 +39,7 @@ import struct
 
 import numpy as np
 
-from repro.common.errors import DataError
+from repro.common.errors import DataError, EngineError
 from repro.data.encoding import DictionaryEncoder
 from repro.data.schema import Schema
 from repro.data.table import Table
@@ -196,13 +196,24 @@ class ColFileHandle:
         self.block_stats = list(footer["blocks"])
         self.num_blocks = len(self.block_stats)
 
-        starts = []
-        row = 0
-        for stat in self.block_stats:
-            starts.append(row)
-            row += int(stat["rows"])
-        self._block_starts = starts
-        if row != self.num_rows:
+        # The file's physical layout as a shard map: one shard per
+        # block, block-aligned except the ragged last block, versioned
+        # by the file state (a rewritten file is a different dataset).
+        from repro.engine.placement import ShardMap
+
+        try:
+            self.block_map = ShardMap.from_block_rows(
+                [int(stat["rows"]) for stat in self.block_stats],
+                version=self.file_key[1],
+                bytes_per_row=self.row_bytes,
+                align=self.block_rows if self.num_blocks > 1 else 1,
+            )
+        except EngineError as exc:
+            raise DataError(
+                "%s has inconsistent block row counts: %s"
+                % (self.path, exc)
+            ) from None
+        if self.block_map.num_rows != self.num_rows:
             raise DataError(
                 "%s footer disagrees with header row count" % self.path
             )
@@ -217,12 +228,12 @@ class ColFileHandle:
 
     def block_range(self, index):
         """Row range [start, stop) covered by block ``index``."""
-        start = self._block_starts[index]
-        return start, start + int(self.block_stats[index]["rows"])
+        shard = self.block_map[index]
+        return shard.start, shard.stop
 
     def block_nbytes(self, index):
         """Decoded byte size of block ``index`` (codes + measure)."""
-        return int(self.block_stats[index]["rows"]) * self.row_bytes
+        return self.block_map[index].size_bytes
 
     def block_views(self, index):
         """Zero-copy (columns, measure) views of block ``index``.

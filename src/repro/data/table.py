@@ -6,6 +6,7 @@ A :class:`Table` stores each dimension attribute as a dense
 SIRUM operates on; the engine partitions row ranges of it.
 """
 
+import itertools
 import threading
 
 import numpy as np
@@ -13,6 +14,13 @@ import numpy as np
 from repro.common.errors import DataError
 from repro.data.encoding import DictionaryEncoder
 from repro.data.schema import Schema
+
+#: Process-wide dataset version counter.  Tables are immutable, so a
+#: version identifies one table *instance*'s data for its whole life;
+#: a new table (even over the same rows) gets a new version, which is
+#: what lets shard maps — and the placement affinity built on them —
+#: detect that they were computed against different data.
+_dataset_versions = itertools.count(1)
 
 
 class TableBlock:
@@ -74,6 +82,9 @@ class Table:
         # each other.
         self._shm_pack = None
         self._shm_lock = threading.Lock()
+        self.dataset_version = next(_dataset_versions)
+        self._shard_maps = {}
+        self._shard_map_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -221,13 +232,42 @@ class Table:
             raise DataError("replacement measure column length mismatch")
         return Table(self.schema, self._dims, measure_column, self._encoders)
 
+    def shard_map(self, num_shards):
+        """This table's :class:`~repro.engine.placement.ShardMap` for
+        ``num_shards`` (built once per degree and cached).
+
+        The map is the one partition abstraction: every execution mode
+        — serial views, shm descriptors, mmap descriptors, remote
+        shards — derives its blocks from the same map, so ranges and
+        metered sizes are identical everywhere.  Maps carry this
+        table's ``dataset_version``; a different table (new data) gets
+        a different version, which placement uses to detect rebinds.
+        """
+        from repro.engine.placement import ShardMap
+
+        n = len(self)
+        if n == 0:
+            raise DataError("cannot partition an empty table")
+        num_shards = max(1, min(int(num_shards), n))
+        with self._shard_map_lock:
+            cached = self._shard_maps.get(num_shards)
+            if cached is None:
+                cached = ShardMap.build(
+                    n, num_shards,
+                    version=self.dataset_version,
+                    bytes_per_row=max(1, self.estimated_bytes() // n),
+                )
+                self._shard_maps[num_shards] = cached
+            return cached
+
     def partition_blocks(self, num_blocks, shared=False):
         """Split the table into ``num_blocks`` contiguous row blocks.
 
         Returns a list of :class:`TableBlock` whose columns and measure
-        are views of this table's arrays.  ``num_blocks`` is clamped to
-        ``[1, len(self)]``; row counts differ by at most one across
-        blocks.  This is the partitioning every engine stage runs over.
+        are views of this table's arrays, one per shard of
+        :meth:`shard_map` (``num_blocks`` clamped to ``[1, len(self)]``;
+        row counts differ by at most one).  This is the partitioning
+        every engine stage runs over.
 
         With ``shared=True`` the blocks are
         :class:`~repro.engine.shm.SharedTableBlock` descriptors over a
@@ -237,38 +277,32 @@ class Table:
         seen by kernels are identical either way.  The segment is
         unlinked when the table is garbage collected.
         """
-        n = len(self)
-        if n == 0:
-            raise DataError("cannot partition an empty table")
-        num_blocks = max(1, min(int(num_blocks), n))
-        bounds = [n * i // num_blocks for i in range(num_blocks + 1)]
-        bytes_per_row = max(1, self.estimated_bytes() // n)
+        shard_map = self.shard_map(num_blocks)
         if shared:
             from repro.engine.shm import SharedTableBlock
 
             pack = self._shared_columns()
             return [
                 SharedTableBlock(
-                    index=i,
+                    index=shard.shard_id,
                     pack=pack,
-                    start=bounds[i],
-                    stop=bounds[i + 1],
-                    size_bytes=(bounds[i + 1] - bounds[i]) * bytes_per_row,
+                    start=shard.start,
+                    stop=shard.stop,
+                    size_bytes=shard.size_bytes,
                 )
-                for i in range(num_blocks)
+                for shard in shard_map
             ]
-        blocks = []
-        for i in range(num_blocks):
-            start, stop = bounds[i], bounds[i + 1]
-            blocks.append(TableBlock(
-                index=i,
-                columns=[col[start:stop] for col in self._dims],
-                measure=self._measure[start:stop],
-                start=start,
-                stop=stop,
-                size_bytes=(stop - start) * bytes_per_row,
-            ))
-        return blocks
+        return [
+            TableBlock(
+                index=shard.shard_id,
+                columns=[col[shard.start:shard.stop] for col in self._dims],
+                measure=self._measure[shard.start:shard.stop],
+                start=shard.start,
+                stop=shard.stop,
+                size_bytes=shard.size_bytes,
+            )
+            for shard in shard_map
+        ]
 
     def _shared_columns(self):
         """This table's shared-memory column pack (created on demand)."""
@@ -340,6 +374,9 @@ class FileBackedTable(Table):
         self._shm_pack = None
         self._shm_lock = threading.Lock()
         self._materialize_lock = threading.Lock()
+        self.dataset_version = next(_dataset_versions)
+        self._shard_maps = {}
+        self._shard_map_lock = threading.Lock()
 
     def __getattr__(self, name):
         # Lazy hook: only fires while ``_dims`` / ``_measure`` are
@@ -432,24 +469,18 @@ class FileBackedTable(Table):
         """
         if not shared:
             return super().partition_blocks(num_blocks, shared=False)
-        n = len(self)
-        if n == 0:
-            raise DataError("cannot partition an empty table")
         from repro.engine.shm import MmapTableBlock
 
-        num_blocks = max(1, min(int(num_blocks), n))
-        bounds = [n * i // num_blocks for i in range(num_blocks + 1)]
-        bytes_per_row = max(1, self.estimated_bytes() // n)
         return [
             MmapTableBlock(
-                index=i,
+                index=shard.shard_id,
                 path=self._handle.path,
                 file_key=self._handle.file_key,
-                start=bounds[i],
-                stop=bounds[i + 1],
-                size_bytes=(bounds[i + 1] - bounds[i]) * bytes_per_row,
+                start=shard.start,
+                stop=shard.stop,
+                size_bytes=shard.size_bytes,
             )
-            for i in range(num_blocks)
+            for shard in self.shard_map(num_blocks)
         ]
 
     def close(self):

@@ -27,6 +27,7 @@ Main entry points:
 from repro.engine.cost import CostModel, ClusterSpec
 from repro.engine.cluster import ClusterContext
 from repro.engine.lazy import DAGScheduler, LazyRDD
+from repro.engine.placement import PlacementTracker, Shard, ShardMap
 from repro.engine.rdd import RDD
 from repro.engine.task import TaskContext
 from repro.engine.metrics import MetricsRegistry
@@ -37,7 +38,10 @@ __all__ = [
     "ClusterContext",
     "DAGScheduler",
     "LazyRDD",
+    "PlacementTracker",
     "RDD",
+    "Shard",
+    "ShardMap",
     "TaskContext",
     "MetricsRegistry",
 ]

@@ -39,15 +39,39 @@ propagates, in-flight tasks are drained, and the aborted stage charges
 nothing — metrics and cache are exactly as they were before the stage.
 
 The worker count resolves with one explicit precedence — **explicit
-argument > budget grant > environment > serial default**.  A cluster
-given ``parallelism=N`` uses N; otherwise a cluster carrying a
+argument > placed/budget grant > environment > serial default**.  A
+cluster given ``parallelism=N`` uses N; otherwise a cluster carrying a
 ``budget_grant`` (an allocation from the service's
-:class:`~repro.service.budget.EngineBudget`) uses the *granted*
-degree; otherwise the ``REPRO_PARALLELISM`` environment variable
-applies (unset/empty means serial).  The executor kind resolves as
-explicit argument > ``REPRO_EXECUTOR`` > threads.  A held grant is
-released when the cluster closes — after its pools have joined, so
-slots return only once the workers they paid for are actually gone.
+:class:`~repro.service.budget.EngineBudget`, placed or not) uses the
+*granted* degree; otherwise the ``REPRO_PARALLELISM`` environment
+variable applies (unset/empty means serial).  The executor kind
+resolves as explicit argument > ``REPRO_EXECUTOR`` > threads.  A held
+grant is released when the cluster closes — after its pools have
+joined, so slots return only once the workers they paid for are
+actually gone.
+
+Placement
+---------
+``placed=True`` (or a budget grant carrying slot ids, or
+``REPRO_PLACEMENT=1``) turns the worker pool into an *addressable
+topology*: one single-worker pool per slot, and ``run_stage`` routes
+kernel i to the worker pinned to shard i (``i % workers``), so a
+worker sees the same shards stage after stage and its process-local
+attachment caches (:mod:`repro.engine.shm`) stay hot across stages and
+coalesced jobs.  When the budget forces fewer workers than a stage has
+shards, the stage *degrades to unplaced* execution on the shared pool
+— pinning a worker to several shards would serialize them behind each
+other, so the placed path only engages when every shard can own a
+worker.  :meth:`ClusterContext.placement_stats` reports shard count,
+affinity hit-rate and rebalances.
+
+``executor="remote"`` extends the same routing across the wire: the
+cluster ships pickled kernels plus picklable shard descriptors
+(:class:`~repro.engine.shm.MmapTableBlock` /
+:class:`~repro.engine.shm.SharedTableBlock`) to shard workers
+(:mod:`repro.net.worker`) at ``workers=[...]`` addresses, sticky by
+shard id, and merges outputs and charge records in partition order —
+bit-identical to serial, like every other mode.
 """
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -63,13 +87,15 @@ from repro.data.hdfs import SimulatedHdfs
 from repro.engine.cost import ClusterSpec, CostModel
 from repro.engine.memory import CacheManager
 from repro.engine.metrics import MetricsRegistry
+from repro.engine.placement import PlacementTracker, default_placement
 from repro.engine.task import TaskContext
 
 
 #: Supported worker-pool kinds for parallel stage execution.
 EXECUTOR_THREAD = "thread"
 EXECUTOR_PROCESS = "process"
-EXECUTORS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
+EXECUTOR_REMOTE = "remote"
+EXECUTORS = (EXECUTOR_THREAD, EXECUTOR_PROCESS, EXECUTOR_REMOTE)
 
 
 def default_parallelism():
@@ -104,17 +130,36 @@ def default_executor():
 def resolve_parallelism(explicit=None, budget_grant=None):
     """Worker count under the documented precedence.
 
-    Explicit argument > budget grant > ``REPRO_PARALLELISM`` > serial.
-    The grant contributes its *granted* degree — what the machine-wide
-    budget actually allocated, not what the job asked for.
+    Explicit argument > placed/budget grant > ``REPRO_PARALLELISM`` >
+    serial.  The grant contributes its *granted* degree — what the
+    machine-wide budget actually allocated, not what the job asked for
+    — and a *placed* grant (one carrying slot ids) ranks exactly like
+    an unplaced one: its degree is the number of slots it holds, which
+    the budget keeps equal to ``granted``.
     """
     if explicit is not None:
         if explicit < 1:
             raise EngineError("parallelism must be at least 1")
         return int(explicit)
     if budget_grant is not None:
+        slots = getattr(budget_grant, "slots", ())
+        if slots:
+            return len(slots)
         return int(budget_grant.granted)
     return default_parallelism()
+
+
+def resolve_placement(explicit=None, budget_grant=None):
+    """Placement preference under the same precedence as the degree.
+
+    Explicit argument > placed grant (a grant carrying slot ids turns
+    placement on) > ``REPRO_PLACEMENT`` > off.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    if budget_grant is not None and getattr(budget_grant, "slots", ()):
+        return True
+    return default_placement()
 
 
 def _is_pickling_error(exc):
@@ -184,7 +229,8 @@ class ClusterContext:
     """
 
     def __init__(self, spec=None, cost_model=None, hdfs=None,
-                 parallelism=None, executor=None, budget_grant=None):
+                 parallelism=None, executor=None, budget_grant=None,
+                 placed=None, workers=None):
         self.spec = spec or ClusterSpec()
         self.cost = cost_model or CostModel()
         self.hdfs = hdfs or SimulatedHdfs()
@@ -202,18 +248,50 @@ class ClusterContext:
                 % (", ".join(EXECUTORS), executor)
             )
         self.executor = executor
+        #: Remote shard-worker addresses ("host:port" or (host, port)),
+        #: required by — and only meaningful for — the remote executor.
+        self.workers = list(workers) if workers else []
+        if executor == EXECUTOR_REMOTE:
+            if not self.workers:
+                raise EngineError(
+                    "executor='remote' needs at least one worker address "
+                    "(workers=[\"host:port\", ...])"
+                )
+            if parallelism is None and budget_grant is None \
+                    and not os.environ.get("REPRO_PARALLELISM", "").strip():
+                # With nothing else claiming a degree, a remote cluster
+                # is as wide as its worker fleet.
+                self.parallelism = len(self.workers)
+        elif self.workers:
+            raise EngineError(
+                "worker addresses are only valid with executor='remote'"
+            )
+        #: Placed execution: route shard i to the worker pinned to slot
+        #: ``i % workers`` (see the module docstring).  Resolution:
+        #: explicit arg > placed grant > ``REPRO_PLACEMENT`` > off.
+        self.placed = resolve_placement(placed, budget_grant)
+        self.placement = PlacementTracker()
         #: Stages whose kernel did not pickle and ran on the thread
         #: pool instead of the process pool.  A plain attribute, not a
         #: metrics counter — registries stay bit-identical across modes.
         self.fallback_stages = 0
         self._pool = None
         self._process_pool = None
+        self._placed_pools = None
+        self._remote_clients = None
         self._sample_epoch = 0
         self._sample_lock = threading.Lock()
 
     @property
     def uses_processes(self):
-        """True when parallel stages run on a process pool."""
+        """True when partition data must cross a process boundary.
+
+        Process-pool stages and remote stages both need picklable
+        shard descriptors (shm or mmap blocks) rather than driver-local
+        array views.
+        """
+        if self.executor == EXECUTOR_REMOTE:
+            return True
         return self.executor == EXECUTOR_PROCESS and self.parallelism > 1
 
     # ------------------------------------------------------------------
@@ -237,6 +315,53 @@ class ClusterContext:
             return self._process_pool
         return self._thread_pool()
 
+    def _placed_worker_pools(self):
+        """One single-worker pool per slot — the addressable topology.
+
+        Stdlib pools cannot route a task to a chosen worker, so placed
+        mode holds an array of one-worker pools instead: pool i *is*
+        slot i, and submitting shard i to pool ``i % n`` is the whole
+        placement mechanism.  Workers (threads or processes) spawn
+        lazily on first submit, so unused slots cost nothing.
+        """
+        if self._placed_pools is None:
+            if self.executor == EXECUTOR_PROCESS:
+                self._placed_pools = [
+                    ProcessPoolExecutor(max_workers=1)
+                    for _ in range(self.parallelism)
+                ]
+            else:
+                self._placed_pools = [
+                    ThreadPoolExecutor(
+                        max_workers=1,
+                        thread_name_prefix="repro-shard-%d" % i,
+                    )
+                    for i in range(self.parallelism)
+                ]
+        return self._placed_pools
+
+    def _worker_clients(self):
+        """One connected client per remote shard-worker address."""
+        if self._remote_clients is None:
+            from repro.net.worker import ShardWorkerClient
+
+            self._remote_clients = [
+                ShardWorkerClient(address) for address in self.workers
+            ]
+        return self._remote_clients
+
+    def _slot_id(self, local):
+        """The reported slot id for local pool index ``local``.
+
+        With a placed grant the machine-wide slot ids are the real
+        identity (two clusters holding the same slots pin to the same
+        budgeted workers); without one the local index serves.
+        """
+        slots = getattr(self.budget_grant, "slots", ())
+        if slots:
+            return slots[local % len(slots)]
+        return local
+
     def close(self):
         """Shut down the worker pools (idempotent; serial mode is a no-op).
 
@@ -247,9 +372,15 @@ class ClusterContext:
         machine-wide budget only after the workers they paid for have
         actually exited.
         """
-        pools = (self._pool, self._process_pool)
+        pools = [self._pool, self._process_pool]
+        pools.extend(self._placed_pools or ())
         self._pool = None
         self._process_pool = None
+        self._placed_pools = None
+        clients = self._remote_clients
+        self._remote_clients = None
+        for client in clients or ():
+            client.close()
         for pool in pools:
             if pool is not None:
                 pool.shutdown(wait=True)
@@ -266,10 +397,17 @@ class ClusterContext:
 
     def __del__(self):
         try:
-            pools = (self._pool, self._process_pool)
+            pools = [self._pool, self._process_pool]
+            pools.extend(self._placed_pools or ())
+            clients = self._remote_clients
             grant = self.budget_grant
         except AttributeError:  # interpreter teardown / failed __init__
             return
+        for client in clients or ():
+            try:
+                client.close()
+            except Exception:
+                pass
         live = [pool for pool in pools if pool is not None]
         for pool in live:
             pool.shutdown(wait=False)
@@ -305,6 +443,33 @@ class ClusterContext:
         with self._sample_lock:
             self._sample_epoch += 1
             return int(self.spec.seed) * 1_000_003 + self._sample_epoch
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def bind_shard_map(self, shard_map):
+        """Bind placement to ``shard_map`` — the affinity scope.
+
+        Callers that partition through a
+        :class:`~repro.engine.placement.ShardMap` (the mining session
+        does) bind it here so the tracker knows the shard count and can
+        detect a rebind across dataset versions (counted as a
+        *rebalance*: the old worker pins are meaningless against new
+        data).  Purely observational — routing never depends on it.
+        """
+        self.placement.bind(shard_map)
+
+    def placement_stats(self):
+        """Placement topology and affinity counters, one dict."""
+        stats = self.placement.stats()
+        stats["enabled"] = bool(self.placed)
+        stats["executor"] = self.executor
+        stats["workers"] = (
+            len(self.workers) if self.executor == EXECUTOR_REMOTE
+            else self.parallelism
+        )
+        return stats
 
     # ------------------------------------------------------------------
     # Phase attribution
@@ -370,9 +535,28 @@ class ClusterContext:
         if not partitions:
             return StageResult([], 0.0, [])
         workers = min(self.parallelism, len(partitions))
-        if workers > 1 and self.executor == EXECUTOR_PROCESS:
+        if self.executor == EXECUTOR_REMOTE:
+            # Remote stages always cross the wire (even a single
+            # shard): routing is sticky by shard id, so it is placed
+            # execution by construction.
+            self.placement.record_stage(True)
+            tasks, outputs = self._run_tasks_remote(kernel, partitions)
+        elif workers > 1 and self.placed \
+                and len(partitions) <= self.parallelism:
+            # Every shard can own a worker: placed execution, shard i
+            # pinned to slot i.
+            self.placement.record_stage(True)
+            tasks, outputs = self._run_tasks_placed(kernel, partitions)
+        elif workers > 1 and self.executor == EXECUTOR_PROCESS:
+            if self.placed:
+                # More shards than budgeted workers: pinning would
+                # serialize shards behind each other, so degrade to the
+                # shared (unplaced) pool.
+                self.placement.record_stage(False)
             tasks, outputs = self._run_tasks_process(kernel, partitions)
         elif workers > 1:
+            if self.placed:
+                self.placement.record_stage(False)
             tasks, outputs = self._run_tasks_threaded(
                 kernel, partitions, self._thread_pool()
             )
@@ -469,6 +653,11 @@ class ClusterContext:
             # but surfaces the kernel's real exception instead of a
             # transport PicklingError.
             return self._fallback_to_threads(kernel, partitions)
+        return self._records_to_tasks(records)
+
+    @staticmethod
+    def _records_to_tasks(records):
+        """Driver-side task contexts from worker charge records."""
         tasks = []
         outputs = []
         for i, (output, charges) in enumerate(records):
@@ -477,6 +666,105 @@ class ClusterContext:
             tasks.append(tc)
             outputs.append(output)
         return tasks, outputs
+
+    def _run_tasks_placed(self, kernel, partitions):
+        """Placed execution: shard i on the single-worker pool for
+        slot ``i % n`` (``n == parallelism >= len(partitions)``, so in
+        practice every shard owns its worker).
+
+        Identical semantics to the shared-pool paths — same charge
+        records, same in-order collection, same fallback for kernels
+        that do not pickle — only the routing differs.
+        """
+        pools = self._placed_worker_pools()
+        if self.executor == EXECUTOR_PROCESS:
+            try:
+                kernel_bytes = pickle.dumps(
+                    kernel, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:
+                return self._fallback_to_threads(kernel, partitions)
+            futures = []
+            for i, part in enumerate(partitions):
+                slot = i % len(pools)
+                self.placement.record(i, self._slot_id(slot))
+                futures.append(pools[slot].submit(
+                    _run_pickled_task, kernel_bytes, i, part
+                ))
+            try:
+                records = self._collect_in_order(futures)
+            except BaseException as exc:
+                if not _is_pickling_error(exc):
+                    raise
+                return self._fallback_to_threads(kernel, partitions)
+            return self._records_to_tasks(records)
+        tasks = [
+            TaskContext(task_id=i, partition_id=i, defer_cache=True)
+            for i in range(len(partitions))
+        ]
+        futures = []
+        for i, (tc, part) in enumerate(zip(tasks, partitions)):
+            slot = i % len(pools)
+            self.placement.record(i, self._slot_id(slot))
+            futures.append(pools[slot].submit(kernel, tc, part))
+        return tasks, self._collect_in_order(futures)
+
+    def _run_tasks_remote(self, kernel, partitions):
+        """Remote execution: ship pickled kernel + shard descriptors to
+        shard workers, sticky by shard id; merge in partition order.
+
+        Each worker runs its batch in ascending shard order and ships
+        back ``(output, charges)`` records; the driver applies charges
+        to driver-side contexts exactly as process mode does, so every
+        simulated metric is bit-identical to serial.  Failure semantics
+        match too: the lowest-index failing shard's exception
+        propagates and the aborted stage charges nothing.  Anything
+        that cannot cross the wire (kernel, partition, output or
+        exception instance) falls the stage back to the thread pool.
+        """
+        try:
+            kernel_bytes = pickle.dumps(
+                kernel, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            blobs = [
+                pickle.dumps(part, protocol=pickle.HIGHEST_PROTOCOL)
+                for part in partitions
+            ]
+        except Exception:
+            return self._fallback_to_threads(kernel, partitions)
+        clients = self._worker_clients()
+        batches = [[] for _ in clients]
+        for i, blob in enumerate(blobs):
+            slot = i % len(clients)
+            self.placement.record(i, slot)
+            batches[slot].append((i, blob))
+        pool = self._thread_pool()
+        futures = [
+            pool.submit(clients[slot].run_stage, kernel_bytes, batch)
+            for slot, batch in enumerate(batches) if batch
+        ]
+        try:
+            replies = [future.result() for future in futures]
+        except BaseException:
+            _wait_futures(futures)
+            raise
+        records = {}
+        failures = []
+        for worker_records, worker_failures in replies:
+            records.update(worker_records)
+            failures.extend(worker_failures)
+        if failures:
+            failures.sort(key=lambda f: f[0])
+            _index, exc, is_pickling = failures[0]
+            if is_pickling or any(f[2] for f in failures):
+                # Something in this stage does not survive the wire
+                # (unpicklable output or exception instance): rerun on
+                # the thread pool, like process mode.
+                return self._fallback_to_threads(kernel, partitions)
+            raise exc
+        return self._records_to_tasks(
+            [records[i] for i in range(len(partitions))]
+        )
 
     def _fallback_to_threads(self, kernel, partitions):
         self.fallback_stages += 1

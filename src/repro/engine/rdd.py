@@ -196,14 +196,20 @@ class RDD:
 
     @classmethod
     def parallelize(cls, ctx, data, num_partitions):
-        """Split ``data`` into ``num_partitions`` roughly equal chunks."""
+        """Split ``data`` into ``num_partitions`` roughly equal chunks.
+
+        Chunk boundaries come from the same
+        :class:`~repro.engine.placement.ShardMap` split every other
+        layer partitions with (unclamped: the caller's partition count
+        is kept even when some chunks are empty).
+        """
+        from repro.engine.placement import ShardMap
+
         data = list(data)
         if num_partitions < 1:
             raise EngineError("num_partitions must be at least 1")
-        n = len(data)
-        bounds = [n * i // num_partitions for i in range(num_partitions + 1)]
-        partitions = [data[bounds[i]:bounds[i + 1]] for i in range(num_partitions)]
-        return cls(ctx, partitions)
+        shard_map = ShardMap.build(len(data), num_partitions, clamp=False)
+        return cls(ctx, [data[s.start:s.stop] for s in shard_map])
 
     # ------------------------------------------------------------------
     # Basic properties

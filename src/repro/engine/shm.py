@@ -50,6 +50,58 @@ _attachments = OrderedDict()  # segment name -> SharedMemory, LRU order
 _attachments_lock = threading.Lock()
 _register_patch_lock = threading.Lock()
 
+#: Process-local hit/miss counters for the two attachment caches.
+#: These are the observable record of placement affinity: a worker
+#: pinned to the same shards stage after stage resolves every block
+#: through a cached handle (hits), while shards bouncing across
+#: workers re-open and re-verify per move (misses).  Counters live in
+#: whichever process resolves the block — the driver for serial and
+#: thread stages, each pool worker for process stages.
+_cache_stats_lock = threading.Lock()
+_segment_hits = 0
+_segment_misses = 0
+_handle_hits = 0
+_handle_misses = 0
+
+
+def _count_segment(hit):
+    global _segment_hits, _segment_misses
+    with _cache_stats_lock:
+        if hit:
+            _segment_hits += 1
+        else:
+            _segment_misses += 1
+
+
+def _count_handle(hit):
+    global _handle_hits, _handle_misses
+    with _cache_stats_lock:
+        if hit:
+            _handle_hits += 1
+        else:
+            _handle_misses += 1
+
+
+def attachment_cache_stats():
+    """This process's attachment-cache counters, one dict."""
+    with _cache_stats_lock:
+        return {
+            "segment_hits": _segment_hits,
+            "segment_misses": _segment_misses,
+            "handle_hits": _handle_hits,
+            "handle_misses": _handle_misses,
+            "segments_cached": len(_attachments),
+            "handles_cached": len(_handles),
+        }
+
+
+def reset_attachment_cache_stats():
+    """Zero the counters (benchmarks isolate phases with this)."""
+    global _segment_hits, _segment_misses, _handle_hits, _handle_misses
+    with _cache_stats_lock:
+        _segment_hits = _segment_misses = 0
+        _handle_hits = _handle_misses = 0
+
 
 def _noop_register(name, rtype):
     pass
@@ -93,7 +145,9 @@ def attached_segment(name):
         segment = _attachments.get(name)
         if segment is not None:
             _attachments.move_to_end(name)
+            _count_segment(hit=True)
             return segment
+    _count_segment(hit=False)
     segment = _attach_segment(name)
     with _attachments_lock:
         racing = _attachments.get(name)
@@ -128,7 +182,9 @@ def attached_handle(path, file_key):
         handle = _handles.get(key)
         if handle is not None:
             _handles.move_to_end(key)
+            _count_handle(hit=True)
             return handle
+    _count_handle(hit=False)
     handle = ColFileHandle(path)
     if tuple(handle.file_key) != key[1]:
         handle.close()

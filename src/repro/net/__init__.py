@@ -31,6 +31,7 @@ from repro.net.server import (
     TenantPolicy,
 )
 from repro.net.wire import result_from_wire, result_to_wire
+from repro.net.worker import ShardWorker, ShardWorkerClient
 
 __all__ = [
     "AsyncServiceClient",
@@ -48,6 +49,8 @@ __all__ = [
     "RemoteJob",
     "ServiceClient",
     "ServiceServer",
+    "ShardWorker",
+    "ShardWorkerClient",
     "TenantPolicy",
     "encode_frame",
     "result_from_wire",

@@ -82,6 +82,15 @@ PRIORITY_CLASSES = {
 
 DEFAULT_TENANT = "default"
 
+#: Capabilities this server advertises in its ``hello`` response, so a
+#: client can discover surface without probing: ``stats.placement``
+#: (``stats()`` carries the shard-placement section) and
+#: ``stats.buffer_pool.attachments`` (worker attachment-cache
+#: counters).  Shard *execution* workers are a separate, trusted-only
+#: endpoint (:mod:`repro.net.worker`) and are deliberately not part of
+#: this untrusted-facing front door.
+SERVER_FEATURES = ("stats.placement", "stats.buffer_pool.attachments")
+
 
 class TenantPolicy:
     """Per-tenant admission policy: in-flight quota + priority class."""
@@ -437,6 +446,7 @@ class ServiceServer:
             "tenant": tenant,
             "max_inflight": policy.max_inflight,
             "priority": policy.priority,
+            "features": list(SERVER_FEATURES),
         }
 
     async def _op_submit_mine(self, session, payload):

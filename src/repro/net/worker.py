@@ -1,0 +1,477 @@
+"""Remote shard worker: one placed shard executing on another host.
+
+The placement layer makes a shard addressable — an
+:class:`~repro.engine.shm.MmapTableBlock` is ``(path, file_key, row
+range)``, which any process that can open the colfile can resolve.
+This module is the minimal network leg of that story: a
+:class:`ShardWorker` listens on the existing framed protocol
+(:mod:`repro.net.protocol`) and executes stage tasks shipped to it by a
+``ClusterContext(executor="remote", workers=[...])`` driver.
+
+Ops (all ``KIND_REQUEST`` frames with an ``op`` field, mirroring the
+front-door server's convention):
+
+- ``worker_hello`` — identity/liveness: pid, protocol version,
+  attachment-cache sizes.
+- ``worker_attach`` — pre-open and verify a colfile by ``(path,
+  file_key)`` through the worker's process-wide attachment cache
+  (:func:`repro.engine.shm.attached_handle`), so a job's first
+  ``run_stage`` finds the mmap hot and a stale file is refused before
+  any kernel runs.
+- ``run_stage`` — a pickled module-level kernel plus ``[(index,
+  pickled partition), ...]`` task batch.  Tasks run in ascending
+  shard order through the same body process-pool workers use
+  (:func:`repro.engine.cluster._run_pickled_task`), so each returns
+  ``(output, charges)`` — the driver applies charges to driver-side
+  contexts in partition order and results stay bit-identical to
+  serial.  On the first failing task the batch stops (abort
+  semantics); the exception travels back pickled when it can, flagged
+  as a pickling casualty when it cannot (the driver then reruns the
+  stage on its local thread pool, exactly like process mode).
+
+Trust model: ``run_stage`` executes **pickled code**.  That is the
+same trust process-pool workers extend to the driver, but over TCP it
+means a shard worker must only ever listen on a trusted network —
+loopback, or a cluster-private interface.  There is no tenant layer
+here; the front door (:mod:`repro.net.server`) stays the only
+untrusted-facing endpoint.
+
+Remote shards read *storage the worker can reach*: mmap blocks need
+the colfile path visible on the worker's filesystem (shared storage,
+or same host), and shm blocks resolve only on the driver's own host.
+Loopback workers — the tested configuration — satisfy both.
+"""
+
+import base64
+import pickle
+import socket
+import socketserver
+import threading
+
+from repro.common.errors import EngineError, ProtocolError, to_wire
+from repro.net.protocol import (
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+
+#: Stage outputs (rule aggregates, packed key arrays) are bigger than
+#: front-door payloads; shard frames get a roomier cap.
+WORKER_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def _encode_blob(data):
+    return base64.b64encode(data).decode("ascii")
+
+
+def _decode_blob(text):
+    try:
+        return base64.b64decode(text.encode("ascii"))
+    except (AttributeError, ValueError) as exc:
+        raise ProtocolError("malformed pickle blob: %s" % exc) from None
+
+
+def parse_address(address):
+    """``"host:port"`` or ``(host, port)`` as a ``(host, port)`` tuple."""
+    if isinstance(address, (tuple, list)) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    text = str(address)
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise EngineError(
+            "worker address must be 'host:port', got %r" % address
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise EngineError(
+            "worker address must be 'host:port', got %r" % address
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Server side
+# ----------------------------------------------------------------------
+
+
+def _run_batch(kernel_blob, tasks):
+    """Execute one ``run_stage`` batch; returns (records, failures).
+
+    Tasks run in ascending index order and the batch stops at the
+    first failure — the driver aborts the stage anyway, so later tasks
+    would be wasted work.  Output records and exceptions that do not
+    pickle are reported as pickling casualties rather than crashing
+    the worker.
+    """
+    from repro.engine.cluster import _run_pickled_task
+
+    records = []
+    failures = []
+    for index, part_blob in sorted(tasks, key=lambda t: t[0]):
+        try:
+            partition = pickle.loads(part_blob)
+            record = _run_pickled_task(kernel_blob, index, partition)
+            record_blob = pickle.dumps(
+                record, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except BaseException as exc:  # noqa: BLE001 — shipped to driver
+            try:
+                exc_blob = pickle.dumps(
+                    exc, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                pickle.loads(exc_blob)  # some instances dump but not load
+                failures.append({
+                    "index": index,
+                    "error": _encode_blob(exc_blob),
+                    "repr": repr(exc),
+                    "pickling": False,
+                })
+            except BaseException:
+                failures.append({
+                    "index": index,
+                    "error": None,
+                    "repr": repr(exc),
+                    "pickling": True,
+                })
+            break
+        records.append({"index": index, "record": _encode_blob(record_blob)})
+    return records, failures
+
+
+class _WorkerConnection(socketserver.BaseRequestHandler):
+    """One driver connection: read frames, dispatch ops, answer."""
+
+    def handle(self):
+        worker = self.server.shard_worker
+        decoder = FrameDecoder(WORKER_MAX_FRAME_BYTES)
+        sock = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while not worker.closing:
+            try:
+                data = sock.recv(1 << 20)
+            except OSError:
+                return
+            if not data:
+                return
+            try:
+                events = decoder.feed(data)
+            except ProtocolError:
+                return  # unknown protocol version: nothing to salvage
+            for event in events:
+                if isinstance(event, FrameError):
+                    self._send(KIND_ERROR, event.request_id,
+                               to_wire(event.exception))
+                    continue
+                if event.kind != KIND_REQUEST:
+                    continue
+                self._dispatch(worker, event)
+
+    def _dispatch(self, worker, frame):
+        op = frame.payload.get("op")
+        handler = worker.ops.get(op)
+        if handler is None:
+            self._send(KIND_ERROR, frame.request_id, to_wire(
+                ProtocolError("unknown worker op %r" % op)
+            ))
+            return
+        try:
+            response = handler(frame.payload)
+        except Exception as exc:  # typed errors cross as wire codes
+            self._send(KIND_ERROR, frame.request_id, to_wire(exc))
+            return
+        self._send(KIND_RESPONSE, frame.request_id, response)
+
+    def _send(self, kind, request_id, payload):
+        try:
+            self.request.sendall(encode_frame(
+                kind, request_id, payload, WORKER_MAX_FRAME_BYTES
+            ))
+        except OSError:
+            pass  # driver went away mid-answer; connection loop exits
+
+
+class _WorkerServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ShardWorker:
+    """A TCP shard worker: start, serve stage batches, stop.
+
+    Runs its accept loop on a daemon thread (``start`` returns once the
+    socket is bound, so the bound ``port`` is immediately usable with
+    ``host='127.0.0.1', port=0`` in tests).  Each connection is served
+    by its own thread; stage batches within a connection run serially,
+    which is exactly the single-worker-pool semantics placed execution
+    pins shards with.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0):
+        self.host = host
+        self.port = int(port)
+        self.closing = False
+        self._server = None
+        self._thread = None
+        self._stages = 0
+        self._tasks = 0
+        self._lock = threading.Lock()
+        self.ops = {
+            "worker_hello": self._op_hello,
+            "worker_attach": self._op_attach,
+            "run_stage": self._op_run_stage,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self):
+        if self._server is not None:
+            raise EngineError("shard worker is already running")
+        self._server = _WorkerServer(
+            (self.host, self.port), _WorkerConnection
+        )
+        self._server.shard_worker = self
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-shard-worker",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self.closing = True
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def address(self):
+        return "%s:%d" % (self.host, self.port)
+
+    def stats(self):
+        """Stage/task counters served so far."""
+        with self._lock:
+            return {"stages": self._stages, "tasks": self._tasks}
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    # -- ops -----------------------------------------------------------
+
+    def _op_hello(self, payload):
+        import os
+
+        from repro.engine.shm import attachment_cache_stats
+        from repro.net.protocol import PROTOCOL_VERSION
+
+        with self._lock:
+            stages, tasks = self._stages, self._tasks
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "protocol": PROTOCOL_VERSION,
+            "stages": stages,
+            "tasks": tasks,
+            "attachments": attachment_cache_stats(),
+        }
+
+    def _op_attach(self, payload):
+        from repro.engine.shm import attached_handle
+
+        try:
+            path = payload["path"]
+            file_key = payload["file_key"]
+        except KeyError as exc:
+            raise ProtocolError(
+                "worker_attach needs %s" % exc
+            ) from None
+        handle = attached_handle(path, file_key)
+        return {
+            "ok": True,
+            "num_rows": handle.num_rows,
+            "num_blocks": handle.num_blocks,
+        }
+
+    def _op_run_stage(self, payload):
+        try:
+            kernel_blob = _decode_blob(payload["kernel"])
+            tasks = [
+                (int(task["index"]), _decode_blob(task["partition"]))
+                for task in payload["tasks"]
+            ]
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError(
+                "malformed run_stage payload: %s" % exc
+            ) from None
+        records, failures = _run_batch(kernel_blob, tasks)
+        with self._lock:
+            self._stages += 1
+            self._tasks += len(records)
+        return {"records": records, "failures": failures}
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+
+
+class ShardWorkerClient:
+    """Blocking client a driver holds per remote shard worker.
+
+    One socket, used from one driver thread at a time (the cluster
+    routes each worker's batches through its own thread-pool slot).
+    Connects lazily on first use and verifies the peer with
+    ``worker_hello``.
+    """
+
+    def __init__(self, address, timeout=120.0):
+        self.host, self.port = parse_address(address)
+        self.timeout = timeout
+        self._sock = None
+        self._decoder = None
+        self._request_id = 0
+
+    # -- connection ----------------------------------------------------
+
+    def _connect(self):
+        if self._sock is not None:
+            return
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise EngineError(
+                "cannot reach shard worker %s:%d: %s"
+                % (self.host, self.port, exc)
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = FrameDecoder(WORKER_MAX_FRAME_BYTES)
+        hello = self._roundtrip("worker_hello", {})
+        if not hello.get("ok"):
+            raise EngineError(
+                "shard worker %s:%d refused hello" % (self.host, self.port)
+            )
+
+    def close(self):
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- request/response ----------------------------------------------
+
+    def _roundtrip(self, op, payload):
+        self._request_id += 1
+        request_id = self._request_id
+        body = dict(payload)
+        body["op"] = op
+        self._sock.sendall(encode_frame(
+            KIND_REQUEST, request_id, body, WORKER_MAX_FRAME_BYTES
+        ))
+        self._sock.settimeout(self.timeout)
+        while True:
+            try:
+                data = self._sock.recv(1 << 20)
+            except socket.timeout:
+                raise EngineError(
+                    "shard worker %s:%d did not answer within %.0fs"
+                    % (self.host, self.port, self.timeout)
+                ) from None
+            if not data:
+                raise EngineError(
+                    "shard worker %s:%d closed the connection"
+                    % (self.host, self.port)
+                )
+            for event in self._decoder.feed(data):
+                if isinstance(event, FrameError):
+                    raise event.exception
+                if event.request_id != request_id:
+                    continue
+                if event.kind == KIND_ERROR:
+                    from repro.common.errors import from_wire
+
+                    raise from_wire(event.payload)
+                return event.payload
+
+    def _call(self, op, payload):
+        self._connect()
+        try:
+            return self._roundtrip(op, payload)
+        except (ConnectionError, EOFError, OSError) as exc:
+            self.close()
+            raise EngineError(
+                "connection to shard worker %s:%d lost: %s"
+                % (self.host, self.port, exc)
+            ) from exc
+
+    # -- API the cluster consumes --------------------------------------
+
+    def hello(self):
+        return self._call("worker_hello", {})
+
+    def attach(self, path, file_key):
+        """Pre-open/verify a colfile on the worker (warm its mmap)."""
+        return self._call("worker_attach", {
+            "path": str(path), "file_key": list(file_key),
+        })
+
+    def run_stage(self, kernel_bytes, batch):
+        """Run ``[(index, partition_blob), ...]`` on the worker.
+
+        Returns ``(records, failures)``: ``records`` maps shard index
+        to its ``(output, charges)`` record; ``failures`` is a list of
+        ``(index, exception, is_pickling)`` for the batch's first
+        failing task (empty on success).
+        """
+        reply = self._call("run_stage", {
+            "kernel": _encode_blob(kernel_bytes),
+            "tasks": [
+                {"index": index, "partition": _encode_blob(blob)}
+                for index, blob in batch
+            ],
+        })
+        records = {}
+        for entry in reply.get("records", ()):
+            records[int(entry["index"])] = pickle.loads(
+                _decode_blob(entry["record"])
+            )
+        failures = []
+        for entry in reply.get("failures", ()):
+            exc = None
+            pickling = bool(entry.get("pickling"))
+            blob = entry.get("error")
+            if blob is not None and not pickling:
+                try:
+                    exc = pickle.loads(_decode_blob(blob))
+                except BaseException:
+                    pickling = True
+            if exc is None and not pickling:
+                exc = EngineError(
+                    "remote task %s failed: %s"
+                    % (entry.get("index"), entry.get("repr"))
+                )
+            failures.append((int(entry["index"]), exc, pickling))
+        return records, failures
+
+    def __repr__(self):
+        return "ShardWorkerClient(%s:%d)" % (self.host, self.port)

@@ -59,16 +59,26 @@ def default_max_engine_workers():
 
 
 class BudgetGrant:
-    """One job's slot allocation; release exactly once when the job ends."""
+    """One job's slot allocation; release exactly once when the job ends.
 
-    __slots__ = ("requested", "granted", "wait_seconds", "_budget", "_lock",
-                 "_released")
+    Grants are *placed*: ``slots`` names the machine-wide worker slot
+    ids (``0 .. max_engine_workers - 1``) this job holds, lowest-free
+    first, so ``len(slots) == granted``.  A cluster built on a placed
+    grant pins shard i to slot ``slots[i % granted]`` — sticky
+    worker↔shard affinity across stages and coalesced jobs.  Slots
+    return to the budget's free pool on release.
+    """
 
-    def __init__(self, budget, requested, granted, wait_seconds):
+    __slots__ = ("requested", "granted", "wait_seconds", "slots",
+                 "_budget", "_lock", "_released")
+
+    def __init__(self, budget, requested, granted, wait_seconds,
+                 slots=()):
         self._budget = budget
         self.requested = requested
         self.granted = granted
         self.wait_seconds = wait_seconds
+        self.slots = tuple(slots)
         self._lock = threading.Lock()
         self._released = False
 
@@ -97,10 +107,11 @@ class BudgetGrant:
         self.release()
 
     def __repr__(self):
-        return "BudgetGrant(requested=%d, granted=%d, wait=%.4fs%s)" % (
-            self.requested, self.granted, self.wait_seconds,
-            ", released" if self._released else "",
-        )
+        return "BudgetGrant(requested=%d, granted=%d, slots=%r, " \
+            "wait=%.4fs%s)" % (
+                self.requested, self.granted, self.slots, self.wait_seconds,
+                ", released" if self._released else "",
+            )
 
 
 class EngineBudget:
@@ -133,6 +144,10 @@ class EngineBudget:
         self.min_parallelism = int(min_parallelism)
         self._cond = threading.Condition()
         self._in_use = 0
+        # Free placed slot ids, kept sorted so grants take the lowest
+        # ids first — a job re-acquiring after a release tends to get
+        # the same slots back, which keeps worker caches warm.
+        self._free_slots = list(range(self.max_engine_workers))
         self._waiters = deque()  # FIFO admission: no barging past the head
         self._grants = 0
         self._degraded_grants = 0
@@ -183,6 +198,8 @@ class EngineBudget:
                         )
                     self._cond.wait(remaining)
                 granted = min(requested, self._available_locked())
+                slots = tuple(self._free_slots[:granted])
+                del self._free_slots[:granted]
                 self._in_use += granted
                 self._peak_in_use = max(self._peak_in_use, self._in_use)
                 self._grants += 1
@@ -198,11 +215,14 @@ class EngineBudget:
                 # Whatever happened to this ticket, the next waiter may
                 # now be at the head with slots available.
                 self._cond.notify_all()
-        return BudgetGrant(self, requested, granted, wait_seconds)
+        return BudgetGrant(self, requested, granted, wait_seconds,
+                           slots=slots)
 
     def _release(self, grant):
         with self._cond:
             self._in_use -= grant.granted
+            self._free_slots.extend(grant.slots)
+            self._free_slots.sort()
             self._releases += 1
             self._cond.notify_all()
 

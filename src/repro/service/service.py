@@ -244,6 +244,18 @@ class RuleMiningService:
         self._lock = threading.Lock()
         self._metrics = MetricsRegistry()
         self._stats_sections = {}
+        # Service-wide placement totals, folded from each job cluster's
+        # PlacementTracker just before the cluster closes.
+        self._placement = {
+            "shards": 0,
+            "affinity_hits": 0,
+            "affinity_misses": 0,
+            "rebalances": 0,
+            "placed_stages": 0,
+            "unplaced_stages": 0,
+            "placed_jobs": 0,
+            "unplaced_jobs": 0,
+        }
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -344,6 +356,7 @@ class RuleMiningService:
                 )
             finally:
                 if cluster is not None:
+                    self._fold_placement(cluster.placement_stats())
                     cluster.close()
 
         def version_current():
@@ -417,6 +430,7 @@ class RuleMiningService:
                     requested=grant.requested,
                     granted=grant.granted,
                     wait_seconds=grant.wait_seconds,
+                    slots=grant.slots,
                 )
         try:
             if platform is not None:
@@ -517,6 +531,19 @@ class RuleMiningService:
         self._metrics.charge(seconds)
         self._metrics.pop_phase()
 
+    def _fold_placement(self, stats):
+        """Fold one closing cluster's placement counters into the totals."""
+        with self._lock:
+            totals = self._placement
+            totals["shards"] = max(totals["shards"], stats.get("shards", 0))
+            for field in ("affinity_hits", "affinity_misses", "rebalances",
+                          "placed_stages", "unplaced_stages"):
+                totals[field] += stats.get(field, 0)
+            if stats.get("enabled") and stats.get("placed_stages", 0):
+                totals["placed_jobs"] += 1
+            else:
+                totals["unplaced_jobs"] += 1
+
     # ------------------------------------------------------------------
     # Introspection and lifecycle
     # ------------------------------------------------------------------
@@ -571,7 +598,24 @@ class RuleMiningService:
             "datasets": self.datasets(),
             "budget": self.budget_stats(),
             "buffer_pool": self.buffer_pool_stats(),
+            "placement": self.placement_stats(),
         }, **extra)
+
+    def placement_stats(self):
+        """Shard-placement totals across every finished job cluster.
+
+        Shard count (largest seen), affinity hit/miss counters with the
+        derived hit rate, rebalances, and how many stages/jobs ran
+        placed versus unplaced (see
+        :class:`~repro.engine.placement.PlacementTracker`).
+        """
+        with self._lock:
+            stats = dict(self._placement)
+        touched = stats["affinity_hits"] + stats["affinity_misses"]
+        stats["affinity_hit_rate"] = (
+            stats["affinity_hits"] / touched if touched else 0.0
+        )
+        return stats
 
     def buffer_pool_stats(self):
         """Buffer-pool counters of every file-backed registered dataset.
@@ -579,9 +623,15 @@ class RuleMiningService:
         ``{"attached": False}`` when no registered dataset is
         file-backed; otherwise per-dataset hit-rate / resident-bytes /
         eviction counters from each table's
-        :class:`~repro.data.bufferpool.BufferPool`.
+        :class:`~repro.data.bufferpool.BufferPool`.  Either way the
+        ``attachments`` entry carries this process's worker-side
+        attachment-cache hit/miss counters
+        (:func:`repro.engine.shm.attachment_cache_stats`) — repeat
+        ``attached_handle``/``attached_segment`` hits are the
+        observable payoff of placed execution.
         """
         from repro.data.table import FileBackedTable
+        from repro.engine.shm import attachment_cache_stats
 
         with self._lock:
             handles = sorted(self._datasets.items())
@@ -590,9 +640,12 @@ class RuleMiningService:
             for name, handle in handles
             if isinstance(handle.table, FileBackedTable)
         }
+        attachments = attachment_cache_stats()
         if not pools:
-            return {"attached": False}
-        return {"attached": True, "datasets": pools}
+            return {"attached": False, "attachments": attachments}
+        return {
+            "attached": True, "datasets": pools, "attachments": attachments,
+        }
 
     def budget_stats(self):
         """Engine-worker budget state (admission policy + counters)."""

@@ -552,6 +552,64 @@ class TestMiningBitIdentity:
         assert (results[("thread", 1)] == results[("thread", 4)]
                 == results[("process", 4)])
 
+    def test_mining_identical_across_placement_modes(self):
+        """Serial, placed threads, placed processes and placed remote
+        workers — one result, bit for bit.
+
+        Placed runs use as many workers as the job has partitions, so
+        every stage takes the placed path (pool i is pinned to shard
+        i); the remote run ships shards to two loopback workers.
+        """
+        from repro.bench.harness import mining_results_identical
+        from repro.net.worker import ShardWorker
+
+        table = synthetic_table()
+
+        def run(**cluster_kwargs):
+            cluster = make_default_cluster(
+                num_executors=2, cores_per_executor=2, **cluster_kwargs
+            )
+            try:
+                config = variant_config("optimized", k=4, sample_size=24,
+                                        seed=3)
+                result = Sirum(config).mine(table, cluster=cluster)
+                return result, cluster.placement_stats()
+            finally:
+                cluster.close()
+
+        serial, _ = run(parallelism=1)
+        thread_placed, thread_stats = run(parallelism=4, executor="thread",
+                                          placed=True)
+        process_placed, process_stats = run(parallelism=4,
+                                            executor="process", placed=True)
+        with ShardWorker() as w1, ShardWorker() as w2:
+            remote_placed, remote_stats = run(
+                executor="remote", workers=[w1.address, w2.address],
+            )
+            assert w1.stats()["stages"] > 0
+            assert w2.stats()["stages"] > 0
+        assert mining_results_identical(serial, thread_placed)
+        assert mining_results_identical(serial, process_placed)
+        assert mining_results_identical(serial, remote_placed)
+        # The placed runs really pinned shards: every stage placed,
+        # and repeat visits to a pinned worker counted as hits.
+        for stats in (thread_stats, process_stats, remote_stats):
+            assert stats["placed_stages"] > 0
+            assert stats["unplaced_stages"] == 0
+            assert stats["affinity_hits"] > 0
+            assert stats["rebalances"] == 0
+
+    def test_placed_degrades_to_unplaced_when_workers_are_short(self):
+        # 2 workers cannot own 4 shards each: the stage must run on
+        # the shared (unplaced) pool and the tracker must say so.
+        with make_cluster(parallelism=2) as cluster:
+            cluster.placed = True
+            result = cluster.run_stage(lambda tc, p: p * 2, range(4))
+            assert result.outputs == [0, 2, 4, 6]
+            stats = cluster.placement_stats()
+            assert stats["placed_stages"] == 0
+            assert stats["unplaced_stages"] == 1
+
     @pytest.mark.parametrize("engine_executor", ["thread", "process"])
     def test_service_results_identical_across_modes(self, engine_executor):
         from repro.service import RuleMiningService, ServiceConfig

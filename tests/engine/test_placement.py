@@ -1,0 +1,265 @@
+"""Placement subsystem: ShardMap invariants, precedence, affinity.
+
+The shard map is the one partition abstraction every layer consumes
+(table slicing, colfile blocks, shm/mmap block construction, placed
+routing), so its invariants are property-tested: shard ranges are a
+bijection over the table's rows — full coverage, no overlap, dense
+ordered ids — block-aligned except for the last shard, and the
+``align=1`` boundaries reproduce the engine's historical
+``n * i // num_shards`` formula exactly (load-bearing for the
+bit-identity contract).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import DataError, EngineError
+from repro.engine.cluster import resolve_parallelism, resolve_placement
+from repro.engine.placement import (
+    PlacementTracker,
+    Shard,
+    ShardMap,
+    default_placement,
+)
+from repro.service.budget import EngineBudget
+
+
+def assert_bijection(shard_map, num_rows):
+    """Shards tile [0, num_rows): full coverage, no overlap, in order."""
+    expected_start = 0
+    for i, shard in enumerate(shard_map):
+        assert shard.shard_id == i
+        assert shard.start == expected_start
+        assert shard.stop >= shard.start
+        expected_start = shard.stop
+    assert expected_start == num_rows
+    assert shard_map.num_rows == num_rows
+
+
+class TestShardMapProperties:
+    @given(st.integers(0, 5000), st.integers(1, 64))
+    @settings(max_examples=120, deadline=None)
+    def test_build_clamped_is_a_bijection(self, num_rows, num_shards):
+        shard_map = ShardMap.build(num_rows, num_shards)
+        assert_bijection(shard_map, num_rows)
+        if num_rows == 0:
+            assert len(shard_map) == 0
+        else:
+            assert len(shard_map) == min(num_shards, num_rows)
+            # Clamped maps never hold an empty shard.
+            assert all(s.num_rows > 0 for s in shard_map)
+
+    @given(st.integers(1, 5000), st.integers(1, 64))
+    @settings(max_examples=120, deadline=None)
+    def test_align_one_matches_historical_formula(self, num_rows,
+                                                  num_shards):
+        shard_map = ShardMap.build(num_rows, num_shards)
+        k = len(shard_map)
+        assert shard_map.bounds == [num_rows * i // k for i in range(k + 1)]
+
+    @given(st.integers(1, 5000), st.integers(1, 64),
+           st.integers(2, 256))
+    @settings(max_examples=120, deadline=None)
+    def test_aligned_builds_are_block_aligned_except_last(
+            self, num_rows, num_shards, align):
+        shard_map = ShardMap.build(num_rows, num_shards, align=align)
+        assert_bijection(shard_map, num_rows)
+        for shard in list(shard_map)[:-1]:
+            assert shard.stop % align == 0
+
+    @given(st.integers(0, 2000), st.integers(1, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_unclamped_keeps_the_requested_count(self, num_rows,
+                                                 num_shards):
+        shard_map = ShardMap.build(num_rows, num_shards, clamp=False)
+        assert len(shard_map) == num_shards
+        assert_bijection(shard_map, num_rows)
+
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_from_block_rows_tiles_the_blocks(self, block_rows):
+        shard_map = ShardMap.from_block_rows(block_rows, align=1)
+        assert_bijection(shard_map, sum(block_rows))
+        assert [s.num_rows for s in shard_map] == block_rows
+
+    @given(st.integers(1, 2000), st.integers(1, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_shard_of_row_agrees_with_the_ranges(self, num_rows,
+                                                 num_shards):
+        shard_map = ShardMap.build(num_rows, num_shards)
+        for row in {0, num_rows // 2, num_rows - 1}:
+            shard = shard_map.shard_of_row(row)
+            assert shard.start <= row < shard.stop
+
+
+class TestShardMapValidation:
+    def test_overlapping_shards_rejected(self):
+        with pytest.raises(EngineError, match="no gap or overlap"):
+            ShardMap([Shard(0, 0, 6), Shard(1, 4, 10)], 10)
+
+    def test_gapped_shards_rejected(self):
+        with pytest.raises(EngineError, match="no gap or overlap"):
+            ShardMap([Shard(0, 0, 4), Shard(1, 6, 10)], 10)
+
+    def test_short_coverage_rejected(self):
+        with pytest.raises(EngineError, match="cover"):
+            ShardMap([Shard(0, 0, 4)], 10)
+
+    def test_unordered_ids_rejected(self):
+        with pytest.raises(EngineError, match="dense and ordered"):
+            ShardMap([Shard(1, 0, 4), Shard(0, 4, 8)], 8)
+
+    def test_misaligned_interior_boundary_rejected(self):
+        with pytest.raises(EngineError, match="alignment"):
+            ShardMap([Shard(0, 0, 3), Shard(1, 3, 8)], 8, align=4)
+
+    def test_unclamped_zero_shards_rejected(self):
+        with pytest.raises(EngineError, match="at least one shard"):
+            ShardMap.build(10, 0, clamp=False)
+
+    def test_placement_for_is_sticky_modulo(self):
+        shard_map = ShardMap.build(100, 8)
+        assert [shard_map.placement_for(i, 3) for i in range(8)] == [
+            0, 1, 2, 0, 1, 2, 0, 1,
+        ]
+        with pytest.raises(EngineError):
+            shard_map.placement_for(0, 0)
+
+
+class TestTableShardMap:
+    def test_shard_map_is_cached_per_count(self, flight_table=None):
+        from repro.data.generators import flight_table
+
+        table = flight_table()
+        first = table.shard_map(4)
+        assert table.shard_map(4) is first
+        assert table.shard_map(2) is not first
+        assert first.version == table.dataset_version
+        assert_bijection(first, len(table))
+
+    def test_version_bumps_with_dataset_version(self):
+        from repro.data.generators import flight_table
+
+        a, b = flight_table(), flight_table()
+        assert a.dataset_version != b.dataset_version
+        assert a.shard_map(4).version == a.dataset_version
+        assert b.shard_map(4).version == b.dataset_version
+        assert a.shard_map(4) != b.shard_map(4)
+
+    def test_empty_table_cannot_be_sharded(self):
+        from repro.data.schema import Schema
+        from repro.data.table import Table
+
+        table = Table.from_rows(
+            Schema(dimensions=("d",), measure="m"), rows=[]
+        )
+        with pytest.raises(DataError, match="empty table"):
+            table.shard_map(4)
+
+
+class TestPlacementResolution:
+    def test_default_placement_env_spellings(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PLACEMENT", raising=False)
+        assert default_placement() is False
+        for value, expected in [("1", True), ("true", True), ("on", True),
+                                ("0", False), ("no", False), ("", False)]:
+            monkeypatch.setenv("REPRO_PLACEMENT", value)
+            assert default_placement() is expected
+        monkeypatch.setenv("REPRO_PLACEMENT", "sideways")
+        with pytest.raises(EngineError):
+            default_placement()
+
+    def test_explicit_beats_grant_and_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLACEMENT", "1")
+        budget = EngineBudget(max_engine_workers=4)
+        grant = budget.acquire(2)
+        try:
+            assert resolve_placement(False, grant) is False
+            assert resolve_placement(True, None) is True
+        finally:
+            grant.release()
+
+    def test_placed_grant_turns_placement_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PLACEMENT", raising=False)
+        budget = EngineBudget(max_engine_workers=4)
+        grant = budget.acquire(2)
+        try:
+            assert grant.slots  # budget grants carry slot ids
+            assert resolve_placement(None, grant) is True
+        finally:
+            grant.release()
+
+    def test_env_is_the_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLACEMENT", "1")
+        assert resolve_placement(None, None) is True
+        monkeypatch.delenv("REPRO_PLACEMENT", raising=False)
+        assert resolve_placement(None, None) is False
+
+
+class TestParallelismPrecedence:
+    """Satellite: explicit arg > placed/budget grant > env > serial."""
+
+    def test_explicit_beats_grant(self):
+        budget = EngineBudget(max_engine_workers=8)
+        grant = budget.acquire(4)
+        try:
+            assert resolve_parallelism(2, grant) == 2
+        finally:
+            grant.release()
+
+    def test_placed_grant_contributes_its_slot_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLELISM", "7")
+        budget = EngineBudget(max_engine_workers=8)
+        grant = budget.acquire(3)
+        try:
+            assert len(grant.slots) == grant.granted == 3
+            assert resolve_parallelism(None, grant) == 3
+        finally:
+            grant.release()
+
+    def test_grant_without_slots_contributes_granted(self, monkeypatch):
+        class BareGrant:
+            granted = 5
+            slots = ()
+
+        monkeypatch.setenv("REPRO_PARALLELISM", "7")
+        assert resolve_parallelism(None, BareGrant()) == 5
+
+    def test_env_then_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLELISM", "6")
+        assert resolve_parallelism(None, None) == 6
+        monkeypatch.delenv("REPRO_PARALLELISM", raising=False)
+        assert resolve_parallelism(None, None) == 1
+
+
+class TestPlacementTracker:
+    def test_hits_misses_and_rebalances(self):
+        tracker = PlacementTracker()
+        tracker.bind(ShardMap.build(100, 4, version=1))
+        tracker.record(0, 0)          # first touch: miss
+        tracker.record(0, 0)          # same slot again: hit
+        tracker.record(1, 1)          # miss
+        tracker.record(1, 2)          # moved slots: miss
+        tracker.record_stage(True)
+        tracker.record_stage(False)
+        stats = tracker.stats()
+        assert stats["shards"] == 4
+        assert stats["affinity_hits"] == 1
+        assert stats["affinity_misses"] == 3
+        assert stats["affinity_hit_rate"] == pytest.approx(0.25)
+        assert stats["rebalances"] == 0
+        assert stats["placed_stages"] == 1
+        assert stats["unplaced_stages"] == 1
+
+    def test_rebind_across_versions_counts_a_rebalance(self):
+        tracker = PlacementTracker()
+        tracker.bind(ShardMap.build(100, 4, version=1))
+        tracker.record(0, 0)
+        tracker.bind(ShardMap.build(100, 4, version=2))
+        assert tracker.stats()["rebalances"] == 1
+        # The affinity table reset: the same pin is a fresh miss.
+        tracker.record(0, 0)
+        assert tracker.stats()["affinity_misses"] == 2
+        # Rebinding the same version is not a rebalance.
+        tracker.bind(ShardMap.build(100, 4, version=2))
+        assert tracker.stats()["rebalances"] == 1

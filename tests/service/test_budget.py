@@ -36,6 +36,41 @@ class TestEngineBudgetUnit:
         second.release()
         assert budget.in_use == 0
 
+    def test_grants_carry_disjoint_placement_slots(self):
+        budget = EngineBudget(max_engine_workers=6)
+        first = budget.acquire(3)
+        second = budget.acquire(2)
+        # One slot id per granted worker, machine-wide unique.
+        assert len(first.slots) == first.granted
+        assert len(second.slots) == second.granted
+        assert not set(first.slots) & set(second.slots)
+        assert set(first.slots) | set(second.slots) <= set(range(6))
+        first.release()
+        second.release()
+
+    def test_released_slots_come_back_lowest_first(self):
+        budget = EngineBudget(max_engine_workers=4)
+        first = budget.acquire(2)
+        assert first.slots == (0, 1)
+        second = budget.acquire(2)
+        assert second.slots == (2, 3)
+        first.release()
+        # A re-acquiring job gets the lowest free ids back — the same
+        # slots it likely held before, keeping worker caches warm.
+        third = budget.acquire(2)
+        assert third.slots == (0, 1)
+        second.release()
+        third.release()
+
+    def test_release_returns_slots_exactly_once(self):
+        budget = EngineBudget(max_engine_workers=2)
+        grant = budget.acquire(2)
+        grant.release()
+        grant.release()  # idempotent: no double-free of slot ids
+        follow_up = budget.acquire(2)
+        assert follow_up.slots == (0, 1)
+        follow_up.release()
+
     def test_request_capped_by_capacity(self):
         budget = EngineBudget(max_engine_workers=2)
         grant = budget.acquire(8)

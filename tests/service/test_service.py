@@ -328,5 +328,15 @@ class TestStats:
         assert "queue_wait" in stats["phase_seconds"]
         assert stats["datasets"] == {"flights": 1}
         assert stats["cache"]["max_size"] == 256
-        # No registered dataset is file-backed, so no pool to report.
-        assert stats["buffer_pool"] == {"attached": False}
+        # No registered dataset is file-backed, so no pool to report —
+        # but the process-local attachment-cache counters always are.
+        assert stats["buffer_pool"]["attached"] is False
+        attachments = stats["buffer_pool"]["attachments"]
+        for field in ("segment_hits", "segment_misses",
+                      "handle_hits", "handle_misses"):
+            assert attachments[field] >= 0
+        placement = stats["placement"]
+        assert placement["shards"] >= 1
+        assert placement["rebalances"] == 0
+        assert 0.0 <= placement["affinity_hit_rate"] <= 1.0
+        assert (placement["placed_jobs"] + placement["unplaced_jobs"]) == 1

@@ -44,7 +44,7 @@ class TestParser:
             if isinstance(action, argparse._SubParsersAction)
         )
         assert set(subparsers.choices) == {
-            "mine", "explore", "clean", "sql", "serve"
+            "mine", "explore", "clean", "sql", "serve", "shard-worker"
         }
 
     def test_mine_defaults(self):
