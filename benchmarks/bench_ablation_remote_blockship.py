@@ -1,0 +1,191 @@
+"""Ablation — remote block shipping: cold fetch vs warm cache.
+
+Shared-nothing remote execution means a :class:`ShardWorker` started
+with ``local_files=False`` never touches its own filesystem: every
+colfile block its shards read arrives over the driver connection
+(``block_fetch``) and lands in the worker's bounded LRU block cache
+(:mod:`repro.net.worker`).  This ablation prices that wire leg by
+mining the same file-backed table remotely under two cache regimes:
+
+- **cold** — a fresh worker per run, so every block read is a wire
+  fetch;
+- **warm** — one worker reused across runs, so after a warm-up pass
+  every read is a cache hit and *zero* bytes cross the wire.
+
+Reported per arm: job-latency mean/p50/p95, total blocks and bytes
+shipped (driver-side counters, cross-checked against the worker's
+``worker_block_cache_*`` metrics), and the bit-identity check against
+a serial in-RAM run — shipping moves bytes, it must never change
+results.  The JSON line (``REMOTE_JSON``) carries the measured
+numbers.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI's bench-smoke job) to shrink the
+workload: the JSON line and correctness/shipping assertions stay, only
+the sizes drop.
+"""
+
+import os
+from time import perf_counter
+
+from repro.bench import (
+    bench_smoke_enabled,
+    dataset_by_name,
+    json_result_line,
+    latency_summary,
+    print_table,
+)
+from repro.core.config import variant_config
+from repro.core.miner import Sirum, make_default_cluster
+from repro.data.colfile import write_colfile
+from repro.data.table import Table
+from repro.net.worker import ShardWorker
+
+SMOKE = bench_smoke_enabled()
+
+DATASET = "income"
+ROWS = 1200 if SMOKE else 4800
+BLOCK_ROWS = 64
+SAMPLES = 3 if SMOKE else 8
+#: Warm reads must beat cold fetches on average; generous slack keeps
+#: the gate honest on noisy shared CI hosts — the *hard* gate is the
+#: byte counters, which are deterministic.
+WARM_MEAN_SLACK = 1.25
+
+
+def _mine_once(table, worker_address=None):
+    """One mining job; returns (result, seconds, placement stats)."""
+    kwargs = {}
+    if worker_address is not None:
+        kwargs.update(executor="remote", workers=[worker_address])
+    else:
+        kwargs.update(parallelism=1)
+    cluster = make_default_cluster(
+        num_executors=2, cores_per_executor=2, **kwargs
+    )
+    try:
+        config = variant_config("optimized", k=3, sample_size=16, seed=0)
+        started = perf_counter()
+        result = Sirum(config).mine(table, cluster=cluster)
+        elapsed = perf_counter() - started
+        return result, elapsed, cluster.placement_stats()
+    finally:
+        cluster.close()
+
+
+def _result_key(result):
+    return (
+        [tuple(m.rule.values) for m in result.rule_set],
+        result.lambdas.tobytes(),
+        result.kl_trace,
+    )
+
+
+def run_comparison(workdir):
+    table_ram = dataset_by_name(DATASET, num_rows=ROWS)
+    path = os.path.join(workdir, "blockship.col")
+    write_colfile(table_ram, path, block_rows=BLOCK_ROWS)
+    file_table = Table.open_colfile(path)
+
+    serial, _, _ = _mine_once(table_ram)
+    reference = _result_key(serial)
+
+    cold_latencies, cold_blocks, cold_bytes = [], 0, 0
+    cold_identical = True
+    for _ in range(SAMPLES):
+        # A fresh worker per sample: its block cache starts empty, so
+        # every block read is a wire fetch.
+        with ShardWorker(local_files=False) as worker:
+            result, seconds, pstats = _mine_once(
+                file_table, worker_address=worker.address
+            )
+            wstats = worker.stats()
+        cold_latencies.append(seconds)
+        cold_blocks += pstats["blocks_shipped"]
+        cold_bytes += pstats["bytes_shipped"]
+        cold_identical &= _result_key(result) == reference
+        # Driver-side shipped bytes and worker-side fetched bytes are
+        # two ends of the same wire.
+        assert wstats["block_cache"]["fetched_bytes"] == pstats["bytes_shipped"]
+
+    warm_latencies, warm_blocks, warm_bytes = [], 0, 0
+    warm_identical = True
+    with ShardWorker(local_files=False) as worker:
+        # Warm-up pass populates the worker's block cache (untimed).
+        _mine_once(file_table, worker_address=worker.address)
+        for _ in range(SAMPLES):
+            result, seconds, pstats = _mine_once(
+                file_table, worker_address=worker.address
+            )
+            warm_latencies.append(seconds)
+            warm_blocks += pstats["blocks_shipped"]
+            warm_bytes += pstats["bytes_shipped"]
+            warm_identical &= _result_key(result) == reference
+        warm_cache = worker.stats()["block_cache"]
+
+    return {
+        "cold": {
+            "latency": latency_summary(cold_latencies),
+            "blocks_shipped": cold_blocks,
+            "bytes_shipped": cold_bytes,
+            "identical": cold_identical,
+        },
+        "warm": {
+            "latency": latency_summary(warm_latencies),
+            "blocks_shipped": warm_blocks,
+            "bytes_shipped": warm_bytes,
+            "identical": warm_identical,
+            "cache": warm_cache,
+        },
+    }
+
+
+def test_ablation_remote_blockship(once, tmp_path):
+    out = once(lambda: run_comparison(str(tmp_path)))
+    cold, warm = out["cold"], out["warm"]
+    print_table(
+        "Ablation — remote block shipping: cold fetch vs warm cache "
+        "(%d rows, %d-row blocks, %d samples/arm)" % (
+            ROWS, BLOCK_ROWS, SAMPLES,
+        ),
+        ["arm", "mean latency", "p50", "p95", "blocks shipped",
+         "bytes shipped"],
+        [
+            ["cold", cold["latency"]["mean"], cold["latency"]["p50"],
+             cold["latency"]["p95"], cold["blocks_shipped"],
+             cold["bytes_shipped"]],
+            ["warm", warm["latency"]["mean"], warm["latency"]["p50"],
+             warm["latency"]["p95"], warm["blocks_shipped"],
+             warm["bytes_shipped"]],
+        ],
+        note="identical results: %s; warm cache: %d hits, %d misses" % (
+            cold["identical"] and warm["identical"],
+            warm["cache"]["hits"], warm["cache"]["misses"],
+        ),
+    )
+    print(json_result_line("REMOTE_JSON", {
+        "rows": ROWS,
+        "block_rows": BLOCK_ROWS,
+        "samples": SAMPLES,
+        "smoke": SMOKE,
+        "cold_latency": cold["latency"],
+        "warm_latency": warm["latency"],
+        "cold_blocks_shipped": cold["blocks_shipped"],
+        "cold_bytes_shipped": cold["bytes_shipped"],
+        "warm_blocks_shipped": warm["blocks_shipped"],
+        "warm_bytes_shipped": warm["bytes_shipped"],
+        "warm_cache_hits": warm["cache"]["hits"],
+        "bit_identical": cold["identical"] and warm["identical"],
+    }))
+    # Shipping moves bytes; it must never change results.
+    assert cold["identical"] and warm["identical"]
+    # Cold workers really fetched over the wire, every sample.
+    assert cold["blocks_shipped"] >= SAMPLES
+    assert cold["bytes_shipped"] > 0
+    # The warm worker's cache absorbed every read: nothing crossed the
+    # wire after warm-up, and the hits are visible worker-side.
+    assert warm["blocks_shipped"] == 0
+    assert warm["bytes_shipped"] == 0
+    assert warm["cache"]["hits"] > 0
+    # Skipping the wire leg must not cost latency.
+    assert (warm["latency"]["mean"]
+            <= cold["latency"]["mean"] * WARM_MEAN_SLACK)

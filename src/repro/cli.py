@@ -142,9 +142,11 @@ def build_parser():
              "or serial)",
     )
     serve.add_argument(
-        "--executor", choices=["thread", "process"], default=None,
+        "--executor", choices=["thread", "process", "remote"],
+        default=None,
         help="pool kind for each mining job's engine workers "
-             "(default: REPRO_EXECUTOR or thread)",
+             "(default: REPRO_EXECUTOR or thread); 'remote' runs "
+             "every job on --shard-workers",
     )
     serve.add_argument(
         "--max-engine-workers", type=int, default=None,
@@ -157,6 +159,13 @@ def build_parser():
         help="'budget' (default) caps aggregate engine workers at "
              "--max-engine-workers, degrading busy jobs toward serial; "
              "'oversubscribe' gives every job its full --parallelism",
+    )
+    serve.add_argument(
+        "--shard-workers", metavar="HOST:PORT,...", default=None,
+        help="comma-separated shard-worker addresses the service may "
+             "run jobs on: with --executor thread/process they are "
+             "spill capacity when the local budget is exhausted; with "
+             "--executor remote every job runs on them",
     )
     serve.add_argument(
         "--compare-serial", action="store_true",
@@ -192,6 +201,18 @@ def build_parser():
         "--serve-seconds", type=float, default=None,
         help="stop after this many seconds (default: run until Ctrl-C)",
     )
+    worker.add_argument(
+        "--block-cache-bytes", type=int, default=None,
+        help="bound on fetched colfile blocks kept in the worker's "
+             "block cache (default: REPRO_WORKER_BLOCK_CACHE_BYTES "
+             "or 256 MiB)",
+    )
+    worker.add_argument(
+        "--no-local-files", action="store_true",
+        help="never open colfiles from this worker's own filesystem; "
+             "fetch every block from the driver (the shared-nothing "
+             "stance for workers without the driver's storage)",
+    )
     return parser
 
 
@@ -224,21 +245,33 @@ def _parse_listen(listen):
         ) from None
 
 
-def _run_listen(args, table, out):
-    """Serve the CSV as dataset ``data`` over the framed protocol."""
-    import time
+def _service_config(args):
+    from repro.service import ServiceConfig
 
-    from repro.net import NetConfig, ServiceServer, TenantPolicy
-    from repro.service import RuleMiningService, ServiceConfig
-
-    host, port = _parse_listen(args.listen)
-    service = RuleMiningService(ServiceConfig(
+    shard_workers = None
+    if getattr(args, "shard_workers", None):
+        shard_workers = [
+            w.strip() for w in args.shard_workers.split(",") if w.strip()
+        ]
+    return ServiceConfig(
         num_workers=args.workers, max_queue_depth=args.queue_depth,
         engine_parallelism=args.parallelism,
         engine_executor=args.executor,
         max_engine_workers=args.max_engine_workers,
         admission=args.admission,
-    ))
+        shard_workers=shard_workers,
+    )
+
+
+def _run_listen(args, table, out):
+    """Serve the CSV as dataset ``data`` over the framed protocol."""
+    import time
+
+    from repro.net import NetConfig, ServiceServer, TenantPolicy
+    from repro.service import RuleMiningService
+
+    host, port = _parse_listen(args.listen)
+    service = RuleMiningService(_service_config(args))
     server = None
     try:
         service.register_dataset("data", table)
@@ -287,7 +320,9 @@ def _run_shard_worker(args, out):
     from repro.net.worker import ShardWorker, parse_address
 
     host, port = parse_address(args.listen)
-    with ShardWorker(host=host, port=port) as worker:
+    with ShardWorker(host=host, port=port,
+                     block_cache_bytes=args.block_cache_bytes,
+                     local_files=not args.no_local_files) as worker:
         out.write(
             "shard worker serving on %s (pid %d)\n"
             % (worker.address, os.getpid())
@@ -316,20 +351,14 @@ def _run_serve(args, table, out):
         run_service_workload,
         service_results_match,
     )
-    from repro.service import RuleMiningService, ServiceConfig
+    from repro.service import RuleMiningService
 
     requests = build_service_workload(
         "data", list(table.schema.dimensions), table.schema.measure,
         num_requests=args.requests, k=args.k,
         sample_size=args.sample_size, seed=args.seed,
     )
-    service = RuleMiningService(ServiceConfig(
-        num_workers=args.workers, max_queue_depth=args.queue_depth,
-        engine_parallelism=args.parallelism,
-        engine_executor=args.executor,
-        max_engine_workers=args.max_engine_workers,
-        admission=args.admission,
-    ))
+    service = RuleMiningService(_service_config(args))
     try:
         service.register_dataset("data", table)
         run = run_service_workload(

@@ -255,6 +255,27 @@ class ColFileHandle:
         )
         return columns, measure
 
+    def block_raw_bytes(self, index):
+        """The exact on-disk bytes of block ``index``'s payload region.
+
+        This is what the remote block-shipping path serves: the raw
+        little-endian ``[per-dim int64[rows] | measure float64[rows]]``
+        region exactly as mmap'd, so a worker rebuilding column views
+        from these bytes gets arrays bit-identical to a local mmap
+        (see :class:`~repro.net.worker.RemoteColFile`).
+        """
+        start, stop = self.block_range(index)
+        base = self.data_offset + start * self.row_bytes
+        return bytes(self._mm[base:base + (stop - start) * self.row_bytes])
+
+    def wire_meta(self):
+        """Layout facts a remote reader needs to interpret raw blocks."""
+        return {
+            "num_rows": self.num_rows,
+            "block_rows": self.block_rows,
+            "num_dimensions": len(self.dimensions),
+        }
+
     def read_block(self, index):
         """Materialized (columns, measure) copies of block ``index``.
 

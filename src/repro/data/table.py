@@ -130,10 +130,15 @@ class Table:
         """
         from repro.data.bufferpool import BufferPool
         from repro.data.colfile import ColFileHandle
+        from repro.engine.shm import register_served_handle
 
         handle = ColFileHandle(path)
         if pool is None:
             pool = BufferPool(capacity_bytes=capacity_bytes)
+        # A driver holding this table can serve its blocks to remote
+        # shard workers even after the file is deleted or renamed —
+        # the live mmap, not the directory entry, is the data.
+        register_served_handle(handle)
         return FileBackedTable(handle, pool)
 
     # ------------------------------------------------------------------

@@ -469,6 +469,16 @@ class ClusterContext:
             len(self.workers) if self.executor == EXECUTOR_REMOTE
             else self.parallelism
         )
+        if self.executor == EXECUTOR_REMOTE and self._remote_clients:
+            stats["healthy_workers"] = sum(
+                1 for c in self._remote_clients if c.healthy
+            )
+            stats["blocks_shipped"] = sum(
+                c.blocks_shipped for c in self._remote_clients
+            )
+            stats["bytes_shipped"] = sum(
+                c.bytes_shipped for c in self._remote_clients
+            )
         return stats
 
     # ------------------------------------------------------------------
@@ -721,6 +731,18 @@ class ClusterContext:
         propagates and the aborted stage charges nothing.  Anything
         that cannot cross the wire (kernel, partition, output or
         exception instance) falls the stage back to the thread pool.
+
+        A worker that times out or drops its connection mid-stage is
+        marked dead (:meth:`~repro.net.worker.ShardWorkerClient.mark_dead`)
+        and its unfinished shards re-place onto the surviving workers
+        on the next round — counted as a
+        :meth:`~repro.engine.placement.PlacementTracker.worker_failure`
+        — repeating until the stage resolves or no worker survives, at
+        which point the stage degrades to the local thread pool.
+        Re-running a dead worker's shards is safe at-most-once: a
+        failed ``run_stage`` call merges *nothing* (records and charges
+        apply driver-side only from answered calls) and kernels are
+        pure, so the retried result is bit-identical.
         """
         try:
             kernel_bytes = pickle.dumps(
@@ -733,26 +755,77 @@ class ClusterContext:
         except Exception:
             return self._fallback_to_threads(kernel, partitions)
         clients = self._worker_clients()
-        batches = [[] for _ in clients]
-        for i, blob in enumerate(blobs):
-            slot = i % len(clients)
-            self.placement.record(i, slot)
-            batches[slot].append((i, blob))
         pool = self._thread_pool()
-        futures = [
-            pool.submit(clients[slot].run_stage, kernel_bytes, batch)
-            for slot, batch in enumerate(batches) if batch
-        ]
-        try:
-            replies = [future.result() for future in futures]
-        except BaseException:
-            _wait_futures(futures)
-            raise
+        remaining = dict(enumerate(blobs))  # shard index -> blob
         records = {}
         failures = []
-        for worker_records, worker_failures in replies:
-            records.update(worker_records)
-            failures.extend(worker_failures)
+        # Every extra round is caused either by a worker death (at most
+        # one per client) or by failure pruning (the lowest failing
+        # index strictly decreases), so this backstop never trips on a
+        # converging stage.
+        rounds_left = len(clients) + len(partitions) + 1
+        had_death = False
+        while remaining:
+            rounds_left -= 1
+            alive = [
+                (slot, client)
+                for slot, client in enumerate(clients) if client.healthy
+            ]
+            if had_death and alive:
+                # A death this stage makes the survivor list suspect
+                # (a partitioned network rarely takes exactly one
+                # host); probe before committing shards to a peer that
+                # would only time out too.
+                for slot, client in alive:
+                    if not client.heartbeat():
+                        client.mark_dead()
+                        self.placement.worker_failure()
+                alive = [
+                    (slot, client)
+                    for slot, client in alive if client.healthy
+                ]
+                had_death = False
+            if not alive or rounds_left < 0:
+                return self._fallback_to_threads(kernel, partitions)
+            batches = {}  # slot -> [(shard index, blob)]
+            for i in sorted(remaining):
+                slot = alive[i % len(alive)][0]
+                self.placement.record(i, slot)
+                batches.setdefault(slot, []).append((i, remaining[i]))
+            futures = {
+                slot: pool.submit(
+                    clients[slot].run_stage, kernel_bytes, batch
+                )
+                for slot, batch in batches.items()
+            }
+            for slot, future in futures.items():
+                try:
+                    worker_records, worker_failures = future.result()
+                except EngineError:
+                    # Timed out, refused or dropped mid-call: the
+                    # worker is dead to this stage.  Nothing of its
+                    # batch merged, so its shards stay in ``remaining``
+                    # and re-place onto the survivors next round.
+                    clients[slot].mark_dead()
+                    self.placement.worker_failure(
+                        [i for i, _blob in batches[slot]]
+                    )
+                    had_death = True
+                    continue
+                for i, record in worker_records.items():
+                    records[i] = record
+                    remaining.pop(i, None)
+                failures.extend(worker_failures)
+            if failures:
+                # The lowest-index-failure contract: shards *below* the
+                # lowest failure seen so far must still resolve (one of
+                # them may fail at an even lower index, which is the
+                # exception a serial run would surface); everything at
+                # or above it is moot.
+                lowest = min(f[0] for f in failures)
+                remaining = {
+                    i: blob for i, blob in remaining.items() if i < lowest
+                }
         if failures:
             failures.sort(key=lambda f: f[0])
             _index, exc, is_pickling = failures[0]

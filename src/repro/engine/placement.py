@@ -288,6 +288,7 @@ class PlacementTracker:
         self.hits = 0
         self.misses = 0
         self.rebalances = 0
+        self.worker_failures = 0
         self.placed_stages = 0
         self.unplaced_stages = 0
 
@@ -312,6 +313,20 @@ class PlacementTracker:
                 self.misses += 1
             self._slots[shard_id] = slot
 
+    def worker_failure(self, shard_ids=()):
+        """A worker died mid-stage and ``shard_ids`` must re-place.
+
+        Counted as one worker failure *and* one rebalance — the
+        affinity these shards had is gone with the worker, and their
+        next :meth:`record` on a survivor is a legitimate miss, not a
+        broken pin.
+        """
+        with self._lock:
+            self.worker_failures += 1
+            self.rebalances += 1
+            for shard_id in shard_ids:
+                self._slots.pop(shard_id, None)
+
     def record_stage(self, placed):
         with self._lock:
             if placed:
@@ -331,6 +346,7 @@ class PlacementTracker:
                     self.hits / touched if touched else 0.0
                 ),
                 "rebalances": self.rebalances,
+                "worker_failures": self.worker_failures,
                 "placed_stages": self.placed_stages,
                 "unplaced_stages": self.unplaced_stages,
             }

@@ -204,6 +204,140 @@ def attached_handle(path, file_key):
         return handle
 
 
+# ----------------------------------------------------------------------
+# Served handles and remote block fetch
+# ----------------------------------------------------------------------
+
+#: Live handles the *driver* volunteers for serving remote block
+#: fetches.  Unlike the attachment cache these are borrowed, never
+#: owned: registration keeps a weak reference, so a closed or collected
+#: handle simply disappears.  The registry is what keeps block shipping
+#: working after the colfile is deleted or renamed — the driver's mmap
+#: outlives the directory entry, so ``block_fetch`` can still be served
+#: from it even though ``attached_handle`` could no longer open the
+#: path (the basis of the no-shared-disk contract).
+_served_handles = {}  # (path, file_key) -> weakref to ColFileHandle
+_served_lock = threading.Lock()
+
+#: Per-thread remote block fetcher, installed by a shard worker around
+#: each ``run_stage`` batch (:func:`block_fetcher`).  ``None`` outside
+#: a worker stage: resolution is purely local.
+_block_fetcher = threading.local()
+
+
+def register_served_handle(handle):
+    """Volunteer a live :class:`~repro.data.colfile.ColFileHandle` for
+    serving remote block fetches (weakly referenced; idempotent)."""
+    key = (str(handle.path), tuple(handle.file_key))
+    with _served_lock:
+        _served_handles[key] = weakref.ref(handle)
+        # Drop entries whose handles have been collected or closed —
+        # registration is the only growth point, so this keeps the
+        # registry proportional to live handles.
+        for k in list(_served_handles):
+            live = _served_handles[k]()
+            if live is None or live.closed:
+                del _served_handles[k]
+
+
+def served_handle(path, file_key):
+    """The registered live handle for ``(path, file_key)``, or None.
+
+    Safe to serve only while the mapped inode still holds the
+    registered state: a *deleted* (or renamed-over) file keeps its old
+    inode alive under the mmap, but an **in-place rewrite** truncates
+    the very pages the handle maps — touching them would fault.  So a
+    path that still exists must also still match ``file_key``;
+    otherwise the stale registration is dropped and resolution falls
+    through to :func:`attached_handle`, which refuses the mismatched
+    state with a typed :class:`~repro.common.errors.DataError`.
+    """
+    key = (str(path), tuple(file_key))
+    with _served_lock:
+        ref = _served_handles.get(key)
+    if ref is None:
+        return None
+    handle = ref()
+    if handle is None or handle.closed:
+        return None
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return handle  # file gone: the live mmap is the only copy
+    if (stat.st_size, stat.st_mtime_ns) != tuple(file_key):
+        with _served_lock:
+            if _served_handles.get(key) is ref:
+                del _served_handles[key]
+        return None
+    return handle
+
+
+class block_fetcher:
+    """Context manager installing a remote block fetcher on this thread.
+
+    ``fetcher(path, file_key)`` must return a ``read_rows``-capable
+    source for that file state (a shard worker installs one that ships
+    blocks from the driver, see
+    :class:`~repro.net.worker.RemoteColFile`).  With ``local_files``
+    False, local resolution is skipped entirely — the no-shared-disk
+    configuration, where even a same-named file on the worker's own
+    disk must not be trusted.
+    """
+
+    def __init__(self, fetcher, local_files=True):
+        self._fetcher = fetcher
+        self._local_files = local_files
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = (
+            getattr(_block_fetcher, "fetcher", None),
+            getattr(_block_fetcher, "local_files", True),
+        )
+        _block_fetcher.fetcher = self._fetcher
+        _block_fetcher.local_files = self._local_files
+        return self
+
+    def __exit__(self, *exc_info):
+        _block_fetcher.fetcher, _block_fetcher.local_files = self._previous
+
+
+def resolve_local_handle(path, file_key):
+    """A local ``read_rows`` source for ``(path, file_key)``.
+
+    Registered live handles win (they survive file deletion); the
+    process attachment cache opens the file otherwise.  This is the
+    resolution the driver serves ``block_fetch`` requests with.
+    """
+    handle = served_handle(path, file_key)
+    if handle is not None:
+        return handle
+    return attached_handle(path, file_key)
+
+
+def resolve_block_source(path, file_key):
+    """A ``read_rows`` source for ``(path, file_key)``, local or remote.
+
+    Local resolution (:func:`resolve_local_handle`) applies first; when
+    it fails — or is disabled — and the thread has a block fetcher
+    installed, the fetcher supplies a remote source instead.  This is
+    the one seam :class:`MmapTableBlock` resolves through, so the same
+    pickled descriptor works on the driver, on a shared-disk worker and
+    on a shared-nothing worker.
+    """
+    from repro.common.errors import DataError
+
+    fetcher = getattr(_block_fetcher, "fetcher", None)
+    local_files = getattr(_block_fetcher, "local_files", True)
+    if local_files or fetcher is None:
+        try:
+            return resolve_local_handle(path, file_key)
+        except DataError:
+            if fetcher is None:
+                raise
+    return fetcher(path, file_key)
+
+
 def _unlink_segment(segment, owner_pid):
     """Finalizer: remove the segment name, in the owning process only."""
     if os.getpid() != owner_pid:
@@ -374,8 +508,11 @@ class MmapTableBlock:
 
     The file-backed counterpart of :class:`SharedTableBlock`: instead of
     a shm segment name it carries ``(path, file_key)`` plus its row
-    range, and ``columns`` / ``measure`` resolve against the
-    process-cached read-only mapping from :func:`attached_handle`.  A
+    range, and ``columns`` / ``measure`` resolve through
+    :func:`resolve_block_source` — normally the process-cached
+    read-only mapping from :func:`attached_handle`; on a shared-nothing
+    worker, a remote source that ships the needed blocks from the
+    driver (:func:`block_fetcher`).  A
     partition contained in one colfile block is a pure zero-copy view;
     one spanning blocks concatenates just its own rows (the columnar
     layout interleaves per block).  Either way no whole-table copy ever
@@ -403,8 +540,8 @@ class MmapTableBlock:
         return self.stop - self.start
 
     def _resolve(self):
-        handle = attached_handle(self.path, self.file_key)
-        self._columns, self._measure = handle.read_rows(self.start, self.stop)
+        source = resolve_block_source(self.path, self.file_key)
+        self._columns, self._measure = source.read_rows(self.start, self.stop)
 
     @property
     def columns(self):

@@ -21,6 +21,15 @@ id, so the server can answer with a typed error and keep the
 connection.  An unknown protocol version is fatal — later versions may
 change the header layout, so nothing after the version byte can be
 trusted — and raises :class:`~repro.common.errors.ProtocolError`.
+
+The frame layer is direction-agnostic: on the shard-worker connection
+(:mod:`repro.net.worker`) the *worker* also initiates ``KIND_REQUEST``
+frames back at the driver (``block_fetch``, for colfile block
+shipping), using request ids at or above ``WORKER_CALLBACK_ID_BASE``
+so the two id spaces on the shared socket never collide.  The
+normative wire spec — header layout, op tables for both directions,
+error-code registry and bit-identity encoding rules — lives in
+``docs/protocol.md``.
 """
 
 import json

@@ -35,6 +35,12 @@ Drain
 connections, and waits for every accepted job to finish; sessions that
 still have undelivered results stay connected so nothing accepted is
 ever lost.  ``stop()`` then tears the loop down.
+
+This front door is the only untrusted-facing endpoint: its ops (the
+``_OPS`` table) accept data, never code.  Shard workers
+(:mod:`repro.net.worker`) speak the same frame layer but execute
+pickled kernels, and must stay on trusted networks.  The normative
+wire spec for both endpoints is ``docs/protocol.md``.
 """
 
 import asyncio

@@ -2,22 +2,27 @@
 
 The placement layer makes a shard addressable — an
 :class:`~repro.engine.shm.MmapTableBlock` is ``(path, file_key, row
-range)``, which any process that can open the colfile can resolve.
-This module is the minimal network leg of that story: a
-:class:`ShardWorker` listens on the existing framed protocol
-(:mod:`repro.net.protocol`) and executes stage tasks shipped to it by a
-``ClusterContext(executor="remote", workers=[...])`` driver.
+range)``, which any process that can *reach the bytes* can resolve.
+This module is the network leg of that story: a :class:`ShardWorker`
+listens on the existing framed protocol (:mod:`repro.net.protocol`)
+and executes stage tasks shipped to it by a
+``ClusterContext(executor="remote", workers=[...])`` driver, fetching
+any colfile blocks it cannot open locally back from the driver over
+the same connection.
 
-Ops (all ``KIND_REQUEST`` frames with an ``op`` field, mirroring the
-front-door server's convention):
+Driver-initiated ops (``KIND_REQUEST`` frames with an ``op`` field,
+mirroring the front-door server's convention):
 
 - ``worker_hello`` — identity/liveness: pid, protocol version,
-  attachment-cache sizes.
+  attachment-cache and block-cache sizes.
+- ``heartbeat`` — minimal liveness probe; the driver's health checks
+  use it with a short deadline (:meth:`ShardWorkerClient.heartbeat`).
 - ``worker_attach`` — pre-open and verify a colfile by ``(path,
   file_key)`` through the worker's process-wide attachment cache
   (:func:`repro.engine.shm.attached_handle`), so a job's first
   ``run_stage`` finds the mmap hot and a stale file is refused before
-  any kernel runs.
+  any kernel runs.  Refused when the worker runs with
+  ``local_files=False``.
 - ``run_stage`` — a pickled module-level kernel plus ``[(index,
   pickled partition), ...]`` task batch.  Tasks run in ascending
   shard order through the same body process-pool workers use
@@ -29,26 +34,52 @@ front-door server's convention):
   as a pickling casualty when it cannot (the driver then reruns the
   stage on its local thread pool, exactly like process mode).
 
+Worker-initiated ops (``DRIVER_OPS`` — the *reverse* direction, sent
+while a ``run_stage`` is executing and answered by the driver's
+client from inside its own wait loop):
+
+- ``block_fetch`` — colfile block shipping.  A worker that cannot
+  resolve an :class:`~repro.engine.shm.MmapTableBlock` locally (no
+  shared filesystem, or ``local_files=False``) asks the driver for the
+  raw bytes of the block indices it needs, plus the file's layout meta
+  on first contact.  The driver serves them from its own live mmap
+  (:func:`repro.engine.shm.resolve_local_handle` — which works even if
+  the file has since been deleted), and the worker caches them in a
+  bounded LRU :class:`WorkerBlockCache` keyed by ``(path, file_key,
+  block)``, so repeat stages over the same dataset version hit warm
+  cache instead of the wire.  :class:`RemoteColFile` rebuilds
+  ``read_rows`` from those bytes with the exact block-boundary
+  semantics of :class:`~repro.data.colfile.ColFileHandle`, so remote
+  arrays are bit-identical to a local mmap.
+
 Trust model: ``run_stage`` executes **pickled code**.  That is the
 same trust process-pool workers extend to the driver, but over TCP it
 means a shard worker must only ever listen on a trusted network —
 loopback, or a cluster-private interface.  There is no tenant layer
 here; the front door (:mod:`repro.net.server`) stays the only
 untrusted-facing endpoint.
-
-Remote shards read *storage the worker can reach*: mmap blocks need
-the colfile path visible on the worker's filesystem (shared storage,
-or same host), and shm blocks resolve only on the driver's own host.
-Loopback workers — the tested configuration — satisfy both.
 """
 
 import base64
+import os
 import pickle
 import socket
 import socketserver
 import threading
 
-from repro.common.errors import EngineError, ProtocolError, to_wire
+from collections import deque
+
+import numpy as np
+
+from repro.common.errors import (
+    DataError,
+    EngineError,
+    ProtocolError,
+    from_wire,
+    to_wire,
+)
+from repro.engine.memory import EvictionIndex
+from repro.engine.metrics import MetricsRegistry
 from repro.net.protocol import (
     KIND_ERROR,
     KIND_REQUEST,
@@ -61,6 +92,65 @@ from repro.net.protocol import (
 #: Stage outputs (rule aggregates, packed key arrays) are bigger than
 #: front-door payloads; shard frames get a roomier cap.
 WORKER_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Ops a *worker* may initiate against the driver mid-stage (reverse
+#: RPC on the stage connection); everything else flows driver→worker.
+DRIVER_OPS = ("block_fetch",)
+
+#: Worker-initiated request ids start far above any driver-side id
+#: (drivers count up from 1), so the two id spaces on the shared
+#: socket can never collide.
+WORKER_CALLBACK_ID_BASE = 1 << 20
+
+#: Default bound on bytes of fetched colfile blocks a worker keeps.
+DEFAULT_BLOCK_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Default request deadline (seconds) for driver↔worker calls.
+DEFAULT_WORKER_TIMEOUT = 120.0
+
+
+def default_block_cache_bytes():
+    """Worker block-cache bound from ``REPRO_WORKER_BLOCK_CACHE_BYTES``.
+
+    Unset/empty means :data:`DEFAULT_BLOCK_CACHE_BYTES`.
+    """
+    value = os.environ.get("REPRO_WORKER_BLOCK_CACHE_BYTES", "").strip()
+    if not value:
+        return DEFAULT_BLOCK_CACHE_BYTES
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise EngineError(
+            "REPRO_WORKER_BLOCK_CACHE_BYTES must be an integer, got %r"
+            % value
+        ) from None
+    if parsed < 1:
+        raise EngineError(
+            "REPRO_WORKER_BLOCK_CACHE_BYTES must be at least 1"
+        )
+    return parsed
+
+
+def default_worker_timeout():
+    """Shard-call deadline from ``REPRO_WORKER_TIMEOUT`` (seconds).
+
+    Unset/empty means :data:`DEFAULT_WORKER_TIMEOUT`.  The deadline is
+    the driver's hang detector: a worker that does not answer within
+    it is treated as dead and its shards are re-placed.
+    """
+    value = os.environ.get("REPRO_WORKER_TIMEOUT", "").strip()
+    if not value:
+        return DEFAULT_WORKER_TIMEOUT
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise EngineError(
+            "REPRO_WORKER_TIMEOUT must be a number of seconds, got %r"
+            % value
+        ) from None
+    if parsed <= 0:
+        raise EngineError("REPRO_WORKER_TIMEOUT must be positive")
+    return parsed
 
 
 def _encode_blob(data):
@@ -90,6 +180,247 @@ def parse_address(address):
         raise EngineError(
             "worker address must be 'host:port', got %r" % address
         ) from None
+
+
+# ----------------------------------------------------------------------
+# Worker-local block cache and remote colfile reader
+# ----------------------------------------------------------------------
+
+
+class WorkerBlockCache:
+    """Bounded worker-local cache of shipped colfile blocks (LRU).
+
+    Keys are ``(path, file_key, block_index)`` — the file *state*, not
+    just the path, so a rewritten dataset never serves stale bytes.
+    Values are the raw block payloads exactly as shipped; byte
+    accounting and recency run on the shared
+    :class:`~repro.engine.memory.EvictionIndex` ledger, and the
+    ``worker_block_cache_*`` counters land in a
+    :class:`~repro.engine.metrics.MetricsRegistry` (hits, misses,
+    evictions, fetched bytes).
+    """
+
+    def __init__(self, capacity_bytes=None, metrics=None):
+        if capacity_bytes is None:
+            capacity_bytes = default_block_cache_bytes()
+        if capacity_bytes < 1:
+            raise EngineError("block cache capacity must be at least 1 byte")
+        self.capacity_bytes = int(capacity_bytes)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._blocks = {}
+        self._index = EvictionIndex()
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        """The cached bytes for ``key``, or None (counted hit/miss)."""
+        with self._lock:
+            data = self._blocks.get(key)
+            if data is None:
+                self.metrics.increment("worker_block_cache_misses")
+                return None
+            self._index.touch(key)
+            self.metrics.increment("worker_block_cache_hits")
+            return data
+
+    def put(self, key, data):
+        """Insert freshly fetched bytes, evicting cold blocks to fit."""
+        size = len(data)
+        with self._lock:
+            if key in self._blocks:
+                self._index.touch(key)
+                return
+            self.metrics.increment("worker_block_cache_fetched_bytes", size)
+            if size > self.capacity_bytes:
+                return  # larger than the whole cache: never cached
+            self._blocks[key] = data
+            self._index.add(key, size)
+            while self._index.total_bytes > self.capacity_bytes:
+                victim = self._index.pop_coldest()
+                if victim is None:
+                    break
+                self._blocks.pop(victim[0], None)
+                self.metrics.increment("worker_block_cache_evictions")
+
+    def stats(self):
+        """Capacity, residency and counters, one dict."""
+        with self._lock:
+            counters = dict(self.metrics.counters)
+            return {
+                "capacity_bytes": self.capacity_bytes,
+                "resident_bytes": self._index.total_bytes,
+                "blocks": len(self._blocks),
+                "hits": counters.get("worker_block_cache_hits", 0),
+                "misses": counters.get("worker_block_cache_misses", 0),
+                "evictions": counters.get("worker_block_cache_evictions", 0),
+                "fetched_bytes": counters.get(
+                    "worker_block_cache_fetched_bytes", 0
+                ),
+            }
+
+
+class RemoteColFile:
+    """``read_rows`` over the wire: a colfile read without the file.
+
+    The shared-nothing counterpart of
+    :class:`~repro.data.colfile.ColFileHandle`: block payloads arrive
+    as the raw bytes the driver mmaps (via ``block_fetch`` on the stage
+    connection), column views are rebuilt with ``np.frombuffer`` at the
+    same offsets, and :meth:`read_rows` reproduces the handle's
+    block-boundary semantics — single-block ranges are zero-copy views
+    of the cached bytes, spanning ranges concatenate exactly the same
+    per-block slices — so remote arrays are bit-identical to a local
+    mmap.  Missing blocks for one ``read_rows`` call are fetched in a
+    single round trip and cached in the worker's
+    :class:`WorkerBlockCache`.
+    """
+
+    def __init__(self, path, file_key, cache, connection, meta=None,
+                 timeout=None):
+        self.path = str(path)
+        self.file_key = tuple(file_key)
+        self._cache = cache
+        self._connection = connection
+        self._timeout = timeout
+        self.num_rows = None
+        self.block_rows = None
+        self.num_dimensions = None
+        if meta is not None:
+            self._apply_meta(meta)
+
+    def _apply_meta(self, meta):
+        try:
+            self.num_rows = int(meta["num_rows"])
+            self.block_rows = int(meta["block_rows"])
+            self.num_dimensions = int(meta["num_dimensions"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "malformed block_fetch meta: %s" % exc
+            ) from None
+        if self.block_rows < 1 or self.num_rows < 0 \
+                or self.num_dimensions < 0:
+            raise ProtocolError("malformed block_fetch meta")
+
+    @property
+    def row_bytes(self):
+        return 8 * (self.num_dimensions + 1)
+
+    def fetch_meta(self):
+        """Layout meta for this file state, fetched if not yet known."""
+        if self.num_rows is None:
+            self._fetch_blocks(())
+        return {
+            "num_rows": self.num_rows,
+            "block_rows": self.block_rows,
+            "num_dimensions": self.num_dimensions,
+        }
+
+    # -- wire ----------------------------------------------------------
+
+    def _fetch_blocks(self, indices):
+        """One ``block_fetch`` round trip; returns index -> raw bytes."""
+        reply = self._connection.call_back("block_fetch", {
+            "path": self.path,
+            "file_key": list(self.file_key),
+            "blocks": [int(i) for i in indices],
+            "want_meta": self.num_rows is None,
+        }, timeout=self._timeout)
+        if self.num_rows is None:
+            self._apply_meta(reply.get("meta") or {})
+        fetched = {}
+        for entry in reply.get("blocks", ()):
+            fetched[int(entry["index"])] = _decode_blob(entry["data"])
+        missing = set(indices) - set(fetched)
+        if missing:
+            raise ProtocolError(
+                "driver answered block_fetch without blocks %s"
+                % sorted(missing)
+            )
+        return fetched
+
+    # -- block math (mirrors ColFileHandle) ----------------------------
+
+    def block_range(self, index):
+        start = index * self.block_rows
+        return start, min(start + self.block_rows, self.num_rows)
+
+    def _block_bytes(self, first, last):
+        """Raw bytes for blocks ``first..last``, through the cache."""
+        got = {}
+        wanted = []
+        for index in range(first, last + 1):
+            data = self._cache.get((self.path, self.file_key, index))
+            if data is None:
+                wanted.append(index)
+            else:
+                got[index] = data
+        if wanted:
+            for index, data in self._fetch_blocks(wanted).items():
+                start, stop = self.block_range(index)
+                if len(data) != (stop - start) * self.row_bytes:
+                    raise ProtocolError(
+                        "block %d of %s arrived with %d bytes, expected %d"
+                        % (index, self.path, len(data),
+                           (stop - start) * self.row_bytes)
+                    )
+                self._cache.put((self.path, self.file_key, index), data)
+                got[index] = data
+        return got
+
+    def _views(self, index, data):
+        """(columns, measure) views over one block's raw bytes."""
+        start, stop = self.block_range(index)
+        rows = stop - start
+        columns = []
+        for j in range(self.num_dimensions):
+            columns.append(np.frombuffer(
+                data, dtype=np.int64, count=rows, offset=8 * j * rows
+            ))
+        measure = np.frombuffer(
+            data, dtype=np.float64, count=rows,
+            offset=8 * self.num_dimensions * rows,
+        )
+        return columns, measure
+
+    def read_rows(self, start, stop):
+        """(columns, measure) for [start, stop); see ColFileHandle."""
+        if self.num_rows is None:
+            self.fetch_meta()
+        if not 0 <= start <= stop <= self.num_rows:
+            raise DataError(
+                "row range [%d, %d) out of bounds for %d rows"
+                % (start, stop, self.num_rows)
+            )
+        if start == stop:
+            empty_dims = [np.zeros(0, dtype=np.int64)
+                          for _ in range(self.num_dimensions)]
+            return empty_dims, np.zeros(0, dtype=np.float64)
+        first = start // self.block_rows
+        last = (stop - 1) // self.block_rows
+        blocks = self._block_bytes(first, last)
+        if first == last:
+            b_start, _ = self.block_range(first)
+            columns, measure = self._views(first, blocks[first])
+            lo, hi = start - b_start, stop - b_start
+            return [col[lo:hi] for col in columns], measure[lo:hi]
+        dim_parts = [[] for _ in range(self.num_dimensions)]
+        measure_parts = []
+        for index in range(first, last + 1):
+            b_start, b_stop = self.block_range(index)
+            columns, measure = self._views(index, blocks[index])
+            lo = max(start, b_start) - b_start
+            hi = min(stop, b_stop) - b_start
+            for j, col in enumerate(columns):
+                dim_parts[j].append(col[lo:hi])
+            measure_parts.append(measure[lo:hi])
+        out_columns = [np.concatenate(parts) for parts in dim_parts]
+        out_measure = np.concatenate(measure_parts)
+        for col in out_columns:
+            col.setflags(write=False)
+        out_measure.setflags(write=False)
+        return out_columns, out_measure
+
+    def __repr__(self):
+        return "RemoteColFile(%r, key=%r)" % (self.path, self.file_key)
 
 
 # ----------------------------------------------------------------------
@@ -142,32 +473,105 @@ def _run_batch(kernel_blob, tasks):
 
 
 class _WorkerConnection(socketserver.BaseRequestHandler):
-    """One driver connection: read frames, dispatch ops, answer."""
+    """One driver connection: read frames, dispatch ops, answer.
+
+    The connection is also the worker's path *back* to the driver:
+    while ``run_stage`` executes, a shard that cannot resolve its
+    colfile locally issues ``block_fetch`` requests over this same
+    socket (:meth:`call_back`), and the driver answers from inside its
+    own ``run_stage`` wait loop — one socket, two directions, no extra
+    listener on the driver.
+    """
+
+    def setup(self):
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.decoder = FrameDecoder(WORKER_MAX_FRAME_BYTES)
+        self._events = deque()  # decoded, not yet processed
+        self._callback_id = WORKER_CALLBACK_ID_BASE
+
+    def _next_event(self):
+        """The next decoded frame event, or None when the peer is gone."""
+        while True:
+            if self._events:
+                return self._events.popleft()
+            try:
+                data = self.request.recv(1 << 20)
+            except OSError:
+                return None
+            if not data:
+                return None
+            try:
+                self._events.extend(self.decoder.feed(data))
+            except ProtocolError:
+                return None  # unknown protocol version: nothing to salvage
 
     def handle(self):
         worker = self.server.shard_worker
-        decoder = FrameDecoder(WORKER_MAX_FRAME_BYTES)
-        sock = self.request
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         while not worker.closing:
-            try:
-                data = sock.recv(1 << 20)
-            except OSError:
+            event = self._next_event()
+            if event is None:
                 return
-            if not data:
+            if worker.closing:
+                # Stopped while this connection was idle: refuse the
+                # just-arrived request by closing — the driver reads
+                # EOF, marks the worker dead and re-places its shards.
                 return
-            try:
-                events = decoder.feed(data)
-            except ProtocolError:
-                return  # unknown protocol version: nothing to salvage
-            for event in events:
+            if isinstance(event, FrameError):
+                self._send(KIND_ERROR, event.request_id,
+                           to_wire(event.exception))
+                continue
+            if event.kind != KIND_REQUEST:
+                continue
+            self._dispatch(worker, event)
+
+    def call_back(self, op, payload, timeout=None):
+        """Worker-initiated request to the driver over this connection.
+
+        Sent mid-``run_stage``, while the driver's client is parked in
+        its own wait loop servicing exactly these (``DRIVER_OPS``).
+        Frames for other request ids observed while waiting are stashed
+        and handled after the running dispatch returns, so a
+        well-behaved driver loses nothing.
+        """
+        self._callback_id += 1
+        request_id = self._callback_id
+        body = dict(payload)
+        body["op"] = op
+        sock = self.request
+        stashed = []
+        sock.settimeout(timeout)
+        try:
+            sock.sendall(encode_frame(
+                KIND_REQUEST, request_id, body, WORKER_MAX_FRAME_BYTES
+            ))
+            while True:
+                event = self._next_event()
+                if event is None:
+                    raise EngineError(
+                        "driver did not answer %s (connection lost or "
+                        "deadline exceeded)" % op
+                    )
                 if isinstance(event, FrameError):
-                    self._send(KIND_ERROR, event.request_id,
-                               to_wire(event.exception))
+                    if event.request_id == request_id:
+                        raise event.exception
                     continue
-                if event.kind != KIND_REQUEST:
+                if event.request_id != request_id:
+                    stashed.append(event)
                     continue
-                self._dispatch(worker, event)
+                if event.kind == KIND_ERROR:
+                    raise from_wire(event.payload)
+                return event.payload
+        except OSError as exc:
+            raise EngineError(
+                "driver connection lost during %s: %s" % (op, exc)
+            ) from exc
+        finally:
+            try:
+                sock.settimeout(None)
+            except OSError:
+                pass
+            for event in reversed(stashed):
+                self._events.appendleft(event)
 
     def _dispatch(self, worker, frame):
         op = frame.payload.get("op")
@@ -178,7 +582,7 @@ class _WorkerConnection(socketserver.BaseRequestHandler):
             ))
             return
         try:
-            response = handler(frame.payload)
+            response = handler(frame.payload, self)
         except Exception as exc:  # typed errors cross as wire codes
             self._send(KIND_ERROR, frame.request_id, to_wire(exc))
             return
@@ -207,12 +611,28 @@ class ShardWorker:
     by its own thread; stage batches within a connection run serially,
     which is exactly the single-worker-pool semantics placed execution
     pins shards with.
+
+    ``block_cache_bytes`` bounds the worker-local cache of colfile
+    blocks fetched from the driver (default
+    ``REPRO_WORKER_BLOCK_CACHE_BYTES``, else 256 MiB).
+    ``local_files=False`` runs the worker *shared-nothing*: every mmap
+    block resolves through ``block_fetch``, never the worker's own
+    filesystem — the correct stance when driver and worker do not
+    share storage, even if equal paths happen to exist on both.
     """
 
-    def __init__(self, host="127.0.0.1", port=0):
+    def __init__(self, host="127.0.0.1", port=0, block_cache_bytes=None,
+                 local_files=True):
         self.host = host
         self.port = int(port)
+        self.local_files = bool(local_files)
+        self.fetch_timeout = default_worker_timeout()
         self.closing = False
+        self.metrics = MetricsRegistry()
+        self.block_cache = WorkerBlockCache(
+            block_cache_bytes, metrics=self.metrics
+        )
+        self._meta_cache = {}  # (path, file_key) -> layout meta
         self._server = None
         self._thread = None
         self._stages = 0
@@ -220,6 +640,7 @@ class ShardWorker:
         self._lock = threading.Lock()
         self.ops = {
             "worker_hello": self._op_hello,
+            "heartbeat": self._op_heartbeat,
             "worker_attach": self._op_attach,
             "run_stage": self._op_run_stage,
         }
@@ -257,9 +678,15 @@ class ShardWorker:
         return "%s:%d" % (self.host, self.port)
 
     def stats(self):
-        """Stage/task counters served so far."""
+        """Stage/task counters and block-cache state served so far."""
         with self._lock:
-            return {"stages": self._stages, "tasks": self._tasks}
+            stages, tasks = self._stages, self._tasks
+        return {
+            "stages": stages,
+            "tasks": tasks,
+            "local_files": self.local_files,
+            "block_cache": self.block_cache.stats(),
+        }
 
     def __enter__(self):
         return self.start()
@@ -269,9 +696,7 @@ class ShardWorker:
 
     # -- ops -----------------------------------------------------------
 
-    def _op_hello(self, payload):
-        import os
-
+    def _op_hello(self, payload, connection):
         from repro.engine.shm import attachment_cache_stats
         from repro.net.protocol import PROTOCOL_VERSION
 
@@ -283,12 +708,24 @@ class ShardWorker:
             "protocol": PROTOCOL_VERSION,
             "stages": stages,
             "tasks": tasks,
+            "local_files": self.local_files,
             "attachments": attachment_cache_stats(),
+            "block_cache": self.block_cache.stats(),
         }
 
-    def _op_attach(self, payload):
+    def _op_heartbeat(self, payload, connection):
+        """Minimal liveness probe: no caches touched, no locks held
+        beyond the counter read — answers even while stages grind."""
+        return {"ok": True, "pid": os.getpid(), "closing": self.closing}
+
+    def _op_attach(self, payload, connection):
         from repro.engine.shm import attached_handle
 
+        if not self.local_files:
+            raise EngineError(
+                "worker runs with local_files disabled; blocks are "
+                "fetched from the driver, there is nothing to attach"
+            )
         try:
             path = payload["path"]
             file_key = payload["file_key"]
@@ -303,7 +740,9 @@ class ShardWorker:
             "num_blocks": handle.num_blocks,
         }
 
-    def _op_run_stage(self, payload):
+    def _op_run_stage(self, payload, connection):
+        from repro.engine.shm import block_fetcher
+
         try:
             kernel_blob = _decode_blob(payload["kernel"])
             tasks = [
@@ -314,11 +753,37 @@ class ShardWorker:
             raise ProtocolError(
                 "malformed run_stage payload: %s" % exc
             ) from None
-        records, failures = _run_batch(kernel_blob, tasks)
+
+        def fetch(path, file_key):
+            return self._remote_source(connection, path, file_key)
+
+        with block_fetcher(fetch, local_files=self.local_files):
+            records, failures = _run_batch(kernel_blob, tasks)
         with self._lock:
             self._stages += 1
             self._tasks += len(records)
         return {"records": records, "failures": failures}
+
+    def _remote_source(self, connection, path, file_key):
+        """A :class:`RemoteColFile` for one unresolvable mmap block.
+
+        Layout meta is cached per file state on the worker, so only the
+        first contact with a dataset version pays the meta round trip;
+        block payloads live in the shared :class:`WorkerBlockCache`
+        across stages and connections.
+        """
+        key = (str(path), tuple(file_key))
+        with self._lock:
+            meta = self._meta_cache.get(key)
+        source = RemoteColFile(
+            path, file_key, self.block_cache, connection,
+            meta=meta, timeout=self.fetch_timeout,
+        )
+        if meta is None:
+            fetched = source.fetch_meta()
+            with self._lock:
+                self._meta_cache[key] = fetched
+        return source
 
 
 # ----------------------------------------------------------------------
@@ -332,12 +797,25 @@ class ShardWorkerClient:
     One socket, used from one driver thread at a time (the cluster
     routes each worker's batches through its own thread-pool slot).
     Connects lazily on first use and verifies the peer with
-    ``worker_hello``.
+    ``worker_hello``.  While waiting for a ``run_stage`` answer the
+    client services the worker's reverse ``block_fetch`` requests
+    inline (:meth:`_serve`), counting ``blocks_shipped`` /
+    ``bytes_shipped``.
+
+    ``healthy`` is the cluster's routing flag: :meth:`mark_dead` clears
+    it when a call times out or the connection drops, and the retry
+    loop re-places the dead worker's shards onto the survivors.
+    ``timeout`` (default ``REPRO_WORKER_TIMEOUT``, else 120 s) is the
+    per-call deadline that turns a hung worker into a dead one.
     """
 
-    def __init__(self, address, timeout=120.0):
+    def __init__(self, address, timeout=None):
         self.host, self.port = parse_address(address)
-        self.timeout = timeout
+        self.timeout = (default_worker_timeout() if timeout is None
+                        else timeout)
+        self.healthy = True
+        self.blocks_shipped = 0
+        self.bytes_shipped = 0
         self._sock = None
         self._decoder = None
         self._request_id = 0
@@ -372,6 +850,16 @@ class ShardWorkerClient:
             except OSError:
                 pass
 
+    def mark_dead(self):
+        """Flag the worker unusable and drop the connection.
+
+        The cluster's retry loop calls this on a timed-out or
+        connection-lost ``run_stage``; a dead client is skipped by all
+        further routing for the cluster's lifetime.
+        """
+        self.healthy = False
+        self.close()
+
     def __enter__(self):
         return self
 
@@ -405,11 +893,14 @@ class ShardWorkerClient:
             for event in self._decoder.feed(data):
                 if isinstance(event, FrameError):
                     raise event.exception
+                if event.kind == KIND_REQUEST:
+                    # The worker asking *us* for something (block
+                    # shipping) while we wait on its stage answer.
+                    self._serve(event)
+                    continue
                 if event.request_id != request_id:
                     continue
                 if event.kind == KIND_ERROR:
-                    from repro.common.errors import from_wire
-
                     raise from_wire(event.payload)
                 return event.payload
 
@@ -424,10 +915,79 @@ class ShardWorkerClient:
                 % (self.host, self.port, exc)
             ) from exc
 
+    # -- reverse RPC: the worker fetches blocks from us ----------------
+
+    def _serve(self, frame):
+        """Answer one worker-initiated request (``DRIVER_OPS``)."""
+        op = frame.payload.get("op")
+        try:
+            if op == "block_fetch":
+                payload = self._serve_block_fetch(frame.payload)
+            else:
+                raise ProtocolError(
+                    "unknown worker-initiated op %r" % op
+                )
+        except Exception as exc:  # typed errors cross as wire codes
+            self._sock.sendall(encode_frame(
+                KIND_ERROR, frame.request_id, to_wire(exc),
+                WORKER_MAX_FRAME_BYTES,
+            ))
+            return
+        self._sock.sendall(encode_frame(
+            KIND_RESPONSE, frame.request_id, payload,
+            WORKER_MAX_FRAME_BYTES,
+        ))
+
+    def _serve_block_fetch(self, payload):
+        from repro.engine.shm import resolve_local_handle
+
+        try:
+            path = payload["path"]
+            file_key = tuple(payload["file_key"])
+            indices = [int(i) for i in payload.get("blocks", ())]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "malformed block_fetch payload: %s" % exc
+            ) from None
+        handle = resolve_local_handle(path, file_key)
+        blocks = []
+        for index in indices:
+            if not 0 <= index < handle.num_blocks:
+                raise DataError(
+                    "block %d out of range for %s (%d blocks)"
+                    % (index, path, handle.num_blocks)
+                )
+            data = handle.block_raw_bytes(index)
+            blocks.append({"index": index, "data": _encode_blob(data)})
+            self.blocks_shipped += 1
+            self.bytes_shipped += len(data)
+        reply = {"blocks": blocks}
+        if payload.get("want_meta"):
+            reply["meta"] = handle.wire_meta()
+        return reply
+
     # -- API the cluster consumes --------------------------------------
 
     def hello(self):
         return self._call("worker_hello", {})
+
+    def heartbeat(self, timeout=5.0):
+        """Liveness probe under its own (short) deadline.
+
+        Returns True iff the worker answers in time — reconnecting
+        first if the client has no live socket.  Never raises: a
+        refused, lost or silent worker is simply ``False``, which is
+        what the cluster's health check wants to know.
+        """
+        previous = self.timeout
+        if timeout is not None:
+            self.timeout = timeout
+        try:
+            return bool(self._call("heartbeat", {}).get("ok"))
+        except EngineError:
+            return False
+        finally:
+            self.timeout = previous
 
     def attach(self, path, file_key):
         """Pre-open/verify a colfile on the worker (warm its mmap)."""

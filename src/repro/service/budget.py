@@ -34,6 +34,16 @@ via context manager, or through the cluster that carries it
 (:class:`~repro.engine.cluster.ClusterContext` releases its grant on
 ``close()``, which the service's job runners invoke in ``finally`` on
 every completion *and* abort path).
+
+With ``remote_workers`` the budget also tracks shard-worker capacity
+on other hosts, turning the single-host worker budget into a small
+cluster scheduler: when the local pool cannot admit a job, the grant
+*spills* — it is placed entirely onto free remote workers instead
+(``grant.remote_addresses`` names them), and the service builds the
+job's cluster with ``executor="remote"``.  Grants never mix hosts
+with local slots: a stage runs either on this host's pools or on
+shard workers, and determinism (above) makes the choice unobservable
+in results.
 """
 
 import os
@@ -70,15 +80,16 @@ class BudgetGrant:
     """
 
     __slots__ = ("requested", "granted", "wait_seconds", "slots",
-                 "_budget", "_lock", "_released")
+                 "remote_addresses", "_budget", "_lock", "_released")
 
     def __init__(self, budget, requested, granted, wait_seconds,
-                 slots=()):
+                 slots=(), remote_addresses=()):
         self._budget = budget
         self.requested = requested
         self.granted = granted
         self.wait_seconds = wait_seconds
         self.slots = tuple(slots)
+        self.remote_addresses = tuple(remote_addresses)
         self._lock = threading.Lock()
         self._released = False
 
@@ -86,6 +97,13 @@ class BudgetGrant:
     def degraded(self):
         """True when the budget granted less than was requested."""
         return self.granted < self.requested
+
+    @property
+    def spilled(self):
+        """True when the grant holds remote shard workers, not local
+        slots — the job should run with ``executor="remote"`` against
+        :attr:`remote_addresses`."""
+        return bool(self.remote_addresses)
 
     @property
     def released(self):
@@ -126,9 +144,15 @@ class EngineBudget:
         The smallest degree a job is ever granted (default 1 —
         degrade all the way to serial rather than block, as long as a
         single slot is free).  Must not exceed the capacity.
+    remote_workers:
+        Shard-worker addresses (``"host:port"``) on other hosts.  Each
+        is one slot of *spill* capacity: a job the local pool cannot
+        admit is granted free remote workers instead of blocking, so
+        placed grants span hosts (see module doc).
     """
 
-    def __init__(self, max_engine_workers=None, min_parallelism=1):
+    def __init__(self, max_engine_workers=None, min_parallelism=1,
+                 remote_workers=()):
         if max_engine_workers is None:
             max_engine_workers = default_max_engine_workers()
         if max_engine_workers < 1:
@@ -142,15 +166,24 @@ class EngineBudget:
             )
         self.max_engine_workers = int(max_engine_workers)
         self.min_parallelism = int(min_parallelism)
+        self.remote_workers = tuple(str(w) for w in remote_workers)
         self._cond = threading.Condition()
         self._in_use = 0
+        self._remote_in_use = 0
         # Free placed slot ids, kept sorted so grants take the lowest
         # ids first — a job re-acquiring after a release tends to get
-        # the same slots back, which keeps worker caches warm.
+        # the same slots back, which keeps worker caches warm.  Remote
+        # workers continue the id space above the local slots: slot
+        # ``L + j`` is ``remote_workers[j]``.
         self._free_slots = list(range(self.max_engine_workers))
+        self._free_remote = list(range(
+            self.max_engine_workers,
+            self.max_engine_workers + len(self.remote_workers),
+        ))
         self._waiters = deque()  # FIFO admission: no barging past the head
         self._grants = 0
         self._degraded_grants = 0
+        self._spilled_grants = 0
         self._releases = 0
         self._timeouts = 0
         self._total_wait_seconds = 0.0
@@ -166,6 +199,11 @@ class EngineBudget:
         ``min(requested, min_parallelism)``.  ``timeout`` bounds the
         wait in seconds; on expiry :class:`BudgetExhaustedError`
         raises and no slots are held.
+
+        Local slots are preferred.  When fewer than the floor are free
+        but enough *remote* workers are, the grant spills: it holds
+        free remote workers instead (``grant.spilled``), keeping the
+        job admitted instead of queued behind the local pool.
         """
         requested = int(requested)
         if requested < 1:
@@ -181,7 +219,8 @@ class EngineBudget:
             self._waiters.append(ticket)
             try:
                 while not (self._waiters[0] is ticket
-                           and self._available_locked() >= floor):
+                           and (self._available_locked() >= floor
+                                or len(self._free_remote) >= floor)):
                     remaining = (
                         None if deadline is None
                         else deadline - time.monotonic()
@@ -197,11 +236,28 @@ class EngineBudget:
                             )
                         )
                     self._cond.wait(remaining)
-                granted = min(requested, self._available_locked())
-                slots = tuple(self._free_slots[:granted])
-                del self._free_slots[:granted]
-                self._in_use += granted
-                self._peak_in_use = max(self._peak_in_use, self._in_use)
+                remote_addresses = ()
+                if self._available_locked() >= floor:
+                    granted = min(requested, self._available_locked())
+                    slots = tuple(self._free_slots[:granted])
+                    del self._free_slots[:granted]
+                    self._in_use += granted
+                    self._peak_in_use = max(self._peak_in_use,
+                                            self._in_use)
+                else:
+                    # Spill: the local pool is exhausted but remote
+                    # shard workers are free — place the whole grant
+                    # there (all-remote, never mixed; a cluster runs
+                    # one executor).
+                    granted = min(requested, len(self._free_remote))
+                    slots = tuple(self._free_remote[:granted])
+                    del self._free_remote[:granted]
+                    self._remote_in_use += granted
+                    remote_addresses = tuple(
+                        self.remote_workers[s - self.max_engine_workers]
+                        for s in slots
+                    )
+                    self._spilled_grants += 1
                 self._grants += 1
                 if granted < requested:
                     self._degraded_grants += 1
@@ -216,13 +272,20 @@ class EngineBudget:
                 # now be at the head with slots available.
                 self._cond.notify_all()
         return BudgetGrant(self, requested, granted, wait_seconds,
-                           slots=slots)
+                           slots=slots, remote_addresses=remote_addresses)
 
     def _release(self, grant):
         with self._cond:
-            self._in_use -= grant.granted
-            self._free_slots.extend(grant.slots)
+            local = [s for s in grant.slots
+                     if s < self.max_engine_workers]
+            remote = [s for s in grant.slots
+                      if s >= self.max_engine_workers]
+            self._in_use -= len(local)
+            self._remote_in_use -= len(remote)
+            self._free_slots.extend(local)
             self._free_slots.sort()
+            self._free_remote.extend(remote)
+            self._free_remote.sort()
             self._releases += 1
             self._cond.notify_all()
 
@@ -259,8 +322,12 @@ class EngineBudget:
                 "available": self._available_locked(),
                 "waiting": len(self._waiters),
                 "peak_in_use": self._peak_in_use,
+                "remote_workers": len(self.remote_workers),
+                "remote_in_use": self._remote_in_use,
+                "remote_available": len(self._free_remote),
                 "grants": self._grants,
                 "degraded_grants": self._degraded_grants,
+                "spilled_grants": self._spilled_grants,
                 "releases": self._releases,
                 "timeouts": self._timeouts,
                 "total_wait_seconds": self._total_wait_seconds,

@@ -47,7 +47,11 @@ import threading
 
 from repro.common.errors import ServiceClosedError, ServiceError
 from repro.core.codec import RowCodec
-from repro.engine.cluster import EXECUTORS, default_parallelism
+from repro.engine.cluster import (
+    EXECUTOR_REMOTE,
+    EXECUTORS,
+    default_parallelism,
+)
 from repro.core.config import variant_config
 from repro.core.measure import MeasureTransform
 from repro.core.miner import Sirum, make_default_cluster
@@ -91,7 +95,8 @@ class ServiceConfig:
                  default_deadline_seconds=None,
                  engine_parallelism=None, engine_executor=None,
                  max_engine_workers=None, admission=ADMISSION_BUDGET,
-                 min_engine_parallelism=1, budget_wait_seconds=None):
+                 min_engine_parallelism=1, budget_wait_seconds=None,
+                 shard_workers=None):
         if num_workers < 1:
             raise ServiceError("num_workers must be at least 1")
         if max_queue_depth < 1:
@@ -113,6 +118,11 @@ class ServiceConfig:
             raise ServiceError("min_engine_parallelism must be at least 1")
         if budget_wait_seconds is not None and budget_wait_seconds <= 0:
             raise ServiceError("budget_wait_seconds must be positive")
+        if engine_executor == EXECUTOR_REMOTE and not shard_workers:
+            raise ServiceError(
+                "engine_executor='remote' needs shard_workers "
+                "(a list of 'host:port' addresses)"
+            )
         self.num_workers = num_workers
         self.max_queue_depth = max_queue_depth
         self.cache_capacity = cache_capacity
@@ -144,6 +154,15 @@ class ServiceConfig:
         #: Bound on how long a job may wait for budget slots before
         #: failing with BudgetExhaustedError (None: wait indefinitely).
         self.budget_wait_seconds = budget_wait_seconds
+        #: Remote shard-worker addresses ("host:port").  Required with
+        #: ``engine_executor="remote"`` (every job runs on them); with
+        #: a local executor they are *spill* capacity — under
+        #: ``admission="budget"`` a job the local pool cannot admit is
+        #: granted remote workers and runs with ``executor="remote"``
+        #: instead of queuing.
+        self.shard_workers = (
+            tuple(str(w) for w in shard_workers) if shard_workers else ()
+        )
 
 
 class DatasetHandle:
@@ -202,24 +221,44 @@ class RuleMiningService:
         self.engine = SqlEngine()
         self.catalog = self.engine.catalog
         if self.config.admission == ADMISSION_BUDGET:
+            # With a local executor, configured shard workers are the
+            # budget's spill capacity; with engine_executor="remote"
+            # every job already runs on them, so there is nothing to
+            # spill *to*.
+            spill_workers = (
+                () if self.config.engine_executor == EXECUTOR_REMOTE
+                else self.config.shard_workers
+            )
             self._budget = EngineBudget(
                 max_engine_workers=self.config.max_engine_workers,
                 min_parallelism=self.config.min_engine_parallelism,
+                remote_workers=spill_workers,
             )
         else:
             self._budget = None
         if make_cluster is None:
             parallelism = self.config.engine_parallelism
             executor = self.config.engine_executor
+            shard_workers = self.config.shard_workers
 
             def make_cluster(budget_grant=None):
                 # Under budget admission the configured parallelism was
                 # the *request*; the grant carries the degree actually
-                # allocated and the cluster releases it on close.
+                # allocated and the cluster releases it on close.  A
+                # *spilled* grant holds remote shard workers instead of
+                # local slots — the job runs on them.
+                if budget_grant is not None and budget_grant.spilled:
+                    return make_default_cluster(
+                        executor=EXECUTOR_REMOTE,
+                        workers=list(budget_grant.remote_addresses),
+                        budget_grant=budget_grant,
+                    )
                 return make_default_cluster(
                     parallelism=(None if budget_grant is not None
                                  else parallelism),
                     executor=executor, budget_grant=budget_grant,
+                    workers=(list(shard_workers)
+                             if executor == EXECUTOR_REMOTE else None),
                 )
 
         self._make_cluster = make_cluster
@@ -251,6 +290,7 @@ class RuleMiningService:
             "affinity_hits": 0,
             "affinity_misses": 0,
             "rebalances": 0,
+            "worker_failures": 0,
             "placed_stages": 0,
             "unplaced_stages": 0,
             "placed_jobs": 0,
@@ -431,6 +471,8 @@ class RuleMiningService:
                     granted=grant.granted,
                     wait_seconds=grant.wait_seconds,
                     slots=grant.slots,
+                    spilled=grant.spilled,
+                    remote_addresses=grant.remote_addresses,
                 )
         try:
             if platform is not None:
@@ -501,6 +543,8 @@ class RuleMiningService:
                         )
                         if info["granted"] < info["requested"]:
                             self._metrics.increment("budget_degraded_grants")
+                        if info.get("spilled"):
+                            self._metrics.increment("budget_spilled_grants")
                     if job.exception is None:
                         self._metrics.increment("jobs_completed")
                     else:
@@ -537,7 +581,8 @@ class RuleMiningService:
             totals = self._placement
             totals["shards"] = max(totals["shards"], stats.get("shards", 0))
             for field in ("affinity_hits", "affinity_misses", "rebalances",
-                          "placed_stages", "unplaced_stages"):
+                          "worker_failures", "placed_stages",
+                          "unplaced_stages"):
                 totals[field] += stats.get(field, 0)
             if stats.get("enabled") and stats.get("placed_stages", 0):
                 totals["placed_jobs"] += 1

@@ -263,3 +263,20 @@ class TestPlacementTracker:
         # Rebinding the same version is not a rebalance.
         tracker.bind(ShardMap.build(100, 4, version=2))
         assert tracker.stats()["rebalances"] == 1
+
+    def test_worker_failure_counts_and_clears_pins(self):
+        tracker = PlacementTracker()
+        tracker.bind(ShardMap.build(100, 4, version=1))
+        tracker.record(0, 0)
+        tracker.record(1, 1)
+        tracker.worker_failure(shard_ids=[1])
+        stats = tracker.stats()
+        assert stats["worker_failures"] == 1
+        assert stats["rebalances"] == 1
+        # Shard 1 lost its pin with the dead worker: re-placing it on a
+        # survivor is a fresh miss, not a broken-affinity anomaly...
+        tracker.record(1, 0)
+        assert tracker.stats()["affinity_misses"] == 3
+        # ...while shard 0's affinity survived untouched.
+        tracker.record(0, 0)
+        assert tracker.stats()["affinity_hits"] == 1

@@ -162,3 +162,342 @@ class TestRemoteMining:
         assert serial.kl_trace == remote.kl_trace
         assert serial.metrics == remote.metrics
         assert worker.stats()["stages"] > 0
+
+def _slow_once_kernel(tc, part):
+    """Sleeps on its first-ever invocation (module global), so exactly
+    one worker of a fleet hangs past a short client deadline."""
+    import time
+
+    if _SLOW_ONCE and _SLOW_ONCE.pop() == "armed":
+        time.sleep(1.5)
+    tc.add_records(1)
+    return part * 10
+
+
+_SLOW_ONCE = []
+
+
+def _mine(table, **cluster_kwargs):
+    cluster = make_default_cluster(
+        num_executors=2, cores_per_executor=2, **cluster_kwargs
+    )
+    try:
+        config = variant_config("optimized", k=3, sample_size=16, seed=0)
+        result = Sirum(config).mine(table, cluster=cluster)
+        return result, cluster.placement_stats()
+    finally:
+        cluster.close()
+
+
+def _assert_identical(a, b):
+    assert [tuple(m.rule.values) for m in a.rule_set] == [
+        tuple(m.rule.values) for m in b.rule_set
+    ]
+    assert np.array_equal(a.lambdas, b.lambdas)
+    assert a.kl_trace == b.kl_trace
+    assert a.metrics == b.metrics
+
+
+class TestHeartbeat:
+    def test_heartbeat_answers_while_alive(self, client):
+        assert client.heartbeat() is True
+        assert client.healthy
+
+    def test_heartbeat_of_a_dead_worker_is_false(self):
+        client = ShardWorkerClient("127.0.0.1:1", timeout=0.5)
+        assert client.heartbeat(timeout=0.5) is False
+
+    def test_heartbeat_restores_the_call_timeout(self, client):
+        before = client.timeout
+        client.heartbeat(timeout=0.25)
+        assert client.timeout == before
+
+    def test_mark_dead_flags_and_disconnects(self, client):
+        client.hello()
+        client.mark_dead()
+        assert not client.healthy
+        assert client._sock is None
+
+
+class TestWorkerBlockCache:
+    def test_miss_then_hit(self):
+        from repro.net.worker import WorkerBlockCache
+
+        cache = WorkerBlockCache(capacity_bytes=1024)
+        key = ("f.col", (1, 2), 0)
+        assert cache.get(key) is None
+        cache.put(key, b"x" * 10)
+        assert cache.get(key) == b"x" * 10
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["fetched_bytes"] == 10
+        assert stats["resident_bytes"] == 10
+
+    def test_evicts_coldest_when_over_capacity(self):
+        from repro.net.worker import WorkerBlockCache
+
+        cache = WorkerBlockCache(capacity_bytes=25)
+        for i in range(3):
+            cache.put(("f", (1, 2), i), bytes(10))
+        # 30 bytes inserted into 25: block 0 (coldest) was evicted.
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["blocks"] == 2
+        assert stats["resident_bytes"] == 20
+        assert cache.get(("f", (1, 2), 0)) is None
+        assert cache.get(("f", (1, 2), 2)) is not None
+
+    def test_touch_refreshes_recency(self):
+        from repro.net.worker import WorkerBlockCache
+
+        cache = WorkerBlockCache(capacity_bytes=25)
+        cache.put(("f", (1, 2), 0), bytes(10))
+        cache.put(("f", (1, 2), 1), bytes(10))
+        assert cache.get(("f", (1, 2), 0)) is not None  # 0 now warmest
+        cache.put(("f", (1, 2), 2), bytes(10))
+        assert cache.get(("f", (1, 2), 1)) is None  # 1 was coldest
+        assert cache.get(("f", (1, 2), 0)) is not None
+
+    def test_oversized_block_is_never_cached(self):
+        from repro.net.worker import WorkerBlockCache
+
+        cache = WorkerBlockCache(capacity_bytes=8)
+        cache.put(("f", (1, 2), 0), bytes(100))
+        assert cache.stats()["blocks"] == 0
+        assert cache.stats()["fetched_bytes"] == 100
+
+    def test_env_override_and_validation(self, monkeypatch):
+        from repro.net.worker import default_block_cache_bytes
+
+        monkeypatch.setenv("REPRO_WORKER_BLOCK_CACHE_BYTES", "4096")
+        assert default_block_cache_bytes() == 4096
+        monkeypatch.setenv("REPRO_WORKER_BLOCK_CACHE_BYTES", "nope")
+        with pytest.raises(EngineError):
+            default_block_cache_bytes()
+        monkeypatch.setenv("REPRO_WORKER_BLOCK_CACHE_BYTES", "0")
+        with pytest.raises(EngineError):
+            default_block_cache_bytes()
+
+    def test_timeout_env_override(self, monkeypatch):
+        from repro.net.worker import default_worker_timeout
+
+        monkeypatch.setenv("REPRO_WORKER_TIMEOUT", "7.5")
+        assert default_worker_timeout() == 7.5
+        monkeypatch.setenv("REPRO_WORKER_TIMEOUT", "-1")
+        with pytest.raises(EngineError):
+            default_worker_timeout()
+
+
+class TestBlockShipping:
+    """The shared-nothing leg: workers fetch colfile blocks from the
+    driver instead of their own filesystem."""
+
+    def test_shared_nothing_worker_mines_a_deleted_colfile(
+            self, flights, tmp_path):
+        # The driver writes a colfile, opens it, deletes it.  A worker
+        # with local_files=False can only get the bytes over the wire
+        # — from the driver's still-live mmap.
+        import os
+
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=64)
+        file_table = Table.open_colfile(path)
+        os.unlink(path)
+        serial, _ = _mine(flights, parallelism=1)
+        with ShardWorker(local_files=False) as worker:
+            remote, pstats = _mine(file_table, executor="remote",
+                                   workers=[worker.address])
+            wstats = worker.stats()
+        _assert_identical(serial, remote)
+        assert pstats["bytes_shipped"] > 0
+        assert pstats["blocks_shipped"] >= 1
+        cache = wstats["block_cache"]
+        assert cache["fetched_bytes"] == pstats["bytes_shipped"]
+        # Repeat stages over the same dataset version hit warm cache.
+        assert cache["hits"] > 0
+
+    def test_worker_in_a_different_directory_no_shared_paths(
+            self, flights, tmp_path, monkeypatch):
+        # Worker process serves from a different working directory and
+        # the colfile path is *relative* — unresolvable on the worker
+        # side even though driver and worker share a machine.  The
+        # worker must take the block_fetch path, not the filesystem.
+        import os
+
+        driver_dir = tmp_path / "driver"
+        worker_dir = tmp_path / "worker"
+        driver_dir.mkdir()
+        worker_dir.mkdir()
+        monkeypatch.chdir(driver_dir)
+        write_colfile(flights, "flights.col", block_rows=64)
+        file_table = Table.open_colfile("flights.col")
+        serial, _ = _mine(flights, parallelism=1)
+        with ShardWorker(local_files=False) as worker:
+            monkeypatch.chdir(worker_dir)
+            remote, pstats = _mine(file_table, executor="remote",
+                                   workers=[worker.address])
+        _assert_identical(serial, remote)
+        assert pstats["bytes_shipped"] > 0
+
+    def test_attach_is_refused_without_local_files(self, flights,
+                                                   tmp_path):
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=64)
+        file_table = Table.open_colfile(path)
+        handle = file_table._handle
+        with ShardWorker(local_files=False) as worker:
+            with ShardWorkerClient(worker.address) as client:
+                with pytest.raises(EngineError, match="local_files"):
+                    client.attach(handle.path, handle.file_key)
+
+    def test_remote_colfile_reads_bit_identically(self, flights,
+                                                  tmp_path):
+        # Drive RemoteColFile directly against a live client-served
+        # worker via a real stage, comparing raw reads per shard.
+        path = tmp_path / "flights.col"
+        write_colfile(flights, path, block_rows=64)
+        file_table = Table.open_colfile(path)
+        blocks = file_table.partition_blocks(3, shared=True)
+        kernel_bytes = pickle.dumps(_raw_read_kernel,
+                                    pickle.HIGHEST_PROTOCOL)
+        batch = [
+            (block.index, pickle.dumps(block, pickle.HIGHEST_PROTOCOL))
+            for block in blocks
+        ]
+        with ShardWorker(local_files=False) as worker:
+            with ShardWorkerClient(worker.address) as client:
+                records, failures = client.run_stage(kernel_bytes, batch)
+        assert failures == []
+        for block in blocks:
+            cols, measure = records[block.index][0]
+            assert measure.tobytes() == block.measure.tobytes()
+            for remote_col, local_col in zip(cols, block.columns):
+                assert remote_col.tobytes() == local_col.tobytes()
+
+
+def _raw_read_kernel(tc, part):
+    """Return the shard's raw column/measure arrays for comparison."""
+    tc.add_records(part.num_rows)
+    return [np.array(c) for c in part.columns], np.array(part.measure)
+
+
+def _identity_kernel(tc, part):
+    tc.add_records(1)
+    return part
+
+
+class TestWorkerFailure:
+    """Fault injection: dead and hung workers mid-job."""
+
+    def test_killed_worker_shards_replace_onto_survivor(self, flights):
+        def run(kill=None, **cluster_kwargs):
+            cluster = make_default_cluster(
+                num_executors=2, cores_per_executor=2, **cluster_kwargs
+            )
+            try:
+                # A warm-up stage lands shards on every worker (both
+                # modes, so simulated metrics stay comparable); then
+                # the kill fires and mining must re-place.
+                outs = cluster.run_stage(_identity_kernel, [1, 2, 3, 4])
+                assert outs.outputs == [1, 2, 3, 4]
+                if kill is not None:
+                    kill()
+                config = variant_config("optimized", k=3,
+                                        sample_size=16, seed=0)
+                result = Sirum(config).mine(flights, cluster=cluster)
+                return result, cluster.placement_stats()
+            finally:
+                cluster.close()
+
+        serial, _ = run(parallelism=1)
+        w1 = ShardWorker().start()
+        w2 = ShardWorker().start()
+        try:
+            remote, pstats = run(
+                kill=w2.stop, executor="remote",
+                workers=[w1.address, w2.address],
+            )
+        finally:
+            w1.stop()
+            w2.stop()
+        _assert_identical(serial, remote)
+        assert pstats["worker_failures"] >= 1
+        assert pstats["rebalances"] >= 1
+        assert pstats["healthy_workers"] == 1
+
+    def test_hung_worker_times_out_and_replaces(self, flights,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_TIMEOUT", "0.4")
+        _SLOW_ONCE.clear()
+        _SLOW_ONCE.append("armed")
+        w1 = ShardWorker().start()
+        w2 = ShardWorker().start()
+        try:
+            cluster = make_default_cluster(
+                num_executors=2, cores_per_executor=2,
+                executor="remote", workers=[w1.address, w2.address],
+            )
+            try:
+                result = cluster.run_stage(
+                    _slow_once_kernel, [1, 2, 3, 4]
+                )
+                pstats = cluster.placement_stats()
+            finally:
+                cluster.close()
+        finally:
+            w1.stop()
+            w2.stop()
+        # One worker hung past the 0.4s deadline; its shards re-ran on
+        # the survivor and the stage still resolved correctly.
+        assert result.outputs == [10, 20, 30, 40]
+        assert pstats["worker_failures"] >= 1
+        assert pstats["healthy_workers"] == 1
+
+    def test_all_workers_dead_degrades_to_local_threads(self, flights):
+        serial, _ = _mine(flights, parallelism=1)
+        w1 = ShardWorker().start()
+        w1.stop()
+        cluster = make_default_cluster(
+            num_executors=2, cores_per_executor=2,
+            executor="remote", workers=[w1.address],
+        )
+        try:
+            config = variant_config("optimized", k=3, sample_size=16,
+                                    seed=0)
+            remote = Sirum(config).mine(flights, cluster=cluster)
+            assert cluster.fallback_stages > 0
+        finally:
+            cluster.close()
+        _assert_identical(serial, remote)
+
+    def test_kernel_failure_contract_survives_a_death(self):
+        # Worker death and a kernel failure in the same stage: the
+        # lowest-index kernel exception must still surface once every
+        # lower shard has resolved.
+        w1 = ShardWorker().start()
+        w2 = ShardWorker().start()
+        try:
+            cluster = make_default_cluster(
+                num_executors=2, cores_per_executor=2,
+                executor="remote", workers=[w1.address, w2.address],
+            )
+            try:
+                assert cluster.run_stage(
+                    _identity_kernel, [0, 1]
+                ).outputs == [0, 1]
+                w2.stop()
+                with pytest.raises(ValueError, match="boom on shard"):
+                    cluster.run_stage(
+                        _boom_block_kernel, list(range(4))
+                    )
+                assert cluster.placement_stats()["worker_failures"] >= 1
+            finally:
+                cluster.close()
+        finally:
+            w1.stop()
+            w2.stop()
+
+
+def _boom_block_kernel(tc, part):
+    raise ValueError("boom on shard %d" % part)

@@ -423,3 +423,90 @@ class TestServiceBudgetAdmission:
             release_holder.set()
             first.result(deadline.remaining())
         assert service.budget_stats()["in_use"] == 0
+
+
+class TestRemoteSpill:
+    """Budget grants spanning hosts: spill onto shard workers."""
+
+    def test_local_capacity_is_preferred(self):
+        budget = EngineBudget(max_engine_workers=2,
+                              remote_workers=["h1:1", "h2:2"])
+        grant = budget.acquire(2)
+        assert not grant.spilled
+        assert grant.remote_addresses == ()
+        assert budget.stats()["remote_in_use"] == 0
+        grant.release()
+
+    def test_exhausted_local_pool_spills_to_remote(self):
+        budget = EngineBudget(max_engine_workers=2,
+                              remote_workers=["h1:1", "h2:2", "h3:3"])
+        local = budget.acquire(2)
+        spilled = budget.acquire(2)
+        assert spilled.spilled
+        assert spilled.granted == 2
+        assert spilled.remote_addresses == ("h1:1", "h2:2")
+        stats = budget.stats()
+        assert stats["remote_workers"] == 3
+        assert stats["remote_in_use"] == 2
+        assert stats["remote_available"] == 1
+        assert stats["spilled_grants"] == 1
+        # Slot ids continue above the local space and return on release.
+        assert all(s >= budget.max_engine_workers for s in spilled.slots)
+        spilled.release()
+        assert budget.stats()["remote_in_use"] == 0
+        local.release()
+
+    def test_spilled_grant_clamps_to_free_remote_workers(self):
+        budget = EngineBudget(max_engine_workers=1,
+                              remote_workers=["h1:1"])
+        local = budget.acquire(1)
+        spilled = budget.acquire(4)
+        assert spilled.spilled
+        assert spilled.granted == 1
+        assert spilled.degraded
+        local.release()
+        spilled.release()
+
+    def test_no_remote_workers_means_blocking_as_before(self):
+        budget = EngineBudget(max_engine_workers=1)
+        hold = budget.acquire(1)
+        with pytest.raises(BudgetExhaustedError):
+            budget.acquire(1, timeout=0.05)
+        hold.release()
+
+    def test_spilled_job_runs_remote_and_matches_local(self, flights):
+        # With the whole local pool held, a submitted job *must* spill
+        # onto the shard worker — and produce bit-identical results.
+        from repro.net.worker import ShardWorker
+
+        reference = mine(flights, k=3, sample_size=16, seed=0,
+                         variant="optimized", parallelism=1)
+        with ShardWorker() as worker:
+            config = ServiceConfig(
+                num_workers=2, engine_parallelism=1,
+                max_engine_workers=1,
+                shard_workers=[worker.address],
+            )
+            service = RuleMiningService(config)
+            try:
+                service.register_dataset("flights", flights)
+                hold = service._budget.acquire(1)
+                try:
+                    result = service.mine(
+                        "flights", k=3, sample_size=16, seed=0,
+                        variant="optimized",
+                    )
+                finally:
+                    hold.release()
+                stats = service.stats()
+                worker_stages = worker.stats()["stages"]
+            finally:
+                service.close()
+        assert [tuple(m.rule.values) for m in reference.rule_set] == [
+            tuple(m.rule.values) for m in result.rule_set
+        ]
+        assert reference.kl_trace == result.kl_trace
+        budget = stats["budget"]
+        assert budget["remote_workers"] == 1
+        assert budget["spilled_grants"] == 1
+        assert worker_stages > 0

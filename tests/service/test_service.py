@@ -340,3 +340,77 @@ class TestStats:
         assert placement["rebalances"] == 0
         assert 0.0 <= placement["affinity_hit_rate"] <= 1.0
         assert (placement["placed_jobs"] + placement["unplaced_jobs"]) == 1
+
+
+class TestRemoteExecution:
+    """engine_executor='remote': jobs run on shard workers."""
+
+    def test_remote_jobs_match_serial_and_fold_placement(self, flights):
+        from repro.net.worker import ShardWorker
+
+        reference = mine(flights, k=3, sample_size=16, seed=0,
+                         variant="optimized", parallelism=1)
+        with ShardWorker() as worker:
+            svc = RuleMiningService(ServiceConfig(
+                num_workers=2, engine_executor="remote",
+                shard_workers=[worker.address],
+            ))
+            try:
+                svc.register_dataset("flights", flights)
+                result = svc.mine("flights", k=3, sample_size=16,
+                                  seed=0, variant="optimized")
+                stats = svc.stats()
+                worker_stages = worker.stats()["stages"]
+            finally:
+                svc.close()
+        assert [tuple(m.rule.values) for m in reference.rule_set] == [
+            tuple(m.rule.values) for m in result.rule_set
+        ]
+        assert reference.kl_trace == result.kl_trace
+        assert worker_stages > 0
+        placement = stats["placement"]
+        assert placement["placed_stages"] > 0
+        assert placement["worker_failures"] == 0
+
+    def test_worker_death_is_visible_in_service_stats(self, flights):
+        from repro.net.worker import ShardWorker
+
+        reference = mine(flights, k=3, sample_size=16, seed=0,
+                         variant="optimized", parallelism=1)
+        w1 = ShardWorker().start()
+        w2 = ShardWorker().start()
+        try:
+            svc = RuleMiningService(ServiceConfig(
+                num_workers=2, engine_executor="remote",
+                shard_workers=[w1.address, w2.address],
+            ))
+            try:
+                svc.register_dataset("flights", flights)
+                # Warm both workers, then kill one: the next job must
+                # recover via re-placement with unchanged results.
+                first = svc.mine("flights", k=3, sample_size=16,
+                                 seed=0, variant="optimized")
+                w2.stop()
+                second = svc.mine("flights", k=3, sample_size=16,
+                                  seed=1, variant="optimized")
+                stats = svc.stats()
+            finally:
+                svc.close()
+        finally:
+            w1.stop()
+            w2.stop()
+        assert [tuple(m.rule.values) for m in reference.rule_set] == [
+            tuple(m.rule.values) for m in first.rule_set
+        ]
+        ref2 = mine(flights, k=3, sample_size=16, seed=1,
+                    variant="optimized", parallelism=1)
+        assert [tuple(m.rule.values) for m in ref2.rule_set] == [
+            tuple(m.rule.values) for m in second.rule_set
+        ]
+        placement = stats["placement"]
+        assert placement["worker_failures"] >= 1
+        assert placement["rebalances"] >= 1
+
+    def test_remote_executor_requires_shard_workers(self):
+        with pytest.raises(ServiceError, match="shard_workers"):
+            ServiceConfig(engine_executor="remote")

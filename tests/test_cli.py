@@ -302,3 +302,48 @@ class TestServe:
         assert code == 2
         assert "error:" in out.getvalue()
         assert "HOST:PORT" in out.getvalue()
+
+
+class TestShardWorkerFlags:
+    def test_shard_worker_defaults(self):
+        args = build_parser().parse_args(["shard-worker"])
+        assert args.listen == "127.0.0.1:0"
+        assert args.block_cache_bytes is None
+        assert args.no_local_files is False
+
+    def test_shard_worker_shared_nothing_flags(self):
+        args = build_parser().parse_args(
+            ["shard-worker", "--block-cache-bytes", "1048576",
+             "--no-local-files"]
+        )
+        assert args.block_cache_bytes == 1048576
+        assert args.no_local_files is True
+
+    def test_serve_shard_workers_flag(self):
+        args = build_parser().parse_args(
+            ["serve", "data.csv", "--measure", "delay",
+             "--shard-workers", "h1:7731,h2:7731",
+             "--executor", "remote"]
+        )
+        assert args.shard_workers == "h1:7731,h2:7731"
+        assert args.executor == "remote"
+
+    def test_serve_remote_workload_end_to_end(self, flights_csv):
+        from repro.net.worker import ShardWorker
+
+        with ShardWorker() as worker:
+            out = io.StringIO()
+            code = main(
+                ["serve", flights_csv, "--measure", "Delay",
+                 "--clients", "2", "--requests", "4", "--workers", "2",
+                 "--k", "2", "--sample-size", "8",
+                 "--executor", "remote",
+                 "--shard-workers", worker.address,
+                 "--compare-serial"],
+                out=out,
+            )
+            text = out.getvalue()
+            stages = worker.stats()["stages"]
+        assert code == 0
+        assert "results identical: True" in text
+        assert stages > 0
